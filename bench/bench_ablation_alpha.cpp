@@ -1,0 +1,65 @@
+// Ablation: the alpha lever (§3.2). Sweeping alpha on the DRAM-starved
+// ARM preset shows the trade the paper derives: larger alpha lowers the
+// external-bandwidth requirement (Eq. 2) at the cost of more local memory
+// (Eq. 1) and longer per-block latency.
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "bench_io.hpp"
+#include "core/tiling.hpp"
+#include "machine/machine.hpp"
+#include "memsim/trace.hpp"
+#include "model/throughput.hpp"
+#include "sim/machine_sim.hpp"
+
+int main()
+{
+    using namespace cake;
+    MachineSpec arm = arm_cortex_a53();
+    const GemmShape shape{768, 768, 768};
+    const int p = 4;
+
+    std::cout << "=== Ablation: CB-block alpha sweep on ARM Cortex-A53 "
+                 "(768^3, p=4) ===\n\n";
+    Table table({"alpha", "CB block", "required BW (GB/s, Eq.2)",
+                 "LRU set (KiB, Eq.1)", "fits LLC", "model DRAM (MB)",
+                 "memsim DRAM (MB)", "sim GFLOP/s"});
+
+    for (double alpha : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+        TilingOptions topts;
+        topts.mc = 24;
+        topts.alpha = alpha;
+        const CbBlockParams params = compute_cb_block(arm, p, 6, 16, topts);
+
+        const auto traffic = model::cake_traffic(shape, params);
+        const auto mem = memsim::simulate_cake_memory(arm, p, shape, topts);
+
+        sim::SimConfig sc;
+        sc.machine = arm;
+        sc.p = p;
+        sc.shape = shape;
+        sc.topts = topts;
+        const auto sim_result = sim::simulate(sc);
+
+        table.add_row(
+            {format_number(alpha, 3),
+             std::to_string(params.m_blk) + "x" + std::to_string(params.k_blk)
+                 + "x" + std::to_string(params.n_blk),
+             format_number(required_dram_bw_gbs(arm, params), 4),
+             format_number(
+                 static_cast<double>(params.lru_working_set_bytes()) / 1024.0,
+                 5),
+             params.lru_working_set_bytes() <= arm.llc_bytes() ? "yes" : "NO",
+             format_number(static_cast<double>(traffic.total_bytes()) / 1e6,
+                           4),
+             format_number(mem.dram_gb() * 1e3, 4),
+             format_number(sim_result.gflops, 4)});
+    }
+    bench::print_table(table, "ablation_alpha");
+    std::cout
+        << "\nShape check: required external bandwidth falls as (alpha+1)/"
+           "alpha\nwhile the local working set grows; past the LLC capacity "
+           "the\nsimulated cache traffic stops improving — exactly the §4.3 "
+           "sizing\ntrade-off the solver automates.\n";
+    return 0;
+}

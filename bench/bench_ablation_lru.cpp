@@ -1,0 +1,60 @@
+// Ablation: the §4.3 LRU sizing rule (C + 2(A+B) <= S). Sweeps the CB
+// block size (via mc) across the rule's boundary on the Intel preset and
+// replays each geometry through the LRU cache simulator. DRAM traffic
+// falls as blocks grow (fewer surface refetches) until the LRU working
+// set no longer fits the LLC — past that point the next block's A/B
+// surfaces evict live partial-result lines and traffic degrades, which is
+// precisely the superfluous-eviction regime the rule avoids.
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "bench_io.hpp"
+#include "core/tiling.hpp"
+#include "machine/machine.hpp"
+#include "memsim/trace.hpp"
+#include "pack/pack.hpp"
+
+int main()
+{
+    using namespace cake;
+    const MachineSpec intel = intel_i9_10900k();
+    const int p = 2;
+    const GemmShape shape{2304, 2304, 2304};
+
+    std::cout << "=== Ablation: LRU sizing rule (§4.3) on Intel preset, "
+              << shape.m << "^3, p=2 ===\n"
+              << "LLC = " << static_cast<double>(intel.llc_bytes()) / 1048576.0
+              << " MiB; rule: C + 2(A+B) <= LLC\n\n";
+
+    Table table({"mc=kc", "CB block", "surfaces (MiB)", "C+2(A+B) (MiB)",
+                 "rule", "DRAM accesses (M)"});
+    for (index_t mc : {192, 384, 576, 768, 900, 1020, 1152}) {
+        TilingOptions topts;
+        topts.mc = mc;
+        topts.alpha = 1.0;
+        const CbBlockParams params = compute_cb_block(intel, p, 6, 16, topts);
+        const auto report =
+            memsim::simulate_cake_memory(intel, p, shape, topts);
+        table.add_row(
+            {std::to_string(mc),
+             std::to_string(params.m_blk) + "x" + std::to_string(params.k_blk)
+                 + "x" + std::to_string(params.n_blk),
+             format_number(
+                 static_cast<double>(params.surface_bytes()) / 1048576.0, 4),
+             format_number(static_cast<double>(params.lru_working_set_bytes())
+                               / 1048576.0,
+                           4),
+             params.lru_working_set_bytes() <= intel.llc_bytes() ? "fits"
+                                                                 : "VIOLATED",
+             format_number(
+                 static_cast<double>(report.counters.dram_accesses) / 1e6,
+                 4)});
+    }
+    bench::print_table(table, "ablation_lru");
+    std::cout
+        << "\nShape check: DRAM traffic falls as the block grows while the\n"
+           "rule holds, then stops improving (or degrades) once C + 2(A+B)\n"
+           "exceeds the LLC and LRU starts evicting live surfaces — the\n"
+           "superfluous cache misses §4.3 is designed to prevent.\n";
+    return 0;
+}

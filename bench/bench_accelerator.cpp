@@ -1,0 +1,60 @@
+// Beyond CPUs (§6.1): "the CAKE methodology can apply to GPUs or other
+// heterogeneous systems... CAKE's CB blocks can eliminate the need to
+// manually search for optimal block designs" (the CUTLASS remark).
+//
+// Simulates a 64-PE accelerator with a 48 MiB on-chip SRAM under two
+// external links — HBM-class 300 GB/s and cost-down DDR 30 GB/s — and
+// shows the CB solver adapting: on the starved link it stretches alpha
+// and still saturates the array, while the GOTO-style schedule collapses.
+#include <iostream>
+
+#include "bench_io.hpp"
+#include "common/csv.hpp"
+#include "core/tiling.hpp"
+#include "machine/machine.hpp"
+#include "sim/machine_sim.hpp"
+
+int main()
+{
+    using namespace cake;
+    const index_t size = 9216;
+
+    std::cout << "=== §6.1: CB blocks on a 64-PE accelerator, " << size
+              << "^3 MM ===\n\n";
+    Table table({"external link", "PEs", "CB block (alpha)",
+                 "CAKE GFLOP/s", "CAKE DRAM (GB/s)", "GOTO GFLOP/s",
+                 "GOTO DRAM (GB/s)", "peak"});
+
+    for (bool hbm : {true, false}) {
+        const MachineSpec m = accelerator_64pe(hbm);
+        for (int p : {16, 64}) {
+            sim::SimConfig config;
+            config.machine = m;
+            config.p = p;
+            config.shape = {size, size, size};
+            const auto cake = sim::simulate(config);
+            config.algorithm = sim::Algorithm::kGoto;
+            const auto gto = sim::simulate(config);
+            table.add_row(
+                {hbm ? "HBM 300 GB/s" : "DDR 30 GB/s", std::to_string(p),
+                 std::to_string(cake.params.m_blk) + "x"
+                     + std::to_string(cake.params.k_blk) + "x"
+                     + std::to_string(cake.params.n_blk) + " (a="
+                     + format_number(cake.params.alpha, 3) + ")",
+                 format_number(cake.gflops, 5),
+                 format_number(cake.avg_dram_bw_gbs, 4),
+                 format_number(gto.gflops, 5),
+                 format_number(gto.avg_dram_bw_gbs, 4),
+                 format_number(m.peak_gflops(p), 5)});
+        }
+    }
+    bench::print_table(table, "accelerator_64pe");
+
+    std::cout
+        << "\nShape check: with HBM both schedules saturate the array; on\n"
+           "the 10x-cheaper DDR link the GOTO-style schedule starves at the\n"
+           "DRAM wall while CAKE's solver answers with a wider CB block in\n"
+           "the on-chip SRAM and keeps the PEs busy — no manual block-\n"
+           "design search (the CUTLASS point).\n";
+    return 0;
+}

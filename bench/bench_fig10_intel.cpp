@@ -1,0 +1,26 @@
+// Figure 10 reproduction: CAKE vs MKL (GOTO stand-in) on the Intel
+// i9-10900K for a 23040^2 MM — DRAM bandwidth, throughput with
+// extrapolation to 20 cores, and the internal-bandwidth curve.
+#include <iostream>
+
+#include "fig_machine_panel.hpp"
+
+int main()
+{
+    using namespace cake;
+    std::cout << "=== Figure 10: CAKE on Intel i9-10900K, 23040 x 23040 "
+                 "matrices ===\n\n";
+    bench::PanelConfig config;
+    config.machine = intel_i9_10900k();
+    config.size = 23040;
+    config.extrapolate_to = 20;
+    config.figure = "10";
+    config.baseline_name = "MKL";
+    bench::run_machine_panel(config);
+    std::cout
+        << "Paper shape check: CAKE reaches comparable throughput to the\n"
+           "baseline (paper: within 3%) while using a fraction of the DRAM\n"
+           "bandwidth (paper: 4.5 of 40 GB/s available); internal bandwidth\n"
+           "flattens past 6 cores, which bends CAKE's throughput curve.\n";
+    return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 12 reproduction: CAKE vs OpenBLAS (GOTO stand-in) on the AMD
+// Ryzen 9 5950X for a 23040^2 MM — DRAM bandwidth, throughput with
+// extrapolation to 32 cores, and the internal-bandwidth curve.
+#include <iostream>
+
+#include "fig_machine_panel.hpp"
+
+int main()
+{
+    using namespace cake;
+    std::cout << "=== Figure 12: CAKE on AMD Ryzen 9 5950X, 23040 x 23040 "
+                 "matrices ===\n\n";
+    bench::PanelConfig config;
+    config.machine = amd_ryzen_5950x();
+    config.size = 23040;
+    config.extrapolate_to = 32;
+    config.figure = "12";
+    config.baseline_name = "OpenBLAS";
+    bench::run_machine_panel(config);
+    std::cout
+        << "Paper shape check: the 5950X is the least-constrained machine —\n"
+           "internal bandwidth grows ~50 GB/s per core, so both engines\n"
+           "scale; CAKE matches OpenBLAS's peak throughput while its DRAM\n"
+           "bandwidth stays flat past ~9 cores instead of growing.\n";
+    return 0;
+}

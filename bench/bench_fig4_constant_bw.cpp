@@ -1,0 +1,73 @@
+// Figure 4 reproduction: CB blocks keep external bandwidth constant while
+// computation throughput (and arithmetic intensity) grow with core count.
+//
+// The paper's figure shows three blocks (1x, 2x, px cores) with equal BW
+// and increasing volume/AI. We print the whole series: for p = 1..16 the
+// CB block solved on the AMD preset, its volume, computation throughput
+// (V/T in tiles/unit-time), IO, arithmetic intensity, and the external
+// bandwidth requirement from Eq. 2 — constant across all rows.
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "bench_io.hpp"
+#include "core/tiling.hpp"
+#include "machine/machine.hpp"
+#include "model/analysis.hpp"
+
+int main()
+{
+    using namespace cake;
+
+    std::cout << "=== Figure 4: constant-bandwidth property of CB blocks ===\n"
+              << "Unitless tile analysis (paper §3): block is pk x k x apk,\n"
+              << "T = apk unit-times, IO = A+B surfaces, BW = IO/T.\n\n";
+
+    const double k = 4.0;      // tiles per A-surface column
+    const double alpha = 1.0;  // ample external bandwidth
+
+    Table table({"p", "cores(pk^2)", "block (m x k x n)", "volume V",
+                 "time T", "CT=V/T", "IO(A+B)", "AI=V/IO", "BW=IO/T"});
+    for (int p : {1, 2, 4, 8, 16}) {
+        const double m = p * k;
+        const double n = alpha * p * k;
+        const double volume = m * k * n;
+        const double t = n;  // each core computes n tile MMs (§3)
+        const double io = m * k + k * n;
+        table.add_row({std::to_string(p),
+                       format_number(p * k * k, 4),
+                       format_number(m, 3) + " x " + format_number(k, 3)
+                           + " x " + format_number(n, 3),
+                       format_number(volume, 6), format_number(t, 4),
+                       format_number(volume / t, 5), format_number(io, 5),
+                       format_number(volume / io, 4),
+                       format_number(io / t, 4)});
+    }
+    bench::print_table(table, "fig4_unitless");
+
+    std::cout << "\nEvery row has BW = " << model::bw_min_tiles_per_cycle(alpha, k)
+              << " tiles/unit-time (Eq. 2 with alpha=1): external bandwidth\n"
+              << "is constant while computation throughput CT grows with p.\n";
+
+    std::cout << "\n=== Same property in real units (AMD 5950X preset) ===\n";
+    const MachineSpec amd = amd_ryzen_5950x();
+    TilingOptions topts;
+    topts.mc = 96;  // pin geometry so only p varies
+    topts.alpha = 1.0;
+    Table real({"p", "CB block", "AI (flops/byte)", "required DRAM BW (GB/s)",
+                "peak compute (GFLOP/s)"});
+    for (int p = 1; p <= amd.cores; p *= 2) {
+        const CbBlockParams params = compute_cb_block(amd, p, 6, 16, topts);
+        real.add_row({std::to_string(p),
+                      std::to_string(params.m_blk) + " x "
+                          + std::to_string(params.k_blk) + " x "
+                          + std::to_string(params.n_blk),
+                      format_number(params.arithmetic_intensity(), 4),
+                      format_number(required_dram_bw_gbs(amd, params), 4),
+                      format_number(amd.peak_gflops(p), 5)});
+    }
+    bench::print_table(real, "fig4_real_units");
+    std::cout << "\nRequired DRAM bandwidth is flat in p; compute grows "
+                 "linearly —\nthe CB block absorbs the difference by growing "
+                 "its volume p^2-fold.\n";
+    return 0;
+}

@@ -1,0 +1,145 @@
+// Figure 7 reproduction: where the memory system spends its time.
+//
+//  (a) Intel i9-10900K, large square MM, all 10 cores: stall time
+//      attributed to L1/L2/L3/DRAM for CAKE vs the GOTO baseline (the
+//      paper's MKL). Paper result: CAKE stalls on *local* memory, MKL on
+//      *main* memory.
+//  (b) ARM Cortex-A53, square MM, 4 cores: cache hits and DRAM requests
+//      for CAKE vs the GOTO baseline (the paper's ARMPL). Paper result:
+//      ARMPL performs ~2.5x more DRAM requests.
+//
+// The paper measures 10000^2 (Intel) and 3000^2 (ARM) with PMU counters;
+// we replay the identical schedules through the line-accurate cache
+// simulator at proportionally scaled sizes (the hierarchy is simulated at
+// full size, so per-level hit *shares* are preserved).
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "bench_io.hpp"
+#include "common/timer.hpp"
+#include "machine/machine.hpp"
+#include "core/tiling.hpp"
+#include "gotoblas/goto_gemm.hpp"
+#include "memsim/trace.hpp"
+
+int main()
+{
+    using namespace cake;
+
+    {
+        std::cout << "=== Figure 7a: memory request stalls on Intel i9 "
+                     "(CAKE vs GOTO/MKL) ===\n"
+                  << "Scaled problem: 2304^3 (paper: 10000^3), p = 10.\n\n";
+        const MachineSpec intel = intel_i9_10900k();
+        const GemmShape shape{2304, 2304, 2304};
+        Timer t;
+        const auto cake = memsim::simulate_cake_memory(intel, 10, shape);
+        const auto gto = memsim::simulate_goto_memory(intel, 10, shape);
+
+        Table table({"engine", "L1 stall (Gcycles)", "L2 stall",
+                     "L3 stall", "DRAM stall", "DRAM accesses (M)"});
+        auto row = [&](const char* name, const memsim::TraceReport& r) {
+            table.add_row({name, format_number(r.stalls.l1 / 1e9, 4),
+                           format_number(r.stalls.l2 / 1e9, 4),
+                           format_number(r.stalls.llc / 1e9, 4),
+                           format_number(r.stalls.dram / 1e9, 4),
+                           format_number(
+                               static_cast<double>(r.counters.dram_accesses)
+                                   / 1e6,
+                               4)});
+        };
+        row("CAKE", cake);
+        row("GOTO (MKL stand-in)", gto);
+        bench::print_table(table, "fig7a_stalls_intel");
+        const double ratio = static_cast<double>(gto.stalls.dram)
+            / static_cast<double>(cake.stalls.dram);
+        std::cout << "\nGOTO spends " << format_number(ratio, 3)
+                  << "x more stall time on main memory than CAKE;\n"
+                  << "CAKE's stalls concentrate in local memory (paper "
+                     "Fig. 7a shape).  ["
+                  << format_number(t.seconds(), 3) << " s]\n\n";
+    }
+
+    {
+        std::cout << "=== Figure 7b: cache and DRAM accesses on ARM "
+                     "Cortex-A53 (CAKE vs GOTO/ARMPL) ===\n"
+                  << "Scaled problem: 768^3 (paper: 3000^3), p = 4.\n\n";
+        const MachineSpec arm = arm_cortex_a53();
+        const GemmShape shape{768, 768, 768};
+        const auto cake = memsim::simulate_cake_memory(arm, 4, shape);
+        const auto gto = memsim::simulate_goto_memory(arm, 4, shape);
+
+        Table table({"engine", "L1 hits (M)", "L2 hits (M)",
+                     "DRAM requests (M)"});
+        auto row = [&](const char* name, const memsim::TraceReport& r) {
+            table.add_row(
+                {name,
+                 format_number(static_cast<double>(r.counters.l1_hits) / 1e6,
+                               5),
+                 format_number(static_cast<double>(r.counters.llc_hits) / 1e6,
+                               5),
+                 format_number(
+                     static_cast<double>(r.counters.dram_accesses) / 1e6,
+                     5)});
+        };
+        row("CAKE", cake);
+        row("GOTO (ARMPL stand-in)", gto);
+        bench::print_table(table, "fig7b_accesses_arm");
+        const double ratio = static_cast<double>(gto.counters.dram_accesses)
+            / static_cast<double>(cake.counters.dram_accesses);
+        std::cout << "\nGOTO performs " << format_number(ratio, 3)
+                  << "x more DRAM requests than CAKE (paper reports ~2.5x "
+                     "for ARMPL).\n\n";
+    }
+
+    {
+        std::cout << "=== §4 visualised: DRAM traffic by operand region "
+                     "(Intel, 2304^3, p=4; C exceeds the 20 MiB L3) "
+                     "===\n\n";
+        const MachineSpec intel = intel_i9_10900k();
+        const GemmShape shape{2304, 2304, 2304};
+        const memsim::AddressMap map;
+        const std::uint64_t span = 1ULL << 32;
+        auto regions = [&] {
+            return std::vector<memsim::MemRegion>{
+                {map.a, span, "A"},
+                {map.b, span, "B"},
+                {map.c, span, "C"},
+                {map.pack_a, span, "packed A"},
+                {map.pack_b, span, "packed B"},
+                {map.c_block, span, "C block"}};
+        };
+
+        memsim::HierarchySim cake_sim(intel, 4);
+        cake_sim.set_regions(regions());
+        memsim::HierarchySink cake_sink(cake_sim);
+        const CbBlockParams params = compute_cb_block(intel, 4, 6, 16);
+        memsim::trace_cake(shape, params, ScheduleKind::kKFirstSerpentine,
+                           cake_sink);
+
+        memsim::HierarchySim goto_sim(intel, 4);
+        goto_sim.set_regions(regions());
+        memsim::HierarchySink goto_sink(goto_sim);
+        memsim::trace_goto(shape, goto_default_blocking(intel, 6, 16), 4, 6,
+                           16, goto_sink);
+
+        Table table({"region", "CAKE DRAM fills (K)", "GOTO DRAM fills (K)"});
+        const auto cake_rows = cake_sim.dram_accesses_by_region();
+        const auto goto_rows = goto_sim.dram_accesses_by_region();
+        for (std::size_t r = 0; r < cake_rows.size(); ++r) {
+            table.add_row(
+                {cake_rows[r].first,
+                 format_number(
+                     static_cast<double>(cake_rows[r].second) / 1e3, 4),
+                 format_number(
+                     static_cast<double>(goto_rows[r].second) / 1e3, 4)});
+        }
+        bench::print_table(table, "fig7c_traffic_by_region");
+        std::cout
+            << "\nShape check: GOTO's dominant DRAM traffic is the C row —\n"
+               "partial results streaming out and back once per kc pass\n"
+               "(§4.1); CAKE's C traffic is the output written once, its\n"
+               "remaining fills being the A/B input surfaces.\n";
+    }
+    return 0;
+}

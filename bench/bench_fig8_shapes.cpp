@@ -1,0 +1,65 @@
+// Figure 8 reproduction: relative throughput of CAKE vs GOTO (MKL) over
+// matrix dimensions, one panel per M:N aspect ratio (M=N, 2N, 4N, 8N),
+// sweeping M and K on the Intel i9-10900K with all 10 cores.
+//
+// The paper shades regions where CAKE outperforms MKL by >= 1.0x/1.25x/
+// 1.5x/2.0x; we print the ratio grid and mark the same contour bands.
+#include <iostream>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "bench_io.hpp"
+#include "machine/machine.hpp"
+#include "model/throughput.hpp"
+
+int main()
+{
+    using namespace cake;
+    const MachineSpec intel = intel_i9_10900k();
+    const int p = 10;
+
+    const std::vector<index_t> axis = {250,  500,  1000, 2000,
+                                       3000, 4000, 6000, 8000};
+
+    auto band = [](double r) {
+        if (r >= 2.0) return " ####";   // >= 2.00x
+        if (r >= 1.5) return " ###";    // >= 1.50x
+        if (r >= 1.25) return " ##";    // >= 1.25x
+        if (r >= 1.0) return " #";      // >= 1.00x
+        return " .";
+    };
+
+    for (int ratio : {1, 2, 4, 8}) {
+        std::cout << "=== Figure 8" << static_cast<char>('a' + (ratio == 1 ? 0 : ratio == 2 ? 1 : ratio == 4 ? 2 : 3))
+                  << ": relative throughput CAKE/GOTO for M = " << ratio
+                  << "N ===\n"
+                  << "(rows: K, cols: M; cell: throughput ratio, # bands as "
+                     "in the paper: #>=1x ##>=1.25x ###>=1.5x ####>=2x)\n\n";
+
+        std::vector<std::string> header = {"K \\ M"};
+        for (index_t m : axis) header.push_back(std::to_string(m));
+        Table table(header);
+
+        for (index_t k : axis) {
+            std::vector<std::string> row = {std::to_string(k)};
+            for (index_t m : axis) {
+                const index_t n = m / ratio > 0 ? m / ratio : 1;
+                const GemmShape shape{m, n, k};
+                const double cake =
+                    model::predict_cake(intel, p, shape).gflops;
+                const double gto = model::predict_goto(intel, p, shape).gflops;
+                const double r = cake / gto;
+                row.push_back(format_number(r, 3) + band(r));
+            }
+            table.add_row(std::move(row));
+        }
+        bench::print_table(table,
+                           "fig8_ratio_M" + std::to_string(ratio) + "N");
+        std::cout << '\n';
+    }
+
+    std::cout << "Paper shape check: the advantage region (#-bands) grows as\n"
+                 "matrices shrink in any dimension or become more skewed —\n"
+                 "small-K (memory-bound) problems favour CAKE most.\n";
+    return 0;
+}

@@ -1,0 +1,225 @@
+// Google-benchmark microbenchmarks of the real software stack on the host
+// CPU: CAKE vs GOTO vs blocked-naive wall-clock, micro-kernel throughput,
+// and packing cost. (Host validation; the paper's multi-core scaling
+// figures come from the bench_fig* harnesses.)
+#include <benchmark/benchmark.h>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/batched.hpp"
+#include "core/cake_gemm.hpp"
+#include "core/cake_gemm_int8.hpp"
+#include "gotoblas/goto_gemm.hpp"
+#include "kernel/kernel_int8.hpp"
+#include "kernel/registry.hpp"
+#include "pack/pack.hpp"
+#include "ref/naive_gemm.hpp"
+
+namespace {
+
+using namespace cake;
+
+ThreadPool& pool()
+{
+    static ThreadPool instance(host_machine().cores);
+    return instance;
+}
+
+void BM_CakeSgemm(benchmark::State& state)
+{
+    const auto size = static_cast<index_t>(state.range(0));
+    Rng rng(1);
+    Matrix a(size, size);
+    Matrix b(size, size);
+    Matrix c(size, size);
+    a.fill_random(rng);
+    b.fill_random(rng);
+
+    CakeGemm gemm(pool());
+    for (auto _ : state) {
+        gemm.multiply(a.data(), size, b.data(), size, c.data(), size, size,
+                      size, size);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        2.0 * size * size * size * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_CakeSgemm)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GotoSgemm(benchmark::State& state)
+{
+    const auto size = static_cast<index_t>(state.range(0));
+    Rng rng(2);
+    Matrix a(size, size);
+    Matrix b(size, size);
+    Matrix c(size, size);
+    a.fill_random(rng);
+    b.fill_random(rng);
+
+    GotoGemm gemm(pool());
+    for (auto _ : state) {
+        gemm.multiply(a.data(), size, b.data(), size, c.data(), size, size,
+                      size, size);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        2.0 * size * size * size * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_GotoSgemm)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BlockedNaive(benchmark::State& state)
+{
+    const auto size = static_cast<index_t>(state.range(0));
+    Rng rng(3);
+    Matrix a(size, size);
+    Matrix b(size, size);
+    Matrix c(size, size);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    for (auto _ : state) {
+        blocked_sgemm(a.data(), size, b.data(), size, c.data(), size, size,
+                      size, size, false);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        2.0 * size * size * size * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_BlockedNaive)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_Microkernel(benchmark::State& state)
+{
+    const MicroKernel& k = best_microkernel();
+    const auto kc = static_cast<index_t>(state.range(0));
+    Rng rng(4);
+    AlignedBuffer<float> a(static_cast<std::size_t>(k.mr * kc));
+    AlignedBuffer<float> b(static_cast<std::size_t>(k.nr * kc));
+    AlignedBuffer<float> c(static_cast<std::size_t>(k.mr * k.nr), true);
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = rng.next_float(-1, 1);
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.next_float(-1, 1);
+
+    for (auto _ : state) {
+        k.fn(kc, a.data(), b.data(), c.data(), k.nr, true);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        2.0 * k.mr * k.nr * kc * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+    state.SetLabel(k.name);
+}
+BENCHMARK(BM_Microkernel)->Arg(64)->Arg(192)->Arg(512);
+
+void BM_CakeDgemm(benchmark::State& state)
+{
+    const auto size = static_cast<index_t>(state.range(0));
+    Rng rng(7);
+    MatrixD a(size, size);
+    MatrixD b(size, size);
+    MatrixD c(size, size);
+    a.fill_random(rng);
+    b.fill_random(rng);
+
+    CakeGemmD gemm(pool());
+    for (auto _ : state) {
+        gemm.multiply(a.data(), size, b.data(), size, c.data(), size, size,
+                      size, size);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        2.0 * size * size * size * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_CakeDgemm)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_CakeInt8(benchmark::State& state)
+{
+    const auto size = static_cast<index_t>(state.range(0));
+    Rng rng(8);
+    std::vector<std::uint8_t> a(static_cast<std::size_t>(size * size));
+    std::vector<std::int8_t> b(static_cast<std::size_t>(size * size));
+    std::vector<std::int32_t> c(static_cast<std::size_t>(size * size));
+    for (auto& v : a) v = static_cast<std::uint8_t>(rng.next_below(128));
+    for (auto& v : b)
+        v = static_cast<std::int8_t>(
+            static_cast<int>(rng.next_below(255)) - 127);
+
+    CakeGemmInt8 gemm(pool());
+    for (auto _ : state) {
+        gemm.multiply(a.data(), size, b.data(), size, c.data(), size, size,
+                      size, size);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["GOP/s"] = benchmark::Counter(
+        2.0 * size * size * size * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+    state.SetLabel(best_int8_microkernel().name);
+}
+BENCHMARK(BM_CakeInt8)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_BatchedSmallGemms(benchmark::State& state)
+{
+    // Attention/DNN-style micro-batch: many small problems per call.
+    const auto count = static_cast<index_t>(state.range(0));
+    const index_t m = 64, n = 64, k = 64;
+    Rng rng(9);
+    std::vector<float> a(static_cast<std::size_t>(count * m * k));
+    std::vector<float> b(static_cast<std::size_t>(count * k * n));
+    std::vector<float> c(static_cast<std::size_t>(count * m * n));
+    for (auto& v : a) v = rng.next_float(-1, 1);
+    for (auto& v : b) v = rng.next_float(-1, 1);
+
+    for (auto _ : state) {
+        cake_gemm_strided_batched(pool(), a.data(), m * k, b.data(), k * n,
+                                  c.data(), m * n, m, n, k, count);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        2.0 * m * n * k * static_cast<double>(count)
+            * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_BatchedSmallGemms)->Arg(16)->Arg(64);
+
+void BM_PackA(benchmark::State& state)
+{
+    const auto size = static_cast<index_t>(state.range(0));
+    const index_t mr = best_microkernel().mr;
+    Rng rng(5);
+    Matrix a(size, size);
+    a.fill_random(rng);
+    AlignedBuffer<float> out(
+        static_cast<std::size_t>(packed_a_size(size, size, mr)));
+    for (auto _ : state) {
+        pack_a_panel(a.data(), size, size, size, mr, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations())
+                            * size * size
+                            * static_cast<std::int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_PackA)->Arg(512)->Arg(1024);
+
+void BM_PackB(benchmark::State& state)
+{
+    const auto size = static_cast<index_t>(state.range(0));
+    const index_t nr = best_microkernel().nr;
+    Rng rng(6);
+    Matrix b(size, size);
+    b.fill_random(rng);
+    AlignedBuffer<float> out(
+        static_cast<std::size_t>(packed_b_size(size, size, nr)));
+    for (auto _ : state) {
+        pack_b_panel(b.data(), size, size, size, nr, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations())
+                            * size * size
+                            * static_cast<std::int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_PackB)->Arg(512)->Arg(1024);
+
+}  // namespace

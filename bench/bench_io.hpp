@@ -1,0 +1,32 @@
+// Shared bench output helper: print a table to stdout and, when the
+// CAKE_BENCH_CSV_DIR environment variable is set, also persist it as
+// <dir>/<name>.csv for plotting.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/env.hpp"
+
+namespace cake {
+namespace bench {
+
+inline void print_table(const Table& table, const std::string& name)
+{
+    table.print(std::cout);
+    if (auto dir = env_string("CAKE_BENCH_CSV_DIR")) {
+        const std::string path = *dir + "/" + name + ".csv";
+        std::ofstream f(path);
+        if (f.good()) {
+            table.write_csv(f);
+            std::cout << "[csv saved: " << path << "]\n";
+        } else {
+            std::cerr << "warning: cannot write " << path << "\n";
+        }
+    }
+}
+
+}  // namespace bench
+}  // namespace cake

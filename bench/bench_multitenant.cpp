@@ -1,0 +1,71 @@
+// Multi-tenant study (§6.1: CAKE "can also help reduce searches for
+// optimal multi-tenant schedules"): co-schedule pairs of GEMM tenants on
+// one machine's shared DRAM channel and compare slowdowns. Tenants with
+// constant-bandwidth schedules (CAKE) barely interfere; tenants whose
+// bandwidth demand grows with cores (GOTO) serialise on the channel.
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "bench_io.hpp"
+#include "machine/machine.hpp"
+#include "sim/machine_sim.hpp"
+
+namespace {
+
+using namespace cake;
+
+void tenant_panel(const MachineSpec& machine, index_t size, int p_each)
+{
+    const GemmShape shape{size, size, size};
+    auto config = [&](sim::Algorithm algo) {
+        sim::SimConfig c;
+        c.machine = machine;
+        c.p = p_each;
+        c.shape = shape;
+        c.algorithm = algo;
+        return c;
+    };
+
+    std::cout << "--- " << machine.name << ": two tenants, " << p_each
+              << " cores each, " << size << "^2 matrices ---\n";
+    Table table({"pair", "solo time (s)", "paired makespan (s)", "slowdown",
+                 "aggregate GFLOP/s", "DRAM busy"});
+    for (sim::Algorithm algo :
+         {sim::Algorithm::kCake, sim::Algorithm::kGoto}) {
+        const auto solo = sim::simulate(config(algo));
+        const auto pair =
+            sim::simulate_shared_dram({config(algo), config(algo)});
+        table.add_row(
+            {algo == sim::Algorithm::kCake ? "CAKE + CAKE" : "GOTO + GOTO",
+             format_number(solo.seconds, 4),
+             format_number(pair.makespan, 4),
+             format_number(pair.makespan / solo.seconds, 4),
+             format_number(pair.aggregate_gflops, 5),
+             format_number(pair.dram_busy_frac, 3)});
+    }
+    // Mixed pair: a CAKE tenant next to a GOTO tenant.
+    const auto mixed = sim::simulate_shared_dram(
+        {config(sim::Algorithm::kCake), config(sim::Algorithm::kGoto)});
+    table.add_row({"CAKE + GOTO", "-", format_number(mixed.makespan, 4), "-",
+                   format_number(mixed.aggregate_gflops, 5),
+                   format_number(mixed.dram_busy_frac, 3)});
+    bench::print_table(table, std::string("multitenant_") + machine.name.substr(0, 3));
+    std::cout << '\n';
+}
+
+}  // namespace
+
+int main()
+{
+    using namespace cake;
+    std::cout << "=== Multi-tenant co-scheduling on a shared DRAM channel "
+                 "(§6.1) ===\n\n";
+    tenant_panel(arm_cortex_a53(), 768, 2);
+    tenant_panel(intel_i9_10900k(), 4608, 5);
+    std::cout
+        << "Shape check: CAKE pairs run at ~1x slowdown (their constant\n"
+           "per-tenant bandwidth sums well under the channel capacity);\n"
+           "GOTO pairs contend and their makespan stretches — the search\n"
+           "problem CAKE's analytic blocks make unnecessary.\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+// pmbw-style host bandwidth scan (the tool the paper uses for its
+// internal-bandwidth curves, Figs. 10c/11c/12c): aggregate scan bandwidth
+// per thread count and per working-set size on the machine running this
+// binary. The per-core curve printed at the end can be pasted into a
+// MachineSpec to calibrate host predictions.
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "machine/bw_probe.hpp"
+#include "machine/machine.hpp"
+
+int main()
+{
+    using namespace cake;
+    const MachineSpec host = host_machine();
+    ThreadPool pool(host.cores);
+
+    std::cout << "=== pmbw-style scan on this host (" << host.cores
+              << " core(s)) ===\n\n";
+
+    std::cout << "--- bandwidth vs working set (1 thread) ---\n";
+    const std::vector<std::size_t> sizes = {
+        16 * 1024,        // L1-resident
+        128 * 1024,       // L2-resident
+        1024 * 1024,      // L2/L3 boundary
+        8 * 1024 * 1024,  // LLC-resident
+        64 * 1024 * 1024  // DRAM
+    };
+    Table scan({"working set (KiB)", "read BW (GB/s)"});
+    for (const auto& point : scan_working_sets(pool, 1, sizes, 4)) {
+        scan.add_row({format_number(
+                          static_cast<double>(point.bytes_per_thread) / 1024.0,
+                          6),
+                      format_number(point.gbs, 5)});
+    }
+    scan.print(std::cout);
+    std::cout << "\nExpected shape: bandwidth steps down at each cache-"
+                 "capacity boundary.\n\n";
+
+    std::cout << "--- internal-bandwidth curve (LLC-resident set, "
+                 "p = 1.." << host.cores << ") ---\n";
+    Table curve({"threads", "aggregate BW (GB/s)"});
+    const auto bw =
+        probe_internal_bw_curve(pool, host.cores, 2 * 1024 * 1024, 4);
+    for (std::size_t p = 0; p < bw.size(); ++p) {
+        curve.add_row({std::to_string(p + 1), format_number(bw[p], 5)});
+    }
+    curve.print(std::cout);
+    std::cout << "\nPaste this curve into MachineSpec::internal_bw_gbs to\n"
+                 "calibrate the model for this host (the paper's Fig 10c/"
+                 "11c/12c measurement).\n";
+    return 0;
+}

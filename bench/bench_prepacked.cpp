@@ -1,0 +1,67 @@
+// Pre-packed weights study: §5.2.1 observes that packing dominates skewed
+// shapes; for inference serving the B operand (weights) never changes, so
+// packing it once removes that cost. Measures per-call time with and
+// without pre-packing across batch sizes on the real host.
+#include <iostream>
+
+#include "bench_io.hpp"
+#include "common/csv.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/cake_gemm.hpp"
+
+int main()
+{
+    using namespace cake;
+    ThreadPool pool(host_machine().cores);
+    Rng rng(12);
+
+    const index_t k = 1024, n = 1024;  // one transformer-ish weight matrix
+    Matrix w(k, n);
+    w.fill_random(rng);
+
+    std::cout << "=== Pre-packed weights: per-call time, " << k << " x " << n
+              << " weights ===\n\n";
+    Table table({"batch (M)", "regular (ms)", "prepacked (ms)", "speedup",
+                 "pack share removed"});
+
+    CakeGemm gemm(pool);
+    const PackedBF packed = gemm.pack_weights(w.data(), n, k, n);
+
+    for (index_t batch : {1, 8, 64, 512}) {
+        Matrix x(batch, k);
+        x.fill_random(rng);
+        Matrix y(batch, n);
+
+        auto best_of = [&](auto&& fn) {
+            double best = 1e30;
+            for (int rep = 0; rep < 5; ++rep) {
+                Timer t;
+                fn();
+                best = std::min(best, t.seconds());
+            }
+            return best;
+        };
+        const double regular = best_of([&] {
+            gemm.multiply(x.data(), k, w.data(), n, y.data(), n, batch, n,
+                          k);
+        });
+        const double pack_share =
+            gemm.stats().pack_seconds / gemm.stats().total_seconds;
+        const double pre = best_of([&] {
+            gemm.multiply_prepacked(x.data(), k, packed, y.data(), n,
+                                    batch);
+        });
+        table.add_row({std::to_string(batch),
+                       format_number(regular * 1e3, 4),
+                       format_number(pre * 1e3, 4),
+                       format_number(regular / pre, 4) + "x",
+                       format_number(pack_share, 3)});
+    }
+    bench::print_table(table, "prepacked_weights");
+    std::cout << "\nShape check: the win is largest for small batches, where"
+                 "\nthe B pack dominates the call (§5.2.1's skewed-shape "
+                 "overhead,\neliminated once weights are packed offline).\n";
+    return 0;
+}

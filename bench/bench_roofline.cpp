@@ -1,0 +1,71 @@
+// Roofline view: attainable throughput = min(peak, AI * DRAM bandwidth).
+// Prints each Table-2 machine's roofline plus the operating points of the
+// solved CAKE CB block and the GOTO blocking — CAKE's analytically chosen
+// arithmetic intensity always lands in (or beyond) the compute-bound
+// region, which is the whole point of CB shaping (Fig. 4).
+#include <iostream>
+
+#include "bench_io.hpp"
+#include "common/csv.hpp"
+#include "core/tiling.hpp"
+#include "gotoblas/goto_gemm.hpp"
+#include "machine/machine.hpp"
+#include "model/throughput.hpp"
+
+namespace {
+
+using namespace cake;
+
+/// GOTO's whole-problem arithmetic intensity for a large square MM:
+/// flops / DRAM bytes from the traffic walker.
+double goto_ai(const MachineSpec& m, index_t size)
+{
+    const GotoBlocking blocking = goto_default_blocking(m, 6, 16);
+    const GemmShape shape{size, size, size};
+    const auto traffic = model::goto_traffic(shape, blocking.mc, blocking.nc);
+    return shape.flops() / static_cast<double>(traffic.total_bytes());
+}
+
+double cake_ai(const MachineSpec& m, index_t size)
+{
+    const CbBlockParams params = compute_cb_block(m, m.cores, 6, 16);
+    const GemmShape shape{size, size, size};
+    const auto traffic = model::cake_traffic(shape, params);
+    return shape.flops() / static_cast<double>(traffic.total_bytes());
+}
+
+}  // namespace
+
+int main()
+{
+    using namespace cake;
+    std::cout << "=== Roofline operating points (whole-problem arithmetic "
+                 "intensity) ===\n\n";
+
+    Table table({"machine", "peak (GFLOP/s)", "DRAM (GB/s)",
+                 "ridge AI (flop/B)", "GOTO AI", "GOTO attainable",
+                 "CAKE AI", "CAKE attainable"});
+    for (const MachineSpec& m : table2_machines()) {
+        const index_t size = m.dram_gib < 2 ? 3000 : 23040;
+        const double peak = m.peak_gflops(m.cores);
+        const double ridge = peak / m.dram_bw_gbs;
+        const double gai = goto_ai(m, size);
+        const double cai = cake_ai(m, size);
+        const double g_att = std::min(peak, gai * m.dram_bw_gbs);
+        const double c_att = std::min(peak, cai * m.dram_bw_gbs);
+        table.add_row({m.name, format_number(peak, 5),
+                       format_number(m.dram_bw_gbs, 4),
+                       format_number(ridge, 4), format_number(gai, 4),
+                       format_number(g_att, 5), format_number(cai, 4),
+                       format_number(c_att, 5)});
+    }
+    bench::print_table(table, "roofline_points");
+
+    std::cout
+        << "\nShape check: CAKE's CB shaping pushes whole-problem\n"
+           "arithmetic intensity past every machine's ridge point (peak /\n"
+           "DRAM BW), so its attainable throughput equals the compute\n"
+           "roof; GOTO's partial-result traffic caps its AI near the ridge\n"
+           "on bandwidth-starved machines (the A53 row).\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+// TLB study: reproduces the motivation of the GOTO lineage (Goto & van de
+// Geijn 2002, the paper's ref [12], "On Reducing TLB Misses in Matrix
+// Multiplication") with the TLB model: an unpacked inner-product GEMM
+// walks B columns one page per element, thrashing the TLB; CAKE's packed
+// panels keep translations resident.
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "bench_io.hpp"
+#include "core/tiling.hpp"
+#include "machine/machine.hpp"
+#include "memsim/trace.hpp"
+
+int main()
+{
+    using namespace cake;
+    const MachineSpec intel = intel_i9_10900k();
+    const GemmShape shape{64, 2048, 128};
+
+    std::cout << "=== TLB misses: unpacked naive vs packed CAKE ===\n"
+              << "Problem: " << shape.m << " x " << shape.n << " x "
+              << shape.k << " (B rows span " << shape.n * 4 / 1024
+              << " KiB: one page per element on the naive column walk)\n\n";
+
+    memsim::HierarchySim naive_sim(intel, 1);
+    memsim::HierarchySink naive_sink(naive_sim);
+    memsim::trace_naive_ijk(shape, naive_sink);
+
+    memsim::HierarchySim cake_sim(intel, 1);
+    memsim::HierarchySink cake_sink(cake_sim);
+    TilingOptions topts;
+    topts.mc = 48;
+    const CbBlockParams params = compute_cb_block(intel, 1, 6, 16, topts);
+    memsim::trace_cake(shape, params, ScheduleKind::kKFirstSerpentine,
+                       cake_sink);
+
+    Table table({"engine", "accesses (M)", "TLB misses (K)",
+                 "miss rate", "DRAM accesses (K)"});
+    auto row = [&](const char* name, const memsim::HierarchySim& sim) {
+        const auto& c = sim.counters();
+        table.add_row(
+            {name,
+             format_number(static_cast<double>(c.accesses) / 1e6, 4),
+             format_number(static_cast<double>(c.tlb_misses) / 1e3, 4),
+             format_number(static_cast<double>(c.tlb_misses)
+                               / static_cast<double>(c.accesses),
+                           3),
+             format_number(static_cast<double>(c.dram_accesses) / 1e3, 4)});
+    };
+    row("naive ijk (unpacked)", naive_sim);
+    row("CAKE (packed panels)", cake_sim);
+    bench::print_table(table, "tlb_misses");
+
+    const double ratio =
+        (static_cast<double>(naive_sim.counters().tlb_misses)
+         / static_cast<double>(naive_sim.counters().accesses))
+        / (static_cast<double>(cake_sim.counters().tlb_misses)
+           / static_cast<double>(cake_sim.counters().accesses));
+    std::cout << "\nPacked panels lower the per-access TLB miss rate "
+              << format_number(ratio, 4)
+              << "x — the effect GOTO's block sizing (and §4.3's eviction\n"
+                 "analysis) is built around.\n";
+    return 0;
+}

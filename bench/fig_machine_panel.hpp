@@ -1,0 +1,106 @@
+// Shared harness for the Figure 10/11/12 trios: for one machine preset,
+// print (a) average DRAM bandwidth vs cores for CAKE (observed + the
+// theoretical optimum of Eq. 4) and the GOTO baseline, (b) computation
+// throughput vs cores with the paper's last-two-points extrapolation, and
+// (c) the internal-bandwidth curve with its extrapolation.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "bench_io.hpp"
+#include "core/tiling.hpp"
+#include "machine/machine.hpp"
+#include "model/extrapolate.hpp"
+#include "sim/machine_sim.hpp"
+
+namespace cake {
+namespace bench {
+
+struct PanelConfig {
+    MachineSpec machine;
+    index_t size = 0;            ///< square problem size
+    int extrapolate_to = 0;      ///< core count for the dotted lines
+    std::string figure;          ///< "10", "11", "12"
+    std::string baseline_name;   ///< "MKL", "ARMPL", "OpenBLAS"
+};
+
+inline void run_machine_panel(const PanelConfig& config)
+{
+    const MachineSpec& m = config.machine;
+    const GemmShape shape{config.size, config.size, config.size};
+
+    std::cout << "Machine: " << m.name << "  (Table 2: " << m.cores
+              << " cores, LLC "
+              << static_cast<double>(m.llc_bytes()) / (1024.0 * 1024.0)
+              << " MiB, DRAM " << m.dram_bw_gbs << " GB/s)\n"
+              << "Problem: " << config.size << " x " << config.size << " x "
+              << config.size << "\n\n";
+
+    std::vector<double> cake_bw, goto_bw, cake_gf, goto_gf, optimal_bw;
+    for (int p = 1; p <= m.cores; ++p) {
+        sim::SimConfig sc;
+        sc.machine = m;
+        sc.p = p;
+        sc.shape = shape;
+        const auto cake = sim::simulate(sc);
+        sc.algorithm = sim::Algorithm::kGoto;
+        const auto gto = sim::simulate(sc);
+        cake_bw.push_back(cake.avg_dram_bw_gbs);
+        goto_bw.push_back(gto.avg_dram_bw_gbs);
+        cake_gf.push_back(cake.gflops);
+        goto_gf.push_back(gto.gflops);
+        // Eq. 4 optimum: the block's analytic demand at the solved shape.
+        optimal_bw.push_back(required_dram_bw_gbs(m, cake.params));
+    }
+
+    std::cout << "--- Figure " << config.figure
+              << "a: average DRAM bandwidth vs cores ---\n";
+    Table a({"cores", config.baseline_name + " (GB/s)", "CAKE (GB/s)",
+             "CAKE optimal (GB/s)"});
+    for (int p = 1; p <= m.cores; ++p) {
+        a.add_row({std::to_string(p),
+                   format_number(goto_bw[static_cast<std::size_t>(p - 1)], 4),
+                   format_number(cake_bw[static_cast<std::size_t>(p - 1)], 4),
+                   format_number(optimal_bw[static_cast<std::size_t>(p - 1)],
+                                 4)});
+    }
+    bench::print_table(a, "fig" + config.figure + "a_dram_bw");
+    std::cout << "Shape check: " << config.baseline_name
+              << "'s DRAM bandwidth grows with cores; CAKE's stays near the "
+                 "Eq. 4 optimum.\n\n";
+
+    std::cout << "--- Figure " << config.figure
+              << "b: computation throughput vs cores (observed + "
+                 "extrapolated) ---\n";
+    const auto cake_ext =
+        model::extrapolate_series(cake_gf, config.extrapolate_to);
+    const auto goto_ext =
+        model::extrapolate_series(goto_gf, config.extrapolate_to);
+    Table b({"cores", config.baseline_name + " (GFLOP/s)", "CAKE (GFLOP/s)",
+             "source"});
+    for (int p = 1; p <= config.extrapolate_to; ++p) {
+        b.add_row({std::to_string(p),
+                   format_number(goto_ext[static_cast<std::size_t>(p - 1)], 5),
+                   format_number(cake_ext[static_cast<std::size_t>(p - 1)], 5),
+                   p <= m.cores ? "simulated" : "extrapolated"});
+    }
+    bench::print_table(b, "fig" + config.figure + "b_throughput");
+    std::cout << '\n';
+
+    std::cout << "--- Figure " << config.figure
+              << "c: internal bandwidth (LLC <-> cores) vs cores ---\n";
+    Table c({"cores", "internal BW (GB/s)", "source"});
+    for (int p = 1; p <= config.extrapolate_to; ++p) {
+        c.add_row({std::to_string(p), format_number(m.internal_bw_at(p), 5),
+                   p <= m.cores ? "measured preset (pmbw digitised)"
+                                : "extrapolated"});
+    }
+    bench::print_table(c, "fig" + config.figure + "c_internal_bw");
+    std::cout << '\n';
+}
+
+}  // namespace bench
+}  // namespace cake

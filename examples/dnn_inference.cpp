@@ -1,0 +1,116 @@
+// DNN inference example — the workload the paper's introduction motivates
+// ("most computations in the forward pass of a convolutional neural
+// network consist of one matrix multiplication per convolutional layer").
+//
+// Builds a small LeNet-style CNN on synthetic 28x28 images using the
+// library's conv2d module (im2col + CAKE GEMM, stride/padding capable)
+// and a batched GEMM for the fully connected layer. Cross-checks the
+// first image's first conv layer against the direct-convolution oracle.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "conv/conv2d.hpp"
+#include "core/cake_gemm.hpp"
+
+namespace {
+
+using namespace cake;
+
+void relu(float* data, index_t n)
+{
+    for (index_t i = 0; i < n; ++i) data[i] = std::max(data[i], 0.0f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    const index_t batch = argc > 1 ? std::atoll(argv[1]) : 32;
+    Rng rng(7);
+    ThreadPool pool(host_machine().cores);
+
+    // LeNet-ish: conv 1->8 (5x5), conv 8->16 (5x5, pad 1, stride 2),
+    // FC (16*11*11) -> 10.
+    conv::Conv2dParams conv1;
+    conv1.in_channels = 1;
+    conv1.out_channels = 8;
+    conv1.kernel_h = conv1.kernel_w = 5;
+
+    conv::Conv2dParams conv2;
+    conv2.in_channels = 8;
+    conv2.out_channels = 16;
+    conv2.kernel_h = conv2.kernel_w = 5;
+    conv2.stride_h = conv2.stride_w = 2;
+    conv2.pad_h = conv2.pad_w = 1;
+
+    const index_t h1 = conv::conv_out_dim(28, 5, 1, 0);  // 24
+    const index_t h2 = conv::conv_out_dim(h1, 5, 2, 1);  // 11
+    const index_t fc_in = conv2.out_channels * h2 * h2;
+
+    Matrix w1(conv1.out_channels, conv1.patch_size());
+    Matrix w2(conv2.out_channels, conv2.patch_size());
+    Matrix fc(fc_in, 10);
+    w1.fill_random(rng, -0.2f, 0.2f);
+    w2.fill_random(rng, -0.1f, 0.1f);
+    fc.fill_random(rng, -0.05f, 0.05f);
+
+    std::vector<float> images(static_cast<std::size_t>(batch * 28 * 28));
+    for (auto& v : images) v = rng.next_float(0.0f, 1.0f);
+
+    Timer timer;
+    std::vector<float> act1(
+        static_cast<std::size_t>(batch * conv1.out_channels * h1 * h1));
+    std::vector<float> act2(
+        static_cast<std::size_t>(batch * conv2.out_channels * h2 * h2));
+    Matrix logits(batch, 10);
+
+    // Convolution layers (im2col + CAKE GEMM inside the module).
+    conv::conv2d_forward(images.data(), batch, 28, 28, w1.data(), conv1,
+                         act1.data(), pool);
+    relu(act1.data(), static_cast<index_t>(act1.size()));
+    conv::conv2d_forward(act1.data(), batch, h1, h1, w2.data(), conv2,
+                         act2.data(), pool);
+    relu(act2.data(), static_cast<index_t>(act2.size()));
+
+    // Fully connected head: one GEMM over the whole batch (rows = images).
+    CakeGemm gemm(pool);
+    gemm.multiply(act2.data(), fc_in, fc.data(), 10, logits.data(), 10,
+                  batch, 10, fc_in);
+
+    const double seconds = timer.seconds();
+    const double conv_flops = 2.0 * batch
+        * (static_cast<double>(h1) * h1 * conv1.out_channels
+               * conv1.patch_size()
+           + static_cast<double>(h2) * h2 * conv2.out_channels
+               * conv2.patch_size());
+    const double fc_flops = 2.0 * batch * fc_in * 10;
+    std::cout << "CNN forward pass, batch " << batch << ": "
+              << seconds * 1e3 << " ms  ("
+              << (conv_flops + fc_flops) / seconds / 1e9
+              << " GFLOP/s via cake_sgemm)\n"
+              << "  logits[0] = ";
+    for (index_t j = 0; j < 10; ++j) std::cout << logits.at(0, j) << ' ';
+    std::cout << "\n";
+
+    // Cross-check image 0's first conv layer against direct convolution.
+    std::vector<float> direct(
+        static_cast<std::size_t>(conv1.out_channels * h1 * h1));
+    conv::conv2d_naive(images.data(), 28, 28, w1.data(), conv1,
+                       direct.data());
+    // act1 was ReLU'd; rerun layer 1 for image 0 to compare raw values.
+    std::vector<float> raw(direct.size());
+    conv::conv2d_forward(images.data(), 1, 28, 28, w1.data(), conv1,
+                         raw.data(), pool);
+    double err = 0;
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        err = std::max(err,
+                       std::abs(static_cast<double>(raw[i]) - direct[i]));
+    std::cout << "  conv-vs-direct check: max |err| = " << err
+              << (err < 1e-4 ? "  (OK)" : "  (FAIL)") << "\n";
+    return err < 1e-4 ? 0 : 1;
+}

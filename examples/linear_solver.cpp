@@ -1,0 +1,75 @@
+// SPD linear solver example: normal-equations least squares via blocked
+// Cholesky, with every BLAS3 operation (Gram matrix, trailing updates)
+// routed through CAKE GEMM/SYRK — scientific computing on the library.
+//
+//   $ ./examples/linear_solver [rows] [cols] [nrhs]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/blas_like.hpp"
+#include "core/cake_gemm.hpp"
+#include "linalg/cholesky.hpp"
+
+int main(int argc, char** argv)
+{
+    using namespace cake;
+    const index_t rows = argc > 1 ? std::atoll(argv[1]) : 2000;
+    const index_t cols = argc > 2 ? std::atoll(argv[2]) : 400;
+    const index_t nrhs = argc > 3 ? std::atoll(argv[3]) : 8;
+
+    Rng rng(77);
+    ThreadPool pool(host_machine().cores);
+
+    // Over-determined system X * w = y with known w.
+    Matrix x(rows, cols);
+    x.fill_random(rng, -1.0f, 1.0f);
+    Matrix w_true(cols, nrhs);
+    w_true.fill_random(rng, -1.0f, 1.0f);
+    Matrix y(rows, nrhs);
+    {
+        CakeGemm gemm(pool);
+        gemm.multiply(x.data(), cols, w_true.data(), nrhs, y.data(), nrhs,
+                      rows, nrhs, cols);
+    }
+
+    Timer timer;
+    // Normal equations: (X^T X + lambda I) w = X^T y.
+    Matrix gram(cols, cols);
+    cake_syrk_t<float>(pool, x.data(), cols, gram.data(), cols, cols, rows);
+    for (index_t i = 0; i < cols; ++i) gram.at(i, i) += 1e-3f;
+
+    Matrix rhs(cols, nrhs);
+    {
+        CakeOptions ta;
+        ta.op_a = Op::kTranspose;
+        CakeGemm gemm(pool, ta);
+        gemm.multiply(x.data(), cols, y.data(), nrhs, rhs.data(), nrhs,
+                      cols, nrhs, rows);
+    }
+
+    const Matrix w = linalg::solve_spd(gram, rhs, pool);
+    const double seconds = timer.seconds();
+
+    const double flops = static_cast<double>(rows) * cols * cols  // syrk
+        + 2.0 * rows * cols * nrhs                                // rhs
+        + static_cast<double>(cols) * cols * cols / 3.0;          // chol
+    double worst = 0;
+    for (index_t i = 0; i < cols; ++i)
+        for (index_t j = 0; j < nrhs; ++j)
+            worst = std::max(worst,
+                             std::abs(static_cast<double>(w.at(i, j))
+                                      - w_true.at(i, j)));
+
+    std::cout << "Least squares via normal equations + blocked Cholesky\n"
+              << "  system          : " << rows << " x " << cols << ", "
+              << nrhs << " right-hand sides\n"
+              << "  time            : " << seconds * 1e3 << " ms ("
+              << flops / seconds / 1e9 << " GFLOP/s through CAKE)\n"
+              << "  max |w - w_true|: " << worst
+              << (worst < 5e-2 ? "  (OK)" : "  (FAIL)") << "\n";
+    return worst < 5e-2 ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+// Multi-source PageRank via dense power iteration — a scientific-computing
+// use of the GEMM API: R <- d * P^T R + (1-d)/n * S for a batch of
+// personalization vectors, where the batched iteration is one GEMM per
+// step. Demonstrates accumulate mode (C += A*B) and convergence checking.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/cake_gemm.hpp"
+
+int main(int argc, char** argv)
+{
+    using namespace cake;
+    const index_t n = argc > 1 ? std::atoll(argv[1]) : 512;   // nodes
+    const index_t sources = argc > 2 ? std::atoll(argv[2]) : 64;
+    const float damping = 0.85f;
+
+    // Random directed graph: column-stochastic transition matrix P^T
+    // (row r, col c) = probability of moving *to* r *from* c.
+    Rng rng(11);
+    Matrix pt(n, n);
+    {
+        // Start from random adjacency with ~8 out-edges per node.
+        Matrix adj(n, n);
+        for (index_t c = 0; c < n; ++c) {
+            for (int e = 0; e < 8; ++e) {
+                adj.at(static_cast<index_t>(rng.next_below(
+                           static_cast<std::uint64_t>(n))),
+                       c) = 1.0f;
+            }
+        }
+        for (index_t c = 0; c < n; ++c) {
+            float deg = 0;
+            for (index_t r = 0; r < n; ++r) deg += adj.at(r, c);
+            if (deg == 0) {  // dangling node: teleport uniformly
+                for (index_t r = 0; r < n; ++r)
+                    pt.at(r, c) = 1.0f / static_cast<float>(n);
+            } else {
+                for (index_t r = 0; r < n; ++r)
+                    pt.at(r, c) = damping * adj.at(r, c) / deg;
+            }
+        }
+    }
+
+    // Rank matrix: one column per personalization source.
+    Matrix ranks(n, sources);
+    ranks.fill(1.0f / static_cast<float>(n));
+    Matrix teleport(n, sources);
+    for (index_t s = 0; s < sources; ++s) {
+        // Source s teleports to node s (personalised PageRank).
+        teleport.at(s % n, s) = 1.0f - damping;
+    }
+
+    ThreadPool pool(host_machine().cores);
+    CakeGemm gemm(pool);
+
+    Timer timer;
+    int iters = 0;
+    double delta = 1.0;
+    Matrix next(n, sources);
+    while (delta > 1e-6 && iters < 100) {
+        // next = teleport; next += P^T * ranks  (accumulate-mode GEMM)
+        for (index_t i = 0; i < n * sources; ++i)
+            next.data()[i] = teleport.data()[i];
+        CakeOptions acc;
+        acc.accumulate = true;
+        CakeGemm step(pool, acc);
+        step.multiply(pt.data(), n, ranks.data(), sources, next.data(),
+                      sources, n, sources, n);
+
+        delta = max_abs_diff(next, ranks);
+        std::swap(next, ranks);
+        ++iters;
+    }
+    const double seconds = timer.seconds();
+
+    // Sanity: every column sums to ~1 (stochastic fixed point). Note the
+    // damped mass of dangling-free columns is conserved by construction.
+    double worst_sum_err = 0;
+    for (index_t s = 0; s < sources; ++s) {
+        double sum = 0;
+        for (index_t r = 0; r < n; ++r) sum += ranks.at(r, s);
+        worst_sum_err = std::max(worst_sum_err, std::abs(sum - 1.0));
+    }
+
+    std::cout << "Personalised PageRank: " << n << " nodes, " << sources
+              << " sources\n"
+              << "  converged in " << iters << " iterations ("
+              << seconds * 1e3 << " ms, "
+              << 2.0 * n * n * sources * iters / seconds / 1e9
+              << " GFLOP/s)\n"
+              << "  final delta      : " << delta << "\n"
+              << "  worst column-sum error vs 1.0: " << worst_sum_err
+              << (worst_sum_err < 1e-2 ? "  (OK)" : "  (FAIL)") << "\n";
+    return worst_sum_err < 1e-2 ? 0 : 1;
+}

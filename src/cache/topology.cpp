@@ -1,0 +1,116 @@
+#include "cache/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace cake {
+
+std::optional<CacheLevel> CacheHierarchy::level(int n) const
+{
+    for (const auto& l : levels) {
+        if (l.level == n) return l;
+    }
+    return std::nullopt;
+}
+
+const CacheLevel& CacheHierarchy::llc() const
+{
+    CAKE_CHECK(!levels.empty());
+    return levels.back();
+}
+
+std::size_t parse_cache_size(const std::string& size_str)
+{
+    if (size_str.empty()) return 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(size_str.c_str(), &end, 10);
+    if (end == size_str.c_str()) return 0;
+    std::size_t mult = 1;
+    if (*end == 'K' || *end == 'k') mult = 1024;
+    else if (*end == 'M' || *end == 'm') mult = 1024 * 1024;
+    else if (*end == 'G' || *end == 'g') mult = 1024ULL * 1024 * 1024;
+    return static_cast<std::size_t>(v) * mult;
+}
+
+CacheHierarchy default_caches()
+{
+    CacheHierarchy h;
+    h.levels = {
+        {1, 32 * 1024, 64, 8, 1},
+        {2, 1024 * 1024, 64, 16, 1},
+        {3, 8 * 1024 * 1024, 64, 16, 4},
+    };
+    return h;
+}
+
+namespace {
+
+std::string read_line(const std::filesystem::path& p)
+{
+    std::ifstream f(p);
+    std::string s;
+    if (f) std::getline(f, s);
+    return s;
+}
+
+int count_cpu_list(const std::string& list)
+{
+    // Parses "0-3,8-11" style shared_cpu_list strings.
+    int count = 0;
+    std::size_t i = 0;
+    while (i < list.size()) {
+        std::size_t end = list.find(',', i);
+        if (end == std::string::npos) end = list.size();
+        const std::string tok = list.substr(i, end - i);
+        const std::size_t dash = tok.find('-');
+        if (dash == std::string::npos) {
+            if (!tok.empty()) ++count;
+        } else {
+            const int lo = std::atoi(tok.substr(0, dash).c_str());
+            const int hi = std::atoi(tok.substr(dash + 1).c_str());
+            count += hi - lo + 1;
+        }
+        i = end + 1;
+    }
+    return count > 0 ? count : 1;
+}
+
+}  // namespace
+
+CacheHierarchy detect_host_caches()
+{
+    namespace fs = std::filesystem;
+    const fs::path base = "/sys/devices/system/cpu/cpu0/cache";
+    std::error_code ec;
+    if (!fs::exists(base, ec)) return default_caches();
+
+    CacheHierarchy h;
+    for (int idx = 0;; ++idx) {
+        const fs::path dir = base / ("index" + std::to_string(idx));
+        if (!fs::exists(dir, ec)) break;
+        const std::string type = read_line(dir / "type");
+        if (type == "Instruction") continue;  // data/unified caches only
+        CacheLevel l;
+        l.level = std::atoi(read_line(dir / "level").c_str());
+        l.size_bytes = parse_cache_size(read_line(dir / "size"));
+        const std::string line = read_line(dir / "coherency_line_size");
+        if (!line.empty()) l.line_bytes = static_cast<std::size_t>(std::atoi(line.c_str()));
+        const std::string ways = read_line(dir / "ways_of_associativity");
+        if (!ways.empty()) l.ways = std::atoi(ways.c_str());
+        l.shared_by_cores = count_cpu_list(read_line(dir / "shared_cpu_list"));
+        if (l.level > 0 && l.size_bytes > 0) h.levels.push_back(l);
+    }
+    if (h.levels.empty()) return default_caches();
+    std::sort(h.levels.begin(), h.levels.end(),
+              [](const CacheLevel& a, const CacheLevel& b) {
+                  return a.level < b.level;
+              });
+    return h;
+}
+
+}  // namespace cake

@@ -1,0 +1,43 @@
+// Cache hierarchy description and host detection.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cake {
+
+/// One level of cache as seen by a single core.
+struct CacheLevel {
+    int level = 0;                ///< 1, 2, 3
+    std::size_t size_bytes = 0;   ///< total capacity of one cache instance
+    std::size_t line_bytes = 64;  ///< coherency line size
+    int ways = 8;                 ///< associativity (0 = fully associative)
+    int shared_by_cores = 1;      ///< cores sharing one instance
+};
+
+/// Data-cache hierarchy, ordered L1 first. L3 may be absent (e.g. the ARM
+/// Cortex-A53 in the paper's Table 2).
+struct CacheHierarchy {
+    std::vector<CacheLevel> levels;
+
+    /// Level by number (1-based); nullopt if not present.
+    [[nodiscard]] std::optional<CacheLevel> level(int n) const;
+
+    /// The last-level cache: the "local memory" in the paper's terminology.
+    [[nodiscard]] const CacheLevel& llc() const;
+};
+
+/// Parse one sysfs cache directory (exposed for tests).
+/// `size_str` like "32K", "2048K", "20M"; returns bytes, 0 on parse failure.
+std::size_t parse_cache_size(const std::string& size_str);
+
+/// Detect the host's data caches from /sys/devices/system/cpu/cpu0/cache.
+/// Falls back to a conservative default hierarchy if sysfs is unavailable.
+CacheHierarchy detect_host_caches();
+
+/// The fallback hierarchy used when detection fails (32K/1M/8M, 8/16-way).
+CacheHierarchy default_caches();
+
+}  // namespace cake

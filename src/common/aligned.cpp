@@ -1,0 +1,23 @@
+#include "common/aligned.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace cake {
+
+void* aligned_malloc(std::size_t bytes, std::size_t alignment)
+{
+    if (bytes == 0) bytes = alignment;
+    // std::aligned_alloc requires size to be a multiple of alignment.
+    const std::size_t rounded = (bytes + alignment - 1) / alignment * alignment;
+    void* p = std::aligned_alloc(alignment, rounded);
+    if (p == nullptr) throw std::bad_alloc{};
+    return p;
+}
+
+void aligned_free(void* p) noexcept
+{
+    std::free(p);
+}
+
+}  // namespace cake

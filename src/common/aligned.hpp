@@ -1,0 +1,77 @@
+// RAII aligned buffers for packed panels and matrices.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace cake {
+
+/// Allocates `bytes` rounded up to a multiple of `alignment`, aligned to
+/// `alignment`. Throws std::bad_alloc on failure.
+void* aligned_malloc(std::size_t bytes, std::size_t alignment = kPanelAlignment);
+
+/// Frees memory from aligned_malloc. Null-safe.
+void aligned_free(void* p) noexcept;
+
+/// Owning, 64-byte-aligned, zero-initialisable array of trivially copyable T.
+/// Move-only; used for packed A/B/C panels where alignment matters for SIMD.
+template <typename T>
+class AlignedBuffer {
+public:
+    AlignedBuffer() = default;
+
+    explicit AlignedBuffer(std::size_t count, bool zero = false)
+        : size_(count)
+    {
+        if (count == 0) return;
+        data_ = static_cast<T*>(aligned_malloc(count * sizeof(T)));
+        if (zero) {
+            for (std::size_t i = 0; i < count; ++i) data_[i] = T{};
+        }
+    }
+
+    AlignedBuffer(const AlignedBuffer&) = delete;
+    AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+    AlignedBuffer(AlignedBuffer&& other) noexcept
+        : data_(std::exchange(other.data_, nullptr)),
+          size_(std::exchange(other.size_, 0))
+    {
+    }
+
+    AlignedBuffer& operator=(AlignedBuffer&& other) noexcept
+    {
+        if (this != &other) {
+            aligned_free(data_);
+            data_ = std::exchange(other.data_, nullptr);
+            size_ = std::exchange(other.size_, 0);
+        }
+        return *this;
+    }
+
+    ~AlignedBuffer() { aligned_free(data_); }
+
+    [[nodiscard]] T* data() noexcept { return data_; }
+    [[nodiscard]] const T* data() const noexcept { return data_; }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+    T& operator[](std::size_t i) noexcept { return data_[i]; }
+    const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+    /// Reallocate if the current capacity is smaller than `count`.
+    /// Contents are NOT preserved (panel buffers are fully rewritten).
+    void ensure(std::size_t count)
+    {
+        if (count <= size_) return;
+        *this = AlignedBuffer(count);
+    }
+
+private:
+    T* data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+}  // namespace cake

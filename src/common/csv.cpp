@@ -1,0 +1,92 @@
+#include "common/csv.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cake {
+
+std::string format_number(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::setprecision(precision) << v;
+    return os.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    CAKE_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells)
+{
+    CAKE_CHECK_MSG(cells.size() == header_.size(),
+                   "row has " << cells.size() << " cells, header has "
+                              << header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_numeric(const std::vector<double>& cells, int precision)
+{
+    std::vector<std::string> out;
+    out.reserve(cells.size());
+    for (double c : cells) out.push_back(format_number(c, precision));
+    add_row(std::move(out));
+}
+
+void Table::print(std::ostream& os) const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+               << row[c];
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        os << std::string(width[c], '-') << "  ";
+    os << '\n';
+    for (const auto& row : rows_) emit(row);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+        if (ch == '"') out += "\"\"";
+        else out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const
+{
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) os << ',';
+            os << csv_escape(row[c]);
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace cake

@@ -1,0 +1,47 @@
+// Minimal table/CSV emission so every bench can print the paper-style rows
+// and optionally persist them for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cake {
+
+/// Accumulates rows of stringified cells; renders as aligned text table or
+/// CSV. Column count is fixed by the header.
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    /// Append a row; must have exactly as many cells as the header.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: cells may be numbers; formatted with %g-style precision.
+    void add_row_numeric(const std::vector<double>& cells, int precision = 6);
+
+    [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+    [[nodiscard]] const std::vector<std::string>& header() const
+    {
+        return header_;
+    }
+    [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const
+    {
+        return rows_;
+    }
+
+    /// Human-readable aligned rendering.
+    void print(std::ostream& os) const;
+
+    /// RFC-4180-ish CSV rendering (cells containing commas/quotes are quoted).
+    void write_csv(std::ostream& os) const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double compactly (used by Table::add_row_numeric and benches).
+std::string format_number(double v, int precision = 6);
+
+}  // namespace cake

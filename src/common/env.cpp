@@ -1,0 +1,24 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace cake {
+
+std::optional<std::string> env_string(const char* name)
+{
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') return std::nullopt;
+    return std::string(v);
+}
+
+std::optional<long> env_long(const char* name)
+{
+    auto s = env_string(name);
+    if (!s) return std::nullopt;
+    char* end = nullptr;
+    const long v = std::strtol(s->c_str(), &end, 10);
+    if (end == s->c_str() || *end != '\0') return std::nullopt;
+    return v;
+}
+
+}  // namespace cake

@@ -1,0 +1,15 @@
+// Environment-variable configuration knobs (e.g. CAKE_FORCE_ISA=scalar).
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace cake {
+
+/// Value of environment variable `name`, if set and non-empty.
+std::optional<std::string> env_string(const char* name);
+
+/// Integer value of environment variable `name`; nullopt if unset/unparsable.
+std::optional<long> env_long(const char* name);
+
+}  // namespace cake

@@ -1,0 +1,50 @@
+// Error handling: invariant checks that throw, never abort, so library
+// users can recover and tests can assert on failures.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cake {
+
+/// Exception thrown on violated preconditions or invariants.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg)
+{
+    std::ostringstream os;
+    os << file << ':' << line << ": check failed: " << expr;
+    if (!msg.empty()) os << " — " << msg;
+    throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace cake
+
+/// Precondition/invariant check active in all build types.
+#define CAKE_CHECK(expr)                                                      \
+    do {                                                                      \
+        if (!(expr))                                                          \
+            ::cake::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
+                                                std::string{});              \
+    } while (false)
+
+/// Check with a streamed context message: CAKE_CHECK_MSG(x > 0, "x=" << x).
+#define CAKE_CHECK_MSG(expr, stream_expr)                                     \
+    do {                                                                      \
+        if (!(expr)) {                                                        \
+            std::ostringstream cake_check_os_;                               \
+            cake_check_os_ << stream_expr;                                   \
+            ::cake::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
+                                                cake_check_os_.str());       \
+        }                                                                     \
+    } while (false)

@@ -1,0 +1,23 @@
+#include "common/matrix.hpp"
+
+namespace cake {
+
+double gemm_tolerance(index_t k)
+{
+    // Random-walk rounding term (sqrt(k)) plus a worst-case linear term:
+    // with [-1,1) inputs, |C| itself grows like sqrt(k), so the absolute
+    // error of sequential fp32 accumulation scales closer to eps*k/2 for
+    // large k. Real bugs produce O(1)+ errors and stay detectable.
+    const double kk = static_cast<double>(std::max<index_t>(k, 1));
+    const double eps = std::numeric_limits<float>::epsilon();
+    return eps * (8.0 * std::sqrt(kk) + 0.5 * kk);
+}
+
+double dgemm_tolerance(index_t k)
+{
+    const double kk = static_cast<double>(std::max<index_t>(k, 1));
+    const double eps = std::numeric_limits<double>::epsilon();
+    return eps * (8.0 * std::sqrt(kk) + 0.5 * kk);
+}
+
+}  // namespace cake

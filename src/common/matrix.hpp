@@ -1,0 +1,158 @@
+// Row-major matrix containers and non-owning views used across the
+// library. Element type is templated (float for sgemm, double for dgemm);
+// `Matrix` remains the float alias used throughout the original API.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace cake {
+
+/// Non-owning view of a row-major matrix (possibly a sub-matrix: the leading
+/// dimension `ld` may exceed `cols`).
+template <typename T>
+struct MatrixView {
+    T* data = nullptr;
+    index_t rows = 0;
+    index_t cols = 0;
+    index_t ld = 0;  ///< leading dimension (elements between row starts)
+
+    T& at(index_t r, index_t c) const { return data[r * ld + c]; }
+
+    /// Sub-view of `r x c` elements starting at (r0, c0). Bounds-checked.
+    MatrixView sub(index_t r0, index_t c0, index_t r, index_t c) const
+    {
+        CAKE_CHECK(r0 >= 0 && c0 >= 0 && r >= 0 && c >= 0);
+        CAKE_CHECK(r0 + r <= rows && c0 + c <= cols);
+        return {data + r0 * ld + c0, r, c, ld};
+    }
+};
+
+using ConstMatrixViewF = MatrixView<const float>;
+using MatrixViewF = MatrixView<float>;
+
+/// Owning, aligned, row-major matrix of float or double.
+template <typename T>
+class MatrixT {
+public:
+    using value_type = T;
+
+    MatrixT() = default;
+    MatrixT(index_t rows, index_t cols, bool zero = true)
+        : rows_(rows), cols_(cols),
+          buf_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+               zero)
+    {
+        CAKE_CHECK(rows >= 0 && cols >= 0);
+    }
+
+    [[nodiscard]] index_t rows() const { return rows_; }
+    [[nodiscard]] index_t cols() const { return cols_; }
+    [[nodiscard]] index_t size() const { return rows_ * cols_; }
+
+    [[nodiscard]] T* data() { return buf_.data(); }
+    [[nodiscard]] const T* data() const { return buf_.data(); }
+
+    T& at(index_t r, index_t c) { return buf_[idx(r, c)]; }
+    [[nodiscard]] T at(index_t r, index_t c) const { return buf_[idx(r, c)]; }
+
+    [[nodiscard]] MatrixView<T> view()
+    {
+        return {buf_.data(), rows_, cols_, cols_};
+    }
+    [[nodiscard]] MatrixView<const T> view() const
+    {
+        return {buf_.data(), rows_, cols_, cols_};
+    }
+
+    /// Fill with uniform values in [lo, hi) from a deterministic generator.
+    void fill_random(Rng& rng, T lo = T(-1), T hi = T(1))
+    {
+        T* p = buf_.data();
+        const std::size_t n = buf_.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            p[i] = lo + static_cast<T>(rng.next_double()) * (hi - lo);
+        }
+    }
+
+    /// Fill every element with `v`.
+    void fill(T v)
+    {
+        std::fill(buf_.data(), buf_.data() + buf_.size(), v);
+    }
+
+    /// Fill so at(r,c) = f(r,c); handy for structured test matrices.
+    template <typename F>
+    void fill_with(F&& f)
+    {
+        for (index_t r = 0; r < rows_; ++r)
+            for (index_t c = 0; c < cols_; ++c) at(r, c) = f(r, c);
+    }
+
+private:
+    [[nodiscard]] std::size_t idx(index_t r, index_t c) const
+    {
+        return static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_)
+            + static_cast<std::size_t>(c);
+    }
+
+    index_t rows_ = 0;
+    index_t cols_ = 0;
+    AlignedBuffer<T> buf_;
+};
+
+using Matrix = MatrixT<float>;
+using MatrixD = MatrixT<double>;
+
+/// Maximum absolute elementwise difference between two equal-shaped matrices.
+template <typename T>
+double max_abs_diff(const MatrixT<T>& a, const MatrixT<T>& b)
+{
+    CAKE_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+    double worst = 0.0;
+    const T* pa = a.data();
+    const T* pb = b.data();
+    const index_t n = a.size();
+    for (index_t i = 0; i < n; ++i) {
+        worst = std::max(
+            worst, std::abs(static_cast<double>(pa[i])
+                            - static_cast<double>(pb[i])));
+    }
+    return worst;
+}
+
+/// Maximum relative difference, with absolute floor `abs_floor` to avoid
+/// division blow-up near zero: |a-b| / max(|a|,|b|,abs_floor).
+template <typename T>
+double max_rel_diff(const MatrixT<T>& a, const MatrixT<T>& b,
+                    double abs_floor = 1.0)
+{
+    CAKE_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+    double worst = 0.0;
+    const T* pa = a.data();
+    const T* pb = b.data();
+    const index_t n = a.size();
+    for (index_t i = 0; i < n; ++i) {
+        const double va = pa[i];
+        const double vb = pb[i];
+        const double scale = std::max({std::abs(va), std::abs(vb), abs_floor});
+        worst = std::max(worst, std::abs(va - vb) / scale);
+    }
+    return worst;
+}
+
+/// Tolerance for comparing a float32 GEMM against a float64 oracle across a
+/// reduction of length k (random [-1,1) inputs).
+double gemm_tolerance(index_t k);
+
+/// Same for a float64 GEMM against a long-double-accumulation oracle.
+double dgemm_tolerance(index_t k);
+
+}  // namespace cake

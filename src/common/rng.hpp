@@ -1,0 +1,37 @@
+// Deterministic pseudo-random number generation (xoshiro256++).
+// Tests and benches need reproducible matrices independent of libstdc++'s
+// distribution implementations, so we ship our own generator and uniform
+// transforms.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace cake {
+
+/// xoshiro256++ by Blackman & Vigna: fast, high-quality, 256-bit state.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+    /// Re-initialise the state from a single seed via splitmix64.
+    void reseed(std::uint64_t seed);
+
+    /// Next raw 64-bit value.
+    std::uint64_t next_u64();
+
+    /// Uniform in [0, 1).
+    double next_double();
+
+    /// Uniform float in [lo, hi).
+    float next_float(float lo, float hi);
+
+    /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+    std::uint64_t next_below(std::uint64_t bound);
+
+private:
+    std::uint64_t s_[4] = {};
+};
+
+}  // namespace cake

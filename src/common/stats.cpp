@@ -1,0 +1,68 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cake {
+
+double mean(const std::vector<double>& xs)
+{
+    if (xs.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : xs) s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double stdev(const std::vector<double>& xs)
+{
+    if (xs.size() < 2) return 0.0;
+    const double m = mean(xs);
+    double ss = 0.0;
+    for (double x : xs) ss += (x - m) * (x - m);
+    return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double median(std::vector<double> xs)
+{
+    if (xs.empty()) return 0.0;
+    const std::size_t mid = xs.size() / 2;
+    std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                     xs.end());
+    double hi = xs[mid];
+    if (xs.size() % 2 == 1) return hi;
+    const double lo =
+        *std::max_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+    return 0.5 * (lo + hi);
+}
+
+LineFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys)
+{
+    CAKE_CHECK(xs.size() == ys.size());
+    CAKE_CHECK(xs.size() >= 2);
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxx = 0.0;
+    double sxy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+        sxy += (xs[i] - mx) * (ys[i] - my);
+    }
+    CAKE_CHECK_MSG(sxx > 0.0, "all x values identical");
+    LineFit f;
+    f.slope = sxy / sxx;
+    f.intercept = my - f.slope * mx;
+    return f;
+}
+
+LineFit line_through(double x0, double y0, double x1, double y1)
+{
+    CAKE_CHECK_MSG(x0 != x1, "degenerate line: x0 == x1");
+    LineFit f;
+    f.slope = (y1 - y0) / (x1 - x0);
+    f.intercept = y0 - f.slope * x0;
+    return f;
+}
+
+}  // namespace cake

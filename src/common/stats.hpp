@@ -1,0 +1,37 @@
+// Small statistics helpers for benches, the analytical model and the
+// extrapolation engine (paper Figs 10-12 dotted lines).
+#pragma once
+
+#include <vector>
+
+namespace cake {
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stdev(const std::vector<double>& xs);
+
+/// Median via nth_element copy; 0 for an empty sample.
+double median(std::vector<double> xs);
+
+/// Result of a least-squares straight-line fit y = slope*x + intercept.
+struct LineFit {
+    double slope = 0.0;
+    double intercept = 0.0;
+
+    [[nodiscard]] double operator()(double x) const
+    {
+        return slope * x + intercept;
+    }
+};
+
+/// Least-squares fit through (x, y) pairs. Requires xs.size() == ys.size()
+/// and at least two distinct x values.
+LineFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Line through two points (x0,y0), (x1,y1); used by the paper-style
+/// extrapolation ("the last two data points initialise the line").
+LineFit line_through(double x0, double y0, double x1, double y1);
+
+}  // namespace cake

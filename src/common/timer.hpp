@@ -1,0 +1,28 @@
+// Monotonic wall-clock timing for benches and examples.
+#pragma once
+
+#include <chrono>
+
+namespace cake {
+
+/// Simple steady-clock stopwatch. Construction starts it.
+class Timer {
+public:
+    Timer() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    /// Elapsed seconds since construction or last reset().
+    [[nodiscard]] double seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace cake

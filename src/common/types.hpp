@@ -1,0 +1,41 @@
+// Basic shared types for the CAKE library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cake {
+
+/// Index type used for matrix dimensions and loop counters.
+/// Signed so that reverse loops and differences are well behaved.
+using index_t = std::int64_t;
+
+/// Cache-line size assumed throughout (bytes). x86-64 and most ARM cores
+/// use 64-byte lines; the memory simulator is configurable independently.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Alignment for all packed panels and matrix buffers (bytes).
+/// 64 satisfies AVX-512 load/store alignment and cache-line alignment.
+inline constexpr std::size_t kPanelAlignment = 64;
+
+/// Dimensions of a matrix-multiplication problem C(MxN) = A(MxK) * B(KxN).
+struct GemmShape {
+    index_t m = 0;
+    index_t n = 0;
+    index_t k = 0;
+
+    /// Number of multiply-accumulate operations in the computation space
+    /// (the paper's M*N*K 3-D MAC volume, Fig. 2b).
+    [[nodiscard]] double mac_volume() const
+    {
+        return static_cast<double>(m) * static_cast<double>(n)
+            * static_cast<double>(k);
+    }
+
+    /// FLOP count using the conventional 2*M*N*K (one mul + one add per MAC).
+    [[nodiscard]] double flops() const { return 2.0 * mac_volume(); }
+
+    friend bool operator==(const GemmShape&, const GemmShape&) = default;
+};
+
+}  // namespace cake

@@ -1,0 +1,222 @@
+#include "conv/conv2d.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+
+namespace cake {
+namespace conv {
+
+index_t conv_out_dim(index_t input, index_t kernel, index_t stride,
+                     index_t pad)
+{
+    CAKE_CHECK(input >= 1 && kernel >= 1 && stride >= 1 && pad >= 0);
+    const index_t padded = input + 2 * pad;
+    CAKE_CHECK_MSG(padded >= kernel, "kernel larger than padded input");
+    return (padded - kernel) / stride + 1;
+}
+
+void im2col(const float* input, index_t h, index_t w,
+            const Conv2dParams& params, float* cols)
+{
+    const index_t oh = conv_out_dim(h, params.kernel_h, params.stride_h,
+                                    params.pad_h);
+    const index_t ow = conv_out_dim(w, params.kernel_w, params.stride_w,
+                                    params.pad_w);
+    const index_t patch = params.patch_size();
+
+    for (index_t oy = 0; oy < oh; ++oy) {
+        for (index_t ox = 0; ox < ow; ++ox) {
+            float* row = cols + (oy * ow + ox) * patch;
+            index_t col = 0;
+            const index_t y0 = oy * params.stride_h - params.pad_h;
+            const index_t x0 = ox * params.stride_w - params.pad_w;
+            for (index_t c = 0; c < params.in_channels; ++c) {
+                const float* plane = input + c * h * w;
+                for (index_t ky = 0; ky < params.kernel_h; ++ky) {
+                    const index_t y = y0 + ky;
+                    for (index_t kx = 0; kx < params.kernel_w; ++kx) {
+                        const index_t x = x0 + kx;
+                        row[col++] = (y >= 0 && y < h && x >= 0 && x < w)
+                            ? plane[y * w + x]
+                            : 0.0f;
+                    }
+                }
+            }
+        }
+    }
+}
+
+ConvExtent conv2d_forward(const float* input, index_t n, index_t h,
+                          index_t w, const float* weights,
+                          const Conv2dParams& params, float* output,
+                          ThreadPool& pool)
+{
+    CAKE_CHECK(n >= 0);
+    const index_t oh = conv_out_dim(h, params.kernel_h, params.stride_h,
+                                    params.pad_h);
+    const index_t ow = conv_out_dim(w, params.kernel_w, params.stride_w,
+                                    params.pad_w);
+    const index_t pixels = oh * ow;
+    const index_t patch = params.patch_size();
+    if (n == 0) return {oh, ow};
+
+    // Parallelise across images: each worker owns a single-threaded GEMM
+    // context plus im2col/staging scratch and pulls whole images — the
+    // per-image GEMMs are small, so inter-image parallelism beats
+    // intra-GEMM forking (same rationale as BatchStrategy::
+    // kParallelProblems).
+    const int width = static_cast<int>(
+        std::min<index_t>(pool.size(), n));
+    // GEMM: patches (pixels x patch) * W^T (patch x out_c). Weights are
+    // stored out_c x patch, so op(B) = transpose handles the layout.
+    CakeOptions options;
+    options.op_b = Op::kTranspose;
+    options.p = 1;
+
+    std::atomic<index_t> next{0};
+    pool.run(width, [&](int) {
+        CakeGemm gemm(pool, options);
+        AlignedBuffer<float> cols(static_cast<std::size_t>(pixels * patch));
+        // GEMM result is pixel-major (pixels x out_c); convolution output
+        // is channel-major — stage and transpose per image.
+        AlignedBuffer<float> staged(
+            static_cast<std::size_t>(pixels * params.out_channels));
+        for (;;) {
+            const index_t img = next.fetch_add(1);
+            if (img >= n) break;
+            const float* src = input + img * params.in_channels * h * w;
+            im2col(src, h, w, params, cols.data());
+            gemm.multiply(cols.data(), patch, weights, patch, staged.data(),
+                          params.out_channels, pixels, params.out_channels,
+                          patch);
+            float* dst = output + img * params.out_channels * pixels;
+            for (index_t pix = 0; pix < pixels; ++pix) {
+                const float* row = staged.data() + pix * params.out_channels;
+                for (index_t oc = 0; oc < params.out_channels; ++oc)
+                    dst[oc * pixels + pix] = row[oc];
+            }
+        }
+    });
+    return {oh, ow};
+}
+
+QuantizedConvWeights::QuantizedConvWeights(const float* weights,
+                                           const Conv2dParams& params)
+    : params_(params),
+      wq_(static_cast<std::size_t>(params.patch_size()
+                                   * params.out_channels)),
+      row_sums_(static_cast<std::size_t>(params.out_channels))
+{
+    const index_t patch = params.patch_size();
+    const index_t oc = params.out_channels;
+    // Quantize in the stored (oc x patch) layout, then transpose into the
+    // (patch x oc) B-operand layout the int8 GEMM consumes.
+    AlignedBuffer<std::int8_t> staged(
+        static_cast<std::size_t>(oc * patch));
+    wq_params_ = quantize_signed(weights, oc * patch, staged.data());
+    for (index_t f = 0; f < oc; ++f) {
+        std::int64_t sum = 0;
+        for (index_t t = 0; t < patch; ++t) {
+            const std::int8_t q =
+                staged[static_cast<std::size_t>(f * patch + t)];
+            wq_[static_cast<std::size_t>(t * oc + f)] = q;
+            sum += q;
+        }
+        row_sums_[static_cast<std::size_t>(f)] = sum;
+    }
+}
+
+ConvExtent conv2d_forward_int8(const float* input, index_t n, index_t h,
+                               index_t w, const QuantizedConvWeights& qw,
+                               float* output, ThreadPool& pool)
+{
+    const Conv2dParams& params = qw.params_;
+    const index_t oh = conv_out_dim(h, params.kernel_h, params.stride_h,
+                                    params.pad_h);
+    const index_t ow = conv_out_dim(w, params.kernel_w, params.stride_w,
+                                    params.pad_w);
+    const index_t pixels = oh * ow;
+    const index_t patch = params.patch_size();
+    const index_t oc = params.out_channels;
+    if (n == 0) return {oh, ow};
+
+    const int width =
+        static_cast<int>(std::min<index_t>(pool.size(), n));
+    CakeOptions options;
+    options.p = 1;
+
+    std::atomic<index_t> next{0};
+    pool.run(width, [&](int) {
+        CakeGemmInt8 gemm(pool, options);
+        AlignedBuffer<float> cols(static_cast<std::size_t>(pixels * patch));
+        AlignedBuffer<std::uint8_t> cols_q(cols.size());
+        AlignedBuffer<std::int32_t> acc(
+            static_cast<std::size_t>(pixels * oc));
+        AlignedBuffer<float> staged(static_cast<std::size_t>(pixels * oc));
+        for (;;) {
+            const index_t img = next.fetch_add(1);
+            if (img >= n) break;
+            const float* src = input + img * params.in_channels * h * w;
+            im2col(src, h, w, params, cols.data());
+            const QuantParams in_params =
+                quantize_unsigned(cols.data(), pixels * patch, cols_q.data());
+            gemm.multiply(cols_q.data(), patch, qw.wq_.data(), oc,
+                          acc.data(), oc, pixels, oc, patch);
+            dequantize_gemm(acc.data(), oc, pixels, oc, in_params,
+                            qw.wq_params_, qw.row_sums_.data(),
+                            staged.data(), oc);
+            float* dst = output + img * oc * pixels;
+            for (index_t pix = 0; pix < pixels; ++pix) {
+                const float* row = staged.data() + pix * oc;
+                for (index_t f = 0; f < oc; ++f)
+                    dst[f * pixels + pix] = row[f];
+            }
+        }
+    });
+    return {oh, ow};
+}
+
+void conv2d_naive(const float* input, index_t h, index_t w,
+                  const float* weights, const Conv2dParams& params,
+                  float* output)
+{
+    const index_t oh = conv_out_dim(h, params.kernel_h, params.stride_h,
+                                    params.pad_h);
+    const index_t ow = conv_out_dim(w, params.kernel_w, params.stride_w,
+                                    params.pad_w);
+    const index_t patch = params.patch_size();
+
+    for (index_t oc = 0; oc < params.out_channels; ++oc) {
+        const float* filter = weights + oc * patch;
+        for (index_t oy = 0; oy < oh; ++oy) {
+            for (index_t ox = 0; ox < ow; ++ox) {
+                const index_t y0 = oy * params.stride_h - params.pad_h;
+                const index_t x0 = ox * params.stride_w - params.pad_w;
+                double acc = 0;
+                index_t tap = 0;
+                for (index_t c = 0; c < params.in_channels; ++c) {
+                    const float* plane = input + c * h * w;
+                    for (index_t ky = 0; ky < params.kernel_h; ++ky) {
+                        const index_t y = y0 + ky;
+                        for (index_t kx = 0; kx < params.kernel_w; ++kx) {
+                            const index_t x = x0 + kx;
+                            if (y >= 0 && y < h && x >= 0 && x < w) {
+                                acc += static_cast<double>(filter[tap])
+                                    * plane[y * w + x];
+                            }
+                            ++tap;
+                        }
+                    }
+                }
+                output[oc * oh * ow + oy * ow + ox] =
+                    static_cast<float>(acc);
+            }
+        }
+    }
+}
+
+}  // namespace conv
+}  // namespace cake

@@ -1,0 +1,96 @@
+// 2-D convolution lowered to CAKE GEMM — the workload the paper's
+// introduction motivates ("most computations in the forward pass of a
+// convolutional neural network consist of one matrix multiplication per
+// convolutional layer"). NCHW tensors, im2col lowering, stride and
+// zero-padding support, plus a direct-convolution oracle for testing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+#include "core/cake_gemm.hpp"
+#include "core/cake_gemm_int8.hpp"
+#include "core/quant.hpp"
+
+namespace cake {
+namespace conv {
+
+/// Convolution geometry. Dilation is fixed at 1.
+struct Conv2dParams {
+    index_t in_channels = 1;
+    index_t out_channels = 1;
+    index_t kernel_h = 3;
+    index_t kernel_w = 3;
+    index_t stride_h = 1;
+    index_t stride_w = 1;
+    index_t pad_h = 0;
+    index_t pad_w = 0;
+
+    /// Weight-matrix columns: one patch per row of the im2col matrix.
+    [[nodiscard]] index_t patch_size() const
+    {
+        return in_channels * kernel_h * kernel_w;
+    }
+};
+
+/// Output spatial extent for one dimension.
+index_t conv_out_dim(index_t input, index_t kernel, index_t stride,
+                     index_t pad);
+
+/// im2col: lower one (C, H, W) feature map to an (out_h*out_w) x
+/// (C*kh*kw) row-major patch matrix. Out-of-bounds taps read zero.
+void im2col(const float* input, index_t h, index_t w,
+            const Conv2dParams& params, float* cols);
+
+/// Forward convolution for a batch of `n` NCHW images via im2col + GEMM.
+/// `input`  : n x in_channels x h x w (contiguous)
+/// `weights`: out_channels x (in_channels*kh*kw), row-major — i.e. one
+///            filter per row; the GEMM uses op(B) = W^T via transpose
+///            support, so no weight reshuffle is needed.
+/// `output` : n x out_channels x out_h x out_w (contiguous), overwritten.
+/// Returns the output spatial extent (out_h, out_w).
+struct ConvExtent {
+    index_t h = 0;
+    index_t w = 0;
+};
+ConvExtent conv2d_forward(const float* input, index_t n, index_t h,
+                          index_t w, const float* weights,
+                          const Conv2dParams& params, float* output,
+                          ThreadPool& pool);
+
+/// Direct (no lowering) reference convolution for one image; oracle.
+void conv2d_naive(const float* input, index_t h, index_t w,
+                  const float* weights, const Conv2dParams& params,
+                  float* output);
+
+/// Quantized convolution weights: the filter matrix pre-quantized to s8
+/// (symmetric) with per-layer scale and column sums for the zero-point
+/// correction. Build once, reuse across every forward call.
+class QuantizedConvWeights {
+public:
+    QuantizedConvWeights(const float* weights, const Conv2dParams& params);
+
+    [[nodiscard]] const Conv2dParams& params() const { return params_; }
+
+private:
+    friend ConvExtent conv2d_forward_int8(const float*, index_t, index_t,
+                                          index_t,
+                                          const QuantizedConvWeights&,
+                                          float*, ThreadPool&);
+    Conv2dParams params_;
+    AlignedBuffer<std::int8_t> wq_;        // out_c x patch, row-major
+    QuantParams wq_params_;
+    std::vector<std::int64_t> row_sums_;   // per-filter sums (for za corr.)
+};
+
+/// Quantized forward convolution: im2col patches are quantized to u8 per
+/// image, multiplied on the int8 CAKE path, and dequantized with the
+/// zero-point correction. Same tensor layout as conv2d_forward.
+ConvExtent conv2d_forward_int8(const float* input, index_t n, index_t h,
+                               index_t w, const QuantizedConvWeights& qw,
+                               float* output, ThreadPool& pool);
+
+}  // namespace conv
+}  // namespace cake

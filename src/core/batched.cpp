@@ -1,0 +1,108 @@
+#include "core/batched.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace cake {
+namespace {
+
+template <typename T>
+BatchStrategy resolve_strategy(const std::vector<GemmBatchItem<T>>& items,
+                               BatchStrategy requested, int pool_size)
+{
+    if (requested != BatchStrategy::kAuto) return requested;
+    if (items.size() < 2 || pool_size < 2) return BatchStrategy::kSequential;
+    double max_flops = 0;
+    for (const auto& item : items) {
+        max_flops = std::max(
+            max_flops, 2.0 * static_cast<double>(item.m) * item.n * item.k);
+    }
+    return max_flops < kBatchSmallProblemFlops
+        ? BatchStrategy::kParallelProblems
+        : BatchStrategy::kSequential;
+}
+
+}  // namespace
+
+template <typename T>
+void cake_gemm_batched(ThreadPool& pool,
+                       const std::vector<GemmBatchItem<T>>& items,
+                       const CakeOptions& options, BatchStrategy strategy)
+{
+    if (items.empty()) return;
+    for (const auto& item : items) {
+        CAKE_CHECK_MSG(item.m >= 0 && item.n >= 0 && item.k >= 0,
+                       "negative batch item dimension");
+    }
+
+    strategy = resolve_strategy(items, strategy, pool.size());
+
+    if (strategy == BatchStrategy::kSequential) {
+        CakeGemmT<T> gemm(pool, options);
+        for (const auto& item : items) {
+            gemm.multiply(item.a, item.lda, item.b, item.ldb, item.c,
+                          item.ldc, item.m, item.n, item.k);
+        }
+        return;
+    }
+
+    // kParallelProblems: workers pull whole problems from a shared index.
+    // Each worker owns a single-threaded context (p = 1), whose internal
+    // pool calls all take the inline width-1 fast path — safe to invoke
+    // from inside a pool job.
+    const int width = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(pool.size()),
+                              items.size()));
+    std::atomic<std::size_t> next{0};
+    CakeOptions worker_options = options;
+    worker_options.p = 1;
+    pool.run(width, [&](int) {
+        CakeGemmT<T> gemm(pool, worker_options);
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= items.size()) break;
+            const auto& item = items[i];
+            gemm.multiply(item.a, item.lda, item.b, item.ldb, item.c,
+                          item.ldc, item.m, item.n, item.k);
+        }
+    });
+}
+
+template <typename T>
+void cake_gemm_strided_batched(ThreadPool& pool, const T* a,
+                               index_t stride_a, const T* b, index_t stride_b,
+                               T* c, index_t stride_c, index_t m, index_t n,
+                               index_t k, index_t count,
+                               const CakeOptions& options,
+                               BatchStrategy strategy)
+{
+    CAKE_CHECK(count >= 0);
+    std::vector<GemmBatchItem<T>> items;
+    items.reserve(static_cast<std::size_t>(count));
+    const index_t lda = options.op_a == Op::kTranspose ? m : k;
+    const index_t ldb = options.op_b == Op::kTranspose ? k : n;
+    for (index_t i = 0; i < count; ++i) {
+        items.push_back({a + i * stride_a, lda, b + i * stride_b, ldb,
+                         c + i * stride_c, n, m, n, k});
+    }
+    cake_gemm_batched(pool, items, options, strategy);
+}
+
+template void cake_gemm_batched<float>(
+    ThreadPool&, const std::vector<GemmBatchItem<float>>&,
+    const CakeOptions&, BatchStrategy);
+template void cake_gemm_batched<double>(
+    ThreadPool&, const std::vector<GemmBatchItem<double>>&,
+    const CakeOptions&, BatchStrategy);
+template void cake_gemm_strided_batched<float>(
+    ThreadPool&, const float*, index_t, const float*, index_t, float*,
+    index_t, index_t, index_t, index_t, index_t, const CakeOptions&,
+    BatchStrategy);
+template void cake_gemm_strided_batched<double>(
+    ThreadPool&, const double*, index_t, const double*, index_t, double*,
+    index_t, index_t, index_t, index_t, index_t, const CakeOptions&,
+    BatchStrategy);
+
+}  // namespace cake

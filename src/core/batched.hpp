@@ -1,0 +1,79 @@
+// Batched GEMM: many independent multiplies through one call — the DNN
+// inference pattern (per-image im2col GEMMs, per-head attention GEMMs).
+//
+// Two execution strategies, chosen per batch:
+//   * kSequential       — each problem runs with all p workers (right for
+//                         few large problems);
+//   * kParallelProblems — workers pull whole problems from a shared queue
+//                         and solve them single-threaded (right for many
+//                         small problems, where per-block fork/join would
+//                         dominate);
+//   * kAuto             — picks by problem FLOPs.
+#pragma once
+
+#include <vector>
+
+#include "core/cake_gemm.hpp"
+
+namespace cake {
+
+/// One problem in a batch. All pointers must stay valid for the call.
+template <typename T>
+struct GemmBatchItem {
+    const T* a = nullptr;
+    index_t lda = 0;
+    const T* b = nullptr;
+    index_t ldb = 0;
+    T* c = nullptr;
+    index_t ldc = 0;
+    index_t m = 0;
+    index_t n = 0;
+    index_t k = 0;
+};
+
+enum class BatchStrategy {
+    kAuto,
+    kSequential,
+    kParallelProblems,
+};
+
+/// FLOP threshold below which kAuto parallelises across problems instead
+/// of within them (roughly: blocks too few to feed every core).
+inline constexpr double kBatchSmallProblemFlops = 2.0 * 256 * 256 * 256;
+
+/// Execute every item; C (+)= op(A)*op(B) per CakeOptions semantics.
+/// Items may differ in shape. Output regions must not alias.
+template <typename T>
+void cake_gemm_batched(ThreadPool& pool,
+                       const std::vector<GemmBatchItem<T>>& items,
+                       const CakeOptions& options = {},
+                       BatchStrategy strategy = BatchStrategy::kAuto);
+
+/// Strided batch: `count` problems of identical shape at fixed pointer
+/// strides (the cuBLAS gemmStridedBatched convention). Leading dimensions
+/// default to the natural packed values (lda = k, ldb = n, ldc = n, or
+/// transposed equivalents per options).
+template <typename T>
+void cake_gemm_strided_batched(ThreadPool& pool, const T* a,
+                               index_t stride_a, const T* b, index_t stride_b,
+                               T* c, index_t stride_c, index_t m, index_t n,
+                               index_t k, index_t count,
+                               const CakeOptions& options = {},
+                               BatchStrategy strategy = BatchStrategy::kAuto);
+
+extern template void cake_gemm_batched<float>(
+    ThreadPool&, const std::vector<GemmBatchItem<float>>&,
+    const CakeOptions&, BatchStrategy);
+extern template void cake_gemm_batched<double>(
+    ThreadPool&, const std::vector<GemmBatchItem<double>>&,
+    const CakeOptions&, BatchStrategy);
+extern template void cake_gemm_strided_batched<float>(
+    ThreadPool&, const float*, index_t, const float*, index_t, float*,
+    index_t, index_t, index_t, index_t, index_t, const CakeOptions&,
+    BatchStrategy);
+extern template void cake_gemm_strided_batched<double>(
+    ThreadPool&, const double*, index_t, const double*, index_t, double*,
+    index_t, index_t, index_t, index_t, index_t, const CakeOptions&,
+    BatchStrategy);
+
+}  // namespace cake

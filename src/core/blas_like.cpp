@@ -1,0 +1,58 @@
+#include "core/blas_like.hpp"
+
+namespace cake {
+
+template <typename T>
+void cake_syrk(ThreadPool& pool, const T* a, index_t lda, T* c, index_t ldc,
+               index_t n, index_t k, T alpha, T beta,
+               const CakeOptions& base_options)
+{
+    // C = alpha * A * A^T + beta * C: B operand is A read transposed.
+    CakeOptions options = base_options;
+    options.op_a = Op::kNone;
+    options.op_b = Op::kTranspose;
+    CakeGemmT<T> gemm(pool, options);
+    gemm.multiply_scaled(a, lda, a, lda, c, ldc, n, n, k, alpha, beta);
+}
+
+template <typename T>
+void cake_syrk_t(ThreadPool& pool, const T* a, index_t lda, T* c,
+                 index_t ldc, index_t n, index_t k, T alpha, T beta,
+                 const CakeOptions& base_options)
+{
+    // C = alpha * A^T * A + beta * C: A operand is read transposed.
+    CakeOptions options = base_options;
+    options.op_a = Op::kTranspose;
+    options.op_b = Op::kNone;
+    CakeGemmT<T> gemm(pool, options);
+    gemm.multiply_scaled(a, lda, a, lda, c, ldc, n, n, k, alpha, beta);
+}
+
+template <typename T>
+void cake_gemv(ThreadPool& pool, const T* a, index_t lda, const T* x, T* y,
+               index_t m, index_t k, T alpha, T beta)
+{
+    CakeGemmT<T> gemm(pool);
+    gemm.multiply_scaled(a, lda, x, 1, y, 1, m, 1, k, alpha, beta);
+}
+
+template void cake_syrk<float>(ThreadPool&, const float*, index_t, float*,
+                               index_t, index_t, index_t, float, float,
+                               const CakeOptions&);
+template void cake_syrk<double>(ThreadPool&, const double*, index_t, double*,
+                                index_t, index_t, index_t, double, double,
+                                const CakeOptions&);
+template void cake_syrk_t<float>(ThreadPool&, const float*, index_t, float*,
+                                 index_t, index_t, index_t, float, float,
+                                 const CakeOptions&);
+template void cake_syrk_t<double>(ThreadPool&, const double*, index_t,
+                                  double*, index_t, index_t, index_t, double,
+                                  double, const CakeOptions&);
+template void cake_gemv<float>(ThreadPool&, const float*, index_t,
+                               const float*, float*, index_t, index_t, float,
+                               float);
+template void cake_gemv<double>(ThreadPool&, const double*, index_t,
+                                const double*, double*, index_t, index_t,
+                                double, double);
+
+}  // namespace cake

@@ -1,0 +1,49 @@
+// BLAS-style conveniences built on the CAKE driver: SYRK-shaped rank-k
+// updates and matrix-vector products. These are thin, well-tested adapters
+// — the heavy lifting stays in CakeGemmT.
+#pragma once
+
+#include "core/cake_gemm.hpp"
+
+namespace cake {
+
+/// C = alpha * A * A^T + beta * C, with A an n x k row-major matrix and C
+/// n x n (full storage, symmetric result). The Gram-matrix building block
+/// of least squares / covariance / kernel methods.
+template <typename T>
+void cake_syrk(ThreadPool& pool, const T* a, index_t lda, T* c, index_t ldc,
+               index_t n, index_t k, T alpha = T(1), T beta = T(0),
+               const CakeOptions& base_options = {});
+
+/// C = alpha * A^T * A + beta * C, with A a k x n row-major matrix and C
+/// n x n (the "transposed" Gram form, X^T X).
+template <typename T>
+void cake_syrk_t(ThreadPool& pool, const T* a, index_t lda, T* c,
+                 index_t ldc, index_t n, index_t k, T alpha = T(1),
+                 T beta = T(0), const CakeOptions& base_options = {});
+
+/// y = alpha * A * x + beta * y (GEMV as an n=1 GEMM).
+template <typename T>
+void cake_gemv(ThreadPool& pool, const T* a, index_t lda, const T* x, T* y,
+               index_t m, index_t k, T alpha = T(1), T beta = T(0));
+
+extern template void cake_syrk<float>(ThreadPool&, const float*, index_t,
+                                      float*, index_t, index_t, index_t,
+                                      float, float, const CakeOptions&);
+extern template void cake_syrk<double>(ThreadPool&, const double*, index_t,
+                                       double*, index_t, index_t, index_t,
+                                       double, double, const CakeOptions&);
+extern template void cake_syrk_t<float>(ThreadPool&, const float*, index_t,
+                                        float*, index_t, index_t, index_t,
+                                        float, float, const CakeOptions&);
+extern template void cake_syrk_t<double>(ThreadPool&, const double*, index_t,
+                                         double*, index_t, index_t, index_t,
+                                         double, double, const CakeOptions&);
+extern template void cake_gemv<float>(ThreadPool&, const float*, index_t,
+                                      const float*, float*, index_t, index_t,
+                                      float, float);
+extern template void cake_gemv<double>(ThreadPool&, const double*, index_t,
+                                       const double*, double*, index_t,
+                                       index_t, double, double);
+
+}  // namespace cake

@@ -1,0 +1,369 @@
+#include "core/cake_gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "pack/pack.hpp"
+
+namespace cake {
+
+template <typename T>
+CakeGemmT<T>::CakeGemmT(ThreadPool& pool, CakeOptions options)
+    : pool_(pool), options_(std::move(options)),
+      machine_(options_.machine ? *options_.machine : host_machine()),
+      kernel_(options_.isa ? microkernel_for_of<T>(*options_.isa)
+                           : best_microkernel_of<T>())
+{
+    if (options_.p <= 0 || options_.p > pool_.size())
+        options_.p = pool_.size();
+}
+
+template <typename T>
+void CakeGemmT<T>::multiply(const T* a, index_t lda, const T* b, index_t ldb,
+                            T* c, index_t ldc, index_t m, index_t n,
+                            index_t k)
+{
+    multiply_scaled(a, lda, b, ldb, c, ldc, m, n, k, T(1),
+                    options_.accumulate ? T(1) : T(0));
+}
+
+template <typename T>
+void CakeGemmT<T>::multiply_scaled(const T* a, index_t lda, const T* b,
+                                   index_t ldb, T* c, index_t ldc, index_t m,
+                                   index_t n, index_t k, T alpha_s, T beta_s)
+{
+    multiply_impl(a, lda, b, ldb, c, ldc, m, n, k, alpha_s, beta_s, nullptr);
+}
+
+template <typename T>
+PackedB<T> CakeGemmT<T>::pack_weights(const T* b, index_t ldb, index_t k,
+                                      index_t n)
+{
+    CAKE_CHECK(k >= 1 && n >= 1);
+    const bool tb = options_.op_b == Op::kTranspose;
+    CAKE_CHECK_MSG(ldb >= (tb ? k : n), "ldb too small for op(B)");
+
+    TilingOptions topts;
+    topts.mc = options_.mc;
+    topts.alpha = options_.alpha;
+    topts.elem_bytes = sizeof(T);
+    PackedB<T> packed;
+    packed.params_ =
+        compute_cb_block(machine_, options_.p, kernel_.mr, kernel_.nr, topts);
+    packed.k_ = k;
+    packed.n_ = n;
+    packed.kb_ = ceil_div(k, packed.params_.k_blk);
+    packed.nb_ = ceil_div(n, packed.params_.n_blk);
+    packed.stride_ = static_cast<std::size_t>(
+        packed_b_size(packed.params_.k_blk, packed.params_.n_blk, kernel_.nr));
+    packed.data_ = AlignedBuffer<T>(
+        static_cast<std::size_t>(packed.kb_ * packed.nb_) * packed.stride_);
+
+    const index_t total_panels = packed.kb_ * packed.nb_;
+    pool_.parallel_for(0, total_panels, options_.p,
+                       [&](index_t lo, index_t hi) {
+        for (index_t slot = lo; slot < hi; ++slot) {
+            const index_t k_idx = slot / packed.nb_;
+            const index_t n_idx = slot % packed.nb_;
+            const index_t k0 = k_idx * packed.params_.k_blk;
+            const index_t n0 = n_idx * packed.params_.n_blk;
+            const index_t ki = std::min(packed.params_.k_blk, k - k0);
+            const index_t ni = std::min(packed.params_.n_blk, n - n0);
+            T* dst = packed.data_.data()
+                + static_cast<std::size_t>(slot) * packed.stride_;
+            if (tb) {
+                pack_b_panel_transposed(b + n0 * ldb + k0, ldb, ki, ni,
+                                        kernel_.nr, dst);
+            } else {
+                pack_b_panel(b + k0 * ldb + n0, ldb, ki, ni, kernel_.nr,
+                             dst);
+            }
+        }
+    });
+    return packed;
+}
+
+template <typename T>
+void CakeGemmT<T>::multiply_prepacked(const T* a, index_t lda,
+                                      const PackedB<T>& b, T* c, index_t ldc,
+                                      index_t m)
+{
+    CAKE_CHECK_MSG(!b.empty(), "PackedB is empty");
+    multiply_impl(a, lda, nullptr, b.n(), c, ldc, m, b.n(), b.k(), T(1),
+                  options_.accumulate ? T(1) : T(0), &b);
+}
+
+template <typename T>
+void CakeGemmT<T>::multiply_impl(const T* a, index_t lda, const T* b,
+                                 index_t ldb, T* c, index_t ldc, index_t m,
+                                 index_t n, index_t k, T alpha_s, T beta_s,
+                                 const PackedB<T>* prepacked)
+{
+    CAKE_CHECK(m >= 0 && n >= 0 && k >= 0);
+    const bool ta = options_.op_a == Op::kTranspose;
+    const bool tb = options_.op_b == Op::kTranspose;
+    CAKE_CHECK_MSG(lda >= (ta ? m : k), "lda too small for op(A)");
+    if (prepacked == nullptr) {
+        CAKE_CHECK_MSG(ldb >= (tb ? k : n), "ldb too small for op(B)");
+    }
+    CAKE_CHECK(ldc >= n);
+    if (m == 0 || n == 0) return;
+    if (k == 0 || alpha_s == T(0)) {
+        // Degenerate product contributes nothing: apply the beta epilogue.
+        for (index_t i = 0; i < m; ++i) {
+            T* row = c + i * ldc;
+            if (beta_s == T(0)) std::fill(row, row + n, T(0));
+            else if (beta_s != T(1))
+                for (index_t j = 0; j < n; ++j) row[j] *= beta_s;
+        }
+        return;
+    }
+
+    Timer total_timer;
+    const int p = options_.p;
+
+    TilingOptions topts;
+    topts.mc = options_.mc;
+    topts.alpha = options_.alpha;
+    topts.elem_bytes = sizeof(T);
+    const CbBlockParams params =
+        compute_cb_block(machine_, p, kernel_.mr, kernel_.nr, topts);
+    if (prepacked != nullptr) {
+        CAKE_CHECK_MSG(prepacked->params() == params,
+                       "PackedB geometry does not match this context");
+    }
+
+    stats_ = CakeStats{};
+    stats_.params = params;
+
+    const index_t mb = ceil_div(m, params.m_blk);
+    const index_t nb = ceil_div(n, params.n_blk);
+    const index_t kb = ceil_div(k, params.k_blk);
+    stats_.grid_mb = mb;
+    stats_.grid_nb = nb;
+    stats_.grid_kb = kb;
+
+    // §2.2: when M > N the M dimension runs outermost so the larger B
+    // surface is reused before A.
+    const std::vector<BlockCoord> order =
+        build_schedule(options_.schedule, mb, nb, kb, /*n_outermost=*/n >= m);
+
+    pack_a_.ensure(static_cast<std::size_t>(
+        packed_a_size(params.m_blk, params.k_blk, kernel_.mr)));
+    if (prepacked == nullptr) {
+        pack_b_.ensure(static_cast<std::size_t>(
+            packed_b_size(params.k_blk, params.n_blk, kernel_.nr)));
+    }
+    c_block_.ensure(static_cast<std::size_t>(params.m_blk)
+                    * static_cast<std::size_t>(params.n_blk));
+    if (scratch_.size() < static_cast<std::size_t>(p)) {
+        scratch_.resize(static_cast<std::size_t>(p));
+    }
+    for (auto& s : scratch_) {
+        s.ensure(static_cast<std::size_t>(kernel_.mr * kernel_.nr));
+    }
+
+    // Per-(m, n) bookkeeping: how many K blocks have accumulated into the
+    // local C surface, and whether the surface already visited user memory
+    // (only possible under non-K-first ablation schedules).
+    std::vector<index_t> k_done(static_cast<std::size_t>(mb * nb), 0);
+    std::vector<char> flushed(static_cast<std::size_t>(mb * nb), 0);
+
+    BlockCoord last{-1, -1, -1};
+    bool have_last = false;
+    index_t cur_mi = 0, cur_ni = 0;  // extents of the live C surface
+
+    auto block_extent = [](index_t idx, index_t blk, index_t total) {
+        const index_t start = idx * blk;
+        return std::min(blk, total - start);
+    };
+
+    auto flush_c = [&](const BlockCoord& coord, index_t mi, index_t ni) {
+        const std::size_t slot =
+            static_cast<std::size_t>(coord.m * nb + coord.n);
+        // First visit applies the caller's beta; revisits (spilled partial
+        // surfaces under ablation schedules) must accumulate.
+        const T beta_eff = flushed[slot] != 0 ? T(1) : beta_s;
+        T* dst = c + coord.m * params.m_blk * ldc + coord.n * params.n_blk;
+        pool_.parallel_for(0, mi, p, [&](index_t r0, index_t r1) {
+            unpack_c_block_scaled(c_block_.data() + r0 * ni, r1 - r0, ni,
+                                  dst + r0 * ldc, ldc, alpha_s, beta_eff);
+        });
+        flushed[slot] = 1;
+        ++stats_.c_flushes;
+        const auto bytes =
+            static_cast<std::uint64_t>(mi) * static_cast<std::uint64_t>(ni)
+            * sizeof(T);
+        stats_.dram_write_bytes += bytes;
+        if (beta_eff != T(0)) stats_.dram_read_bytes += bytes;  // RMW
+        if (k_done[slot] < kb) ++stats_.c_partial_spills;
+    };
+
+    for (const BlockCoord& coord : order) {
+        const index_t mi = block_extent(coord.m, params.m_blk, m);
+        const index_t ni = block_extent(coord.n, params.n_blk, n);
+        const index_t ki = block_extent(coord.k, params.k_blk, k);
+        const index_t m0 = coord.m * params.m_blk;
+        const index_t n0 = coord.n * params.n_blk;
+        const index_t k0 = coord.k * params.k_blk;
+
+        // --- surface sharing: only fetch (pack) surfaces that changed ---
+        Timer pack_timer;
+        const bool a_shared =
+            have_last && last.m == coord.m && last.k == coord.k;
+        if (!a_shared) {
+            pool_.parallel_for(0, ceil_div(mi, kernel_.mr), p,
+                               [&](index_t s0, index_t s1) {
+                const index_t r0 = s0 * kernel_.mr;
+                const index_t r1 = std::min(mi, s1 * kernel_.mr);
+                if (ta) {
+                    pack_a_panel_transposed(a + k0 * lda + (m0 + r0), lda,
+                                            r1 - r0, ki, kernel_.mr,
+                                            pack_a_.data() + r0 * ki);
+                } else {
+                    pack_a_panel(a + (m0 + r0) * lda + k0, lda, r1 - r0, ki,
+                                 kernel_.mr, pack_a_.data() + r0 * ki);
+                }
+            });
+            ++stats_.a_packs;
+            stats_.dram_read_bytes +=
+                static_cast<std::uint64_t>(mi) * ki * sizeof(T);
+        }
+        const T* pb_block = pack_b_.data();
+        const bool b_shared =
+            have_last && last.k == coord.k && last.n == coord.n;
+        if (prepacked != nullptr) {
+            // Weights are already in panel format: no pack work, but the
+            // surface still streams DRAM -> local memory once per block.
+            pb_block = prepacked->panel(coord.k, coord.n);
+            if (!b_shared) {
+                stats_.dram_read_bytes +=
+                    static_cast<std::uint64_t>(ki) * ni * sizeof(T);
+            }
+        } else if (!b_shared) {
+            pool_.parallel_for(0, ceil_div(ni, kernel_.nr), p,
+                               [&](index_t s0, index_t s1) {
+                const index_t c0 = s0 * kernel_.nr;
+                const index_t c1 = std::min(ni, s1 * kernel_.nr);
+                if (tb) {
+                    pack_b_panel_transposed(b + (n0 + c0) * ldb + k0, ldb, ki,
+                                            c1 - c0, kernel_.nr,
+                                            pack_b_.data() + c0 * ki);
+                } else {
+                    pack_b_panel(b + k0 * ldb + (n0 + c0), ldb, ki, c1 - c0,
+                                 kernel_.nr, pack_b_.data() + c0 * ki);
+                }
+            });
+            ++stats_.b_packs;
+            stats_.dram_read_bytes +=
+                static_cast<std::uint64_t>(ki) * ni * sizeof(T);
+        }
+        const bool c_shared =
+            have_last && last.m == coord.m && last.n == coord.n;
+        if (!c_shared) {
+            if (have_last) flush_c(last, cur_mi, cur_ni);
+            // Fresh local C surface for the new (m, n) column.
+            pool_.parallel_for(0, mi, p, [&](index_t r0, index_t r1) {
+                std::memset(c_block_.data() + r0 * ni, 0,
+                            static_cast<std::size_t>((r1 - r0) * ni)
+                                * sizeof(T));
+            });
+            const std::size_t slot =
+                static_cast<std::size_t>(coord.m * nb + coord.n);
+            if (flushed[slot] != 0) {
+                // Non-K-first schedule revisiting a spilled surface: its
+                // partial results must come back from external memory.
+                stats_.dram_read_bytes +=
+                    static_cast<std::uint64_t>(mi) * ni * sizeof(T);
+            }
+            cur_mi = mi;
+            cur_ni = ni;
+        }
+        stats_.pack_seconds += pack_timer.seconds();
+
+        // --- block computation: p workers, one row band each. Full blocks
+        // give each core its mc-row band (one A sub-block per core,
+        // Fig. 6b); edge blocks split their rows evenly so no core idles
+        // (band == mc whenever mi == p*mc). ---
+        Timer compute_timer;
+        const MicroKernelT<T> kernel = kernel_;
+        const T* pa = pack_a_.data();
+        const T* pb = pb_block;
+        T* cb = c_block_.data();
+        const index_t band =
+            round_up(ceil_div(mi, static_cast<index_t>(p)), kernel_.mr);
+        pool_.run(p, [&, kernel, pa, pb, cb, mi, ni, ki, band](int tid) {
+            const index_t r_begin = std::min<index_t>(tid * band, mi);
+            const index_t r_end = std::min<index_t>((tid + 1) * band, mi);
+            T* scratch = scratch_[static_cast<std::size_t>(tid)].data();
+            for (index_t r = r_begin; r < r_end; r += kernel.mr) {
+                const index_t mrows = std::min(kernel.mr, r_end - r);
+                const T* a_sliver = pa + (r / kernel.mr) * kernel.mr * ki;
+                for (index_t j = 0; j < ni; j += kernel.nr) {
+                    const index_t ncols = std::min(kernel.nr, ni - j);
+                    const T* b_sliver =
+                        pb + (j / kernel.nr) * kernel.nr * ki;
+                    run_microkernel_tile(kernel, ki, a_sliver, b_sliver,
+                                         cb + r * ni + j, ni, mrows, ncols,
+                                         /*accumulate=*/true, scratch);
+                }
+            }
+        });
+        stats_.compute_seconds += compute_timer.seconds();
+
+        ++k_done[static_cast<std::size_t>(coord.m * nb + coord.n)];
+        ++stats_.blocks_executed;
+        last = coord;
+        have_last = true;
+    }
+    if (have_last) flush_c(last, cur_mi, cur_ni);
+
+    stats_.total_seconds = total_timer.seconds();
+}
+
+template class CakeGemmT<float>;
+template class CakeGemmT<double>;
+
+void cake_sgemm(const float* a, const float* b, float* c, index_t m,
+                index_t n, index_t k, ThreadPool& pool,
+                const CakeOptions& options, CakeStats* stats)
+{
+    CakeGemm gemm(pool, options);
+    gemm.multiply(a, options.op_a == Op::kTranspose ? m : k, b,
+                  options.op_b == Op::kTranspose ? k : n, c, n, m, n, k);
+    if (stats != nullptr) *stats = gemm.stats();
+}
+
+void cake_dgemm(const double* a, const double* b, double* c, index_t m,
+                index_t n, index_t k, ThreadPool& pool,
+                const CakeOptions& options, CakeStats* stats)
+{
+    CakeGemmD gemm(pool, options);
+    gemm.multiply(a, options.op_a == Op::kTranspose ? m : k, b,
+                  options.op_b == Op::kTranspose ? k : n, c, n, m, n, k);
+    if (stats != nullptr) *stats = gemm.stats();
+}
+
+Matrix cake_gemm(const Matrix& a, const Matrix& b, ThreadPool& pool,
+                 const CakeOptions& options, CakeStats* stats)
+{
+    CAKE_CHECK(a.cols() == b.rows());
+    Matrix c(a.rows(), b.cols());
+    cake_sgemm(a.data(), b.data(), c.data(), a.rows(), b.cols(), a.cols(),
+               pool, options, stats);
+    return c;
+}
+
+MatrixD cake_gemm(const MatrixD& a, const MatrixD& b, ThreadPool& pool,
+                  const CakeOptions& options, CakeStats* stats)
+{
+    CAKE_CHECK(a.cols() == b.rows());
+    MatrixD c(a.rows(), b.cols());
+    cake_dgemm(a.data(), b.data(), c.data(), a.rows(), b.cols(), a.cols(),
+               pool, options, stats);
+    return c;
+}
+
+}  // namespace cake

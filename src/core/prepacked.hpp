@@ -1,0 +1,54 @@
+// Pre-packed weights: for inference serving, the B operand (weights) is
+// reused across thousands of multiplies — packing it once into CB-block
+// panel format and skipping the per-call pack step removes the dominant
+// per-call overhead of skewed DNN shapes (§5.2.1).
+//
+// A PackedB is tied to the CB geometry it was packed for (machine, p, mc,
+// alpha, kernel); multiply_prepacked verifies the geometry matches.
+#pragma once
+
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "core/tiling.hpp"
+
+namespace cake {
+
+template <typename T>
+class CakeGemmT;
+
+/// B operand packed once into per-CB-block nr-sliver panels.
+template <typename T>
+class PackedB {
+public:
+    PackedB() = default;
+
+    [[nodiscard]] index_t k() const { return k_; }
+    [[nodiscard]] index_t n() const { return n_; }
+    [[nodiscard]] const CbBlockParams& params() const { return params_; }
+
+    /// Packed panel for grid block (k_idx, n_idx).
+    [[nodiscard]] const T* panel(index_t k_idx, index_t n_idx) const
+    {
+        return data_.data()
+            + static_cast<std::size_t>(k_idx * nb_ + n_idx) * stride_;
+    }
+
+    [[nodiscard]] bool empty() const { return data_.empty(); }
+
+private:
+    friend class CakeGemmT<T>;
+
+    CbBlockParams params_;
+    index_t k_ = 0;
+    index_t n_ = 0;
+    index_t kb_ = 0;  ///< grid blocks along K
+    index_t nb_ = 0;  ///< grid blocks along N
+    std::size_t stride_ = 0;  ///< elements per panel slot (max panel size)
+    AlignedBuffer<T> data_;
+};
+
+using PackedBF = PackedB<float>;
+using PackedBD = PackedB<double>;
+
+}  // namespace cake

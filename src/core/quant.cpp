@@ -1,0 +1,77 @@
+#include "core/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cake {
+
+QuantParams quantize_unsigned(const float* src, index_t n, std::uint8_t* dst)
+{
+    CAKE_CHECK(n >= 0);
+    float lo = 0.0f;
+    float hi = 0.0f;
+    for (index_t i = 0; i < n; ++i) {
+        lo = std::min(lo, src[i]);
+        hi = std::max(hi, src[i]);
+    }
+    QuantParams params;
+    const float range = hi - lo;
+    params.scale = range > 0 ? range / 127.0f : 1.0f;
+    params.zero_point =
+        static_cast<std::int32_t>(std::lround(-lo / params.scale));
+    params.zero_point = std::clamp(params.zero_point, 0, 127);
+    for (index_t i = 0; i < n; ++i) {
+        const long q =
+            std::lround(src[i] / params.scale) + params.zero_point;
+        dst[i] = static_cast<std::uint8_t>(std::clamp(q, 0L, 127L));
+    }
+    return params;
+}
+
+QuantParams quantize_signed(const float* src, index_t n, std::int8_t* dst)
+{
+    CAKE_CHECK(n >= 0);
+    float amax = 0.0f;
+    for (index_t i = 0; i < n; ++i) amax = std::max(amax, std::abs(src[i]));
+    QuantParams params;
+    params.scale = amax > 0 ? amax / 127.0f : 1.0f;
+    params.zero_point = 0;
+    for (index_t i = 0; i < n; ++i) {
+        const long q = std::lround(src[i] / params.scale);
+        dst[i] = static_cast<std::int8_t>(std::clamp(q, -127L, 127L));
+    }
+    return params;
+}
+
+void int8_column_sums(const std::int8_t* b, index_t ldb, index_t k,
+                      index_t n, std::int64_t* colsums)
+{
+    std::fill(colsums, colsums + n, std::int64_t{0});
+    for (index_t p = 0; p < k; ++p) {
+        const std::int8_t* row = b + p * ldb;
+        for (index_t j = 0; j < n; ++j) colsums[j] += row[j];
+    }
+}
+
+void dequantize_gemm(const std::int32_t* acc, index_t ldacc, index_t m,
+                     index_t n, const QuantParams& a_params,
+                     const QuantParams& b_params,
+                     const std::int64_t* b_colsums, float* out,
+                     index_t ldout)
+{
+    const double s = static_cast<double>(a_params.scale) * b_params.scale;
+    const auto za = static_cast<std::int64_t>(a_params.zero_point);
+    for (index_t i = 0; i < m; ++i) {
+        const std::int32_t* arow = acc + i * ldacc;
+        float* orow = out + i * ldout;
+        for (index_t j = 0; j < n; ++j) {
+            const std::int64_t corrected =
+                static_cast<std::int64_t>(arow[j]) - za * b_colsums[j];
+            orow[j] = static_cast<float>(s * static_cast<double>(corrected));
+        }
+    }
+}
+
+}  // namespace cake

@@ -1,0 +1,133 @@
+#include "core/schedule.hpp"
+
+#include <array>
+#include <map>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace cake {
+namespace {
+
+/// Generic 3-deep boustrophedon traversal. `dims[0]` is outermost.
+/// When `serpentine` is set, the middle dimension reverses direction after
+/// every outer step and the inner dimension after every middle step, so
+/// consecutive blocks always differ by one grid step in exactly one
+/// coordinate — the surface-sharing property of §2.2.
+std::vector<std::array<index_t, 3>> boustrophedon(
+    std::array<index_t, 3> dims, bool serpentine)
+{
+    std::vector<std::array<index_t, 3>> order;
+    order.reserve(static_cast<std::size_t>(dims[0] * dims[1] * dims[2]));
+    bool mid_fwd = true;
+    bool inner_fwd = true;
+    for (index_t o = 0; o < dims[0]; ++o) {
+        for (index_t mi = 0; mi < dims[1]; ++mi) {
+            const index_t mid = mid_fwd ? mi : dims[1] - 1 - mi;
+            for (index_t ii = 0; ii < dims[2]; ++ii) {
+                const index_t inner = inner_fwd ? ii : dims[2] - 1 - ii;
+                order.push_back({o, mid, inner});
+            }
+            if (serpentine) inner_fwd = !inner_fwd;
+        }
+        if (serpentine) mid_fwd = !mid_fwd;
+    }
+    return order;
+}
+
+}  // namespace
+
+const char* schedule_kind_name(ScheduleKind kind)
+{
+    switch (kind) {
+        case ScheduleKind::kKFirstSerpentine: return "k-first-serpentine";
+        case ScheduleKind::kKFirstNoFlip: return "k-first-no-flip";
+        case ScheduleKind::kNInnermost: return "n-innermost";
+    }
+    return "unknown";
+}
+
+std::vector<BlockCoord> build_schedule(ScheduleKind kind, index_t mb,
+                                       index_t nb, index_t kb,
+                                       bool n_outermost)
+{
+    CAKE_CHECK(mb >= 1 && nb >= 1 && kb >= 1);
+    std::vector<BlockCoord> result;
+    result.reserve(static_cast<std::size_t>(mb * nb * kb));
+
+    const bool serpentine = kind != ScheduleKind::kKFirstNoFlip;
+    std::vector<std::array<index_t, 3>> raw;
+
+    switch (kind) {
+        case ScheduleKind::kKFirstSerpentine:
+        case ScheduleKind::kKFirstNoFlip:
+            // Outer = N (or M when M > N, §2.2), middle = the other of
+            // M/N, inner = K (reduction first).
+            if (n_outermost) {
+                raw = boustrophedon({nb, mb, kb}, serpentine);
+                for (const auto& r : raw) result.push_back({r[1], r[0], r[2]});
+            } else {
+                raw = boustrophedon({mb, nb, kb}, serpentine);
+                for (const auto& r : raw) result.push_back({r[0], r[1], r[2]});
+            }
+            break;
+        case ScheduleKind::kNInnermost:
+            // Outer = M, middle = K, inner = N: every partial-C surface is
+            // revisited Kb times with gaps — the traffic pattern the paper's
+            // K-first schedule is designed to avoid.
+            raw = boustrophedon({mb, kb, nb}, serpentine);
+            for (const auto& r : raw) result.push_back({r[0], r[2], r[1]});
+            break;
+    }
+    return result;
+}
+
+SurfaceSharing shared_surfaces(const BlockCoord& prev, const BlockCoord& next)
+{
+    SurfaceSharing s;
+    s.a = prev.m == next.m && prev.k == next.k;
+    s.b = prev.k == next.k && prev.n == next.n;
+    s.c = prev.m == next.m && prev.n == next.n;
+    return s;
+}
+
+index_t count_shared_steps(const std::vector<BlockCoord>& order)
+{
+    index_t shared = 0;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        const SurfaceSharing s = shared_surfaces(order[i - 1], order[i]);
+        if (s.a || s.b || s.c) ++shared;
+    }
+    return shared;
+}
+
+ScheduleTraffic schedule_traffic(const std::vector<BlockCoord>& order)
+{
+    ScheduleTraffic t;
+    if (order.empty()) return t;
+
+    // Total K depth: a C surface is complete once all kb blocks of its
+    // (m, n) column have executed.
+    index_t kb = 0;
+    for (const auto& c : order) kb = std::max(kb, c.k + 1);
+
+    std::map<std::pair<index_t, index_t>, index_t> c_progress;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const auto& cur = order[i];
+        const SurfaceSharing s =
+            i == 0 ? SurfaceSharing{} : shared_surfaces(order[i - 1], cur);
+        if (!s.a) ++t.a_fetches;
+        if (!s.b) ++t.b_fetches;
+        if (i > 0 && !s.c) {
+            // We left the previous (m, n) column; if it was incomplete its
+            // partial-result surface must spill to external memory and be
+            // fetched again later (costing twice a completed result, §2.2).
+            const auto& prev = order[i - 1];
+            if (c_progress[{prev.m, prev.n}] < kb) ++t.c_spills;
+        }
+        ++c_progress[{cur.m, cur.n}];
+    }
+    return t;
+}
+
+}  // namespace cake

@@ -1,0 +1,72 @@
+// Block scheduling: the K-first serpentine traversal of the CB-block grid
+// (paper §2.2 and Algorithm 2). The schedule is materialised as data so the
+// runtime, the memory simulator and the architecture simulator all execute
+// exactly the same block order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cake {
+
+/// Grid coordinates of one CB block inside the partitioned MM space.
+struct BlockCoord {
+    index_t m = 0;
+    index_t n = 0;
+    index_t k = 0;
+
+    friend bool operator==(const BlockCoord&, const BlockCoord&) = default;
+};
+
+/// Which surfaces two consecutively scheduled blocks share.
+struct SurfaceSharing {
+    bool a = false;  ///< same (m, k): the A input surface stays local
+    bool b = false;  ///< same (k, n): the B input surface stays local
+    bool c = false;  ///< same (m, n): the partial-result surface stays local
+};
+
+enum class ScheduleKind {
+    /// Paper Algorithm 2: K innermost (partial-result reuse), M middle,
+    /// N outermost, with traversal direction flipped after each completed
+    /// dimension so every consecutive pair of blocks shares a surface.
+    kKFirstSerpentine,
+    /// K innermost but always restarting each dimension at index 0 — the
+    /// strawman the paper rejects (loses the A/B reuse at every turn).
+    kKFirstNoFlip,
+    /// N innermost: partial results for a C block leave local memory
+    /// between reuses (GOTO-like traffic pattern); ablation baseline.
+    kNInnermost,
+};
+
+const char* schedule_kind_name(ScheduleKind kind);
+
+/// Build the block execution order for an Mb x Nb x Kb grid of CB blocks.
+/// `m_outer_before_n`: per §2.2, when M > N the M dimension becomes the
+/// outermost loop so the larger B surface is reused before A.
+std::vector<BlockCoord> build_schedule(ScheduleKind kind, index_t mb,
+                                       index_t nb, index_t kb,
+                                       bool n_outermost = true);
+
+/// Surfaces shared between consecutive schedule entries `prev` and `next`.
+SurfaceSharing shared_surfaces(const BlockCoord& prev, const BlockCoord& next);
+
+/// Count of consecutive pairs in `order` sharing at least one surface.
+/// For the serpentine schedule this equals order.size() - 1 (every step
+/// reuses something); the no-flip variant falls short by the number of
+/// dimension turns.
+index_t count_shared_steps(const std::vector<BlockCoord>& order);
+
+/// Total IO surface traffic of a schedule in *block surfaces* fetched from
+/// (A, B) or written+refetched to (partial C) external memory, assuming one
+/// surface of each kind fits in local memory at a time. Used by tests and
+/// the ablation bench to rank schedules exactly as §2.2 argues.
+struct ScheduleTraffic {
+    index_t a_fetches = 0;
+    index_t b_fetches = 0;
+    index_t c_spills = 0;  ///< partial-C writeback+refetch round trips
+};
+ScheduleTraffic schedule_traffic(const std::vector<BlockCoord>& order);
+
+}  // namespace cake

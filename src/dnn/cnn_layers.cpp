@@ -1,0 +1,65 @@
+#include "dnn/cnn_layers.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cake {
+namespace dnn {
+
+Conv2dLayer::Conv2dLayer(ThreadPool& pool, conv::Conv2dParams params,
+                         Matrix weights, index_t in_h, index_t in_w)
+    : pool_(pool), params_(params), weights_(std::move(weights)),
+      in_h_(in_h), in_w_(in_w),
+      out_h_(conv::conv_out_dim(in_h, params.kernel_h, params.stride_h,
+                                params.pad_h)),
+      out_w_(conv::conv_out_dim(in_w, params.kernel_w, params.stride_w,
+                                params.pad_w))
+{
+    CAKE_CHECK_MSG(weights_.rows() == params_.out_channels
+                       && weights_.cols() == params_.patch_size(),
+                   "conv weights must be out_channels x patch_size");
+}
+
+void Conv2dLayer::forward(const float* in, float* out, index_t batch)
+{
+    conv::conv2d_forward(in, batch, in_h_, in_w_, weights_.data(), params_,
+                         out, pool_);
+}
+
+MaxPool2d::MaxPool2d(index_t channels, index_t in_h, index_t in_w,
+                     index_t window)
+    : channels_(channels), in_h_(in_h), in_w_(in_w), window_(window),
+      out_h_(in_h / window), out_w_(in_w / window)
+{
+    CAKE_CHECK(window >= 1);
+    CAKE_CHECK_MSG(out_h_ >= 1 && out_w_ >= 1,
+                   "pool window larger than the feature map");
+}
+
+void MaxPool2d::forward(const float* in, float* out, index_t batch)
+{
+    for (index_t img = 0; img < batch; ++img) {
+        for (index_t ch = 0; ch < channels_; ++ch) {
+            const float* plane =
+                in + (img * channels_ + ch) * in_h_ * in_w_;
+            float* dst = out + (img * channels_ + ch) * out_h_ * out_w_;
+            for (index_t oy = 0; oy < out_h_; ++oy) {
+                for (index_t ox = 0; ox < out_w_; ++ox) {
+                    float best = plane[oy * window_ * in_w_ + ox * window_];
+                    for (index_t wy = 0; wy < window_; ++wy) {
+                        for (index_t wx = 0; wx < window_; ++wx) {
+                            best = std::max(
+                                best, plane[(oy * window_ + wy) * in_w_
+                                            + ox * window_ + wx]);
+                        }
+                    }
+                    dst[oy * out_w_ + ox] = best;
+                }
+            }
+        }
+    }
+}
+
+}  // namespace dnn
+}  // namespace cake

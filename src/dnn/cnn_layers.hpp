@@ -1,0 +1,64 @@
+// CNN layers over the conv2d module, exposed through the flat Layer
+// interface (features = channels * height * width with fixed geometry)
+// so convolutional stacks compose in dnn::Sequential.
+#pragma once
+
+#include "conv/conv2d.hpp"
+#include "dnn/layers.hpp"
+
+namespace cake {
+namespace dnn {
+
+/// 2-D convolution layer (NCHW, via im2col + CAKE GEMM).
+class Conv2dLayer final : public Layer {
+public:
+    /// `weights`: out_channels x (in_channels*kh*kw), row-major.
+    Conv2dLayer(ThreadPool& pool, conv::Conv2dParams params,
+                Matrix weights, index_t in_h, index_t in_w);
+
+    void forward(const float* in, float* out, index_t batch) override;
+    [[nodiscard]] index_t in_features() const override
+    {
+        return params_.in_channels * in_h_ * in_w_;
+    }
+    [[nodiscard]] index_t out_features() const override
+    {
+        return params_.out_channels * out_h_ * out_w_;
+    }
+    [[nodiscard]] std::string name() const override { return "conv2d"; }
+
+    [[nodiscard]] index_t out_h() const { return out_h_; }
+    [[nodiscard]] index_t out_w() const { return out_w_; }
+
+private:
+    ThreadPool& pool_;
+    conv::Conv2dParams params_;
+    Matrix weights_;
+    index_t in_h_, in_w_, out_h_, out_w_;
+};
+
+/// 2-D max pooling (NCHW), window x window with stride = window.
+class MaxPool2d final : public Layer {
+public:
+    MaxPool2d(index_t channels, index_t in_h, index_t in_w, index_t window);
+
+    void forward(const float* in, float* out, index_t batch) override;
+    [[nodiscard]] index_t in_features() const override
+    {
+        return channels_ * in_h_ * in_w_;
+    }
+    [[nodiscard]] index_t out_features() const override
+    {
+        return channels_ * out_h_ * out_w_;
+    }
+    [[nodiscard]] std::string name() const override { return "maxpool2d"; }
+
+    [[nodiscard]] index_t out_h() const { return out_h_; }
+    [[nodiscard]] index_t out_w() const { return out_w_; }
+
+private:
+    index_t channels_, in_h_, in_w_, window_, out_h_, out_w_;
+};
+
+}  // namespace dnn
+}  // namespace cake

@@ -1,0 +1,168 @@
+#include "dnn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cake {
+namespace dnn {
+
+// ----------------------------------------------------------------- Linear
+
+Linear::Linear(ThreadPool& pool, Matrix weights, std::vector<float> bias)
+    : weights_(std::move(weights)), bias_(std::move(bias)), gemm_(pool)
+{
+    CAKE_CHECK_MSG(bias_.empty()
+                       || static_cast<index_t>(bias_.size())
+                           == weights_.cols(),
+                   "bias length must equal out_features");
+}
+
+void Linear::forward(const float* in, float* out, index_t batch)
+{
+    gemm_.multiply(in, weights_.rows(), weights_.data(), weights_.cols(),
+                   out, weights_.cols(), batch, weights_.cols(),
+                   weights_.rows());
+    if (!bias_.empty()) {
+        for (index_t r = 0; r < batch; ++r) {
+            float* row = out + r * weights_.cols();
+            for (index_t j = 0; j < weights_.cols(); ++j)
+                row[j] += bias_[static_cast<std::size_t>(j)];
+        }
+    }
+}
+
+// -------------------------------------------------------- QuantizedLinear
+
+QuantizedLinear::QuantizedLinear(ThreadPool& pool, const Matrix& weights,
+                                 std::vector<float> bias)
+    : in_(weights.rows()), out_(weights.cols()),
+      wq_(static_cast<std::size_t>(weights.size())),
+      w_colsums_(static_cast<std::size_t>(weights.cols())),
+      bias_(std::move(bias)), gemm_(pool)
+{
+    CAKE_CHECK_MSG(bias_.empty()
+                       || static_cast<index_t>(bias_.size()) == out_,
+                   "bias length must equal out_features");
+    wq_params_ = quantize_signed(weights.data(), weights.size(), wq_.data());
+    int8_column_sums(wq_.data(), out_, in_, out_, w_colsums_.data());
+    // Pack once: every forward() call skips the per-call B pack.
+    wq_packed_ = gemm_.pack_weights(wq_.data(), out_, in_, out_);
+}
+
+void QuantizedLinear::forward(const float* in, float* out, index_t batch)
+{
+    in_q_.ensure(static_cast<std::size_t>(batch * in_));
+    acc_.ensure(static_cast<std::size_t>(batch * out_));
+    const QuantParams in_params =
+        quantize_unsigned(in, batch * in_, in_q_.data());
+    gemm_.multiply_prepacked(in_q_.data(), in_, wq_packed_, acc_.data(),
+                             out_, batch);
+    dequantize_gemm(acc_.data(), out_, batch, out_, in_params, wq_params_,
+                    w_colsums_.data(), out, out_);
+    if (!bias_.empty()) {
+        for (index_t r = 0; r < batch; ++r) {
+            float* row = out + r * out_;
+            for (index_t j = 0; j < out_; ++j)
+                row[j] += bias_[static_cast<std::size_t>(j)];
+        }
+    }
+}
+
+// ------------------------------------------------------------ activations
+
+void ReLU::forward(const float* in, float* out, index_t batch)
+{
+    const index_t n = batch * features_;
+    for (index_t i = 0; i < n; ++i) out[i] = std::max(in[i], 0.0f);
+}
+
+void Softmax::forward(const float* in, float* out, index_t batch)
+{
+    for (index_t r = 0; r < batch; ++r) {
+        const float* irow = in + r * features_;
+        float* orow = out + r * features_;
+        float maxv = irow[0];
+        for (index_t j = 1; j < features_; ++j)
+            maxv = std::max(maxv, irow[j]);
+        float sum = 0;
+        for (index_t j = 0; j < features_; ++j) {
+            orow[j] = std::exp(irow[j] - maxv);
+            sum += orow[j];
+        }
+        const float inv = 1.0f / sum;
+        for (index_t j = 0; j < features_; ++j) orow[j] *= inv;
+    }
+}
+
+LayerNorm::LayerNorm(index_t features, std::vector<float> gamma,
+                     std::vector<float> beta, float eps)
+    : features_(features), gamma_(std::move(gamma)), beta_(std::move(beta)),
+      eps_(eps)
+{
+    CAKE_CHECK(static_cast<index_t>(gamma_.size()) == features);
+    CAKE_CHECK(static_cast<index_t>(beta_.size()) == features);
+}
+
+void LayerNorm::forward(const float* in, float* out, index_t batch)
+{
+    for (index_t r = 0; r < batch; ++r) {
+        const float* irow = in + r * features_;
+        float* orow = out + r * features_;
+        double mean = 0;
+        for (index_t j = 0; j < features_; ++j) mean += irow[j];
+        mean /= static_cast<double>(features_);
+        double var = 0;
+        for (index_t j = 0; j < features_; ++j) {
+            const double d = irow[j] - mean;
+            var += d * d;
+        }
+        var /= static_cast<double>(features_);
+        const float inv_std =
+            1.0f / std::sqrt(static_cast<float>(var) + eps_);
+        for (index_t j = 0; j < features_; ++j) {
+            orow[j] = gamma_[static_cast<std::size_t>(j)]
+                    * (irow[j] - static_cast<float>(mean)) * inv_std
+                + beta_[static_cast<std::size_t>(j)];
+        }
+    }
+}
+
+// ------------------------------------------------------------- Sequential
+
+void Sequential::add(std::unique_ptr<Layer> layer)
+{
+    CAKE_CHECK(layer != nullptr);
+    if (!layers_.empty()) {
+        CAKE_CHECK_MSG(layers_.back()->out_features()
+                           == layer->in_features(),
+                       "layer " << layers_.size() << " (" << layer->name()
+                                << ") expects "
+                                << layer->in_features()
+                                << " inputs but previous layer produces "
+                                << layers_.back()->out_features());
+    }
+    layers_.push_back(std::move(layer));
+}
+
+Matrix Sequential::forward(const Matrix& in)
+{
+    CAKE_CHECK(!layers_.empty());
+    CAKE_CHECK_MSG(in.cols() == layers_.front()->in_features(),
+                   "input features " << in.cols() << " != first layer's "
+                                     << layers_.front()->in_features());
+    const index_t batch = in.rows();
+    Matrix current(batch, in.cols(), /*zero=*/false);
+    std::copy_n(in.data(), in.size(), current.data());
+
+    for (const auto& layer : layers_) {
+        Matrix next(batch, layer->out_features(), /*zero=*/false);
+        layer->forward(current.data(), next.data(), batch);
+        current = std::move(next);
+    }
+    return current;
+}
+
+}  // namespace dnn
+}  // namespace cake

@@ -1,0 +1,149 @@
+// Minimal DNN layer zoo over the CAKE GEMM engines — enough to assemble
+// the MLP/CNN-style forward passes the paper's introduction motivates,
+// in both float32 and quantized int8 deployments.
+//
+// All activations are row-major (batch x features).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/matrix.hpp"
+#include "core/cake_gemm.hpp"
+#include "core/cake_gemm_int8.hpp"
+#include "core/quant.hpp"
+
+namespace cake {
+namespace dnn {
+
+/// Base interface: transforms (batch x in_features) -> (batch x
+/// out_features). Implementations may cache per-batch scratch.
+class Layer {
+public:
+    virtual ~Layer() = default;
+    virtual void forward(const float* in, float* out, index_t batch) = 0;
+    [[nodiscard]] virtual index_t in_features() const = 0;
+    [[nodiscard]] virtual index_t out_features() const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Fully connected layer: out = in * W + bias, via cake_sgemm.
+class Linear final : public Layer {
+public:
+    /// Weights are (in x out) row-major; bias has `out` entries (may be
+    /// empty for no bias).
+    Linear(ThreadPool& pool, Matrix weights, std::vector<float> bias = {});
+
+    void forward(const float* in, float* out, index_t batch) override;
+    [[nodiscard]] index_t in_features() const override
+    {
+        return weights_.rows();
+    }
+    [[nodiscard]] index_t out_features() const override
+    {
+        return weights_.cols();
+    }
+    [[nodiscard]] std::string name() const override { return "linear"; }
+
+    [[nodiscard]] const Matrix& weights() const { return weights_; }
+
+private:
+    Matrix weights_;
+    std::vector<float> bias_;
+    CakeGemm gemm_;
+};
+
+/// Quantized fully connected layer: weights pre-quantized to s8 once
+/// (symmetric); activations quantized to u8 per batch; the integer GEMM
+/// runs on the int8 CAKE path; outputs are dequantized floats + bias.
+class QuantizedLinear final : public Layer {
+public:
+    QuantizedLinear(ThreadPool& pool, const Matrix& weights,
+                    std::vector<float> bias = {});
+
+    void forward(const float* in, float* out, index_t batch) override;
+    [[nodiscard]] index_t in_features() const override { return in_; }
+    [[nodiscard]] index_t out_features() const override { return out_; }
+    [[nodiscard]] std::string name() const override { return "qlinear"; }
+
+private:
+    index_t in_;
+    index_t out_;
+    AlignedBuffer<std::int8_t> wq_;
+    QuantParams wq_params_;
+    std::vector<std::int64_t> w_colsums_;
+    std::vector<float> bias_;
+    CakeGemmInt8 gemm_;
+    PackedBInt8 wq_packed_;  ///< weights packed once at construction
+    AlignedBuffer<std::uint8_t> in_q_;
+    AlignedBuffer<std::int32_t> acc_;
+};
+
+/// Elementwise max(x, 0).
+class ReLU final : public Layer {
+public:
+    explicit ReLU(index_t features) : features_(features) {}
+    void forward(const float* in, float* out, index_t batch) override;
+    [[nodiscard]] index_t in_features() const override { return features_; }
+    [[nodiscard]] index_t out_features() const override { return features_; }
+    [[nodiscard]] std::string name() const override { return "relu"; }
+
+private:
+    index_t features_;
+};
+
+/// Row-wise numerically stable softmax.
+class Softmax final : public Layer {
+public:
+    explicit Softmax(index_t features) : features_(features) {}
+    void forward(const float* in, float* out, index_t batch) override;
+    [[nodiscard]] index_t in_features() const override { return features_; }
+    [[nodiscard]] index_t out_features() const override { return features_; }
+    [[nodiscard]] std::string name() const override { return "softmax"; }
+
+private:
+    index_t features_;
+};
+
+/// Row-wise layer normalisation with learned gamma/beta.
+class LayerNorm final : public Layer {
+public:
+    LayerNorm(index_t features, std::vector<float> gamma,
+              std::vector<float> beta, float eps = 1e-5f);
+    void forward(const float* in, float* out, index_t batch) override;
+    [[nodiscard]] index_t in_features() const override { return features_; }
+    [[nodiscard]] index_t out_features() const override { return features_; }
+    [[nodiscard]] std::string name() const override { return "layernorm"; }
+
+private:
+    index_t features_;
+    std::vector<float> gamma_;
+    std::vector<float> beta_;
+    float eps_;
+};
+
+/// A feed-forward stack of layers with ping-pong activation buffers.
+class Sequential {
+public:
+    /// Adjacent layers must agree on feature counts (checked).
+    void add(std::unique_ptr<Layer> layer);
+
+    /// Run the stack; `in` is (batch x first-layer-in) row-major, the
+    /// return value (batch x last-layer-out).
+    Matrix forward(const Matrix& in);
+
+    [[nodiscard]] std::size_t size() const { return layers_.size(); }
+    [[nodiscard]] const Layer& layer(std::size_t i) const
+    {
+        return *layers_[i];
+    }
+
+private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace dnn
+}  // namespace cake

@@ -1,0 +1,222 @@
+#include "gotoblas/goto_gemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "pack/pack.hpp"
+
+namespace cake {
+namespace {
+
+/// Square mc = kc from the deepest private cache, exactly as the CAKE
+/// solver does (§4.4: both algorithms reuse square A sub-blocks in L2).
+index_t square_l2_block(const MachineSpec& machine, index_t mr,
+                        double fraction)
+{
+    // Deepest private level below the LLC (same rule as the CAKE solver).
+    const auto& levels = machine.caches.levels;
+    const CacheLevel* priv = nullptr;
+    for (std::size_t i = 0; i + 1 < levels.size(); ++i) {
+        if (levels[i].shared_by_cores == 1) priv = &levels[i];
+    }
+    const CacheLevel& l2 = priv != nullptr ? *priv : levels.front();
+    const double budget_floats =
+        fraction * static_cast<double>(l2.size_bytes) / sizeof(float);
+    auto mc = static_cast<index_t>(std::sqrt(std::max(budget_floats, 1.0)));
+    return std::max<index_t>(mc / mr * mr, mr);
+}
+
+}  // namespace
+
+GotoBlocking goto_default_blocking(const MachineSpec& machine, index_t mr,
+                                   index_t nr)
+{
+    GotoBlocking blocking;
+    blocking.mc = square_l2_block(machine, mr, /*fraction=*/0.5);
+    blocking.kc = blocking.mc;
+    // GOTO fills the LLC with the kc x nc B panel (§4.4).
+    const double llc_floats =
+        0.9 * static_cast<double>(machine.llc_bytes()) / sizeof(float);
+    blocking.nc = static_cast<index_t>(
+        llc_floats / static_cast<double>(blocking.kc));
+    blocking.nc = std::max<index_t>(blocking.nc / nr * nr, nr);
+    return blocking;
+}
+
+template <typename T>
+GotoGemmT<T>::GotoGemmT(ThreadPool& pool, GotoOptions options)
+    : pool_(pool), options_(std::move(options)),
+      machine_(options_.machine ? *options_.machine : host_machine()),
+      kernel_(options_.isa ? microkernel_for_of<T>(*options_.isa)
+                           : best_microkernel_of<T>())
+{
+    if (options_.p <= 0 || options_.p > pool_.size())
+        options_.p = pool_.size();
+}
+
+template <typename T>
+void GotoGemmT<T>::multiply(const T* a, index_t lda, const T* b, index_t ldb,
+                            T* c, index_t ldc, index_t m, index_t n,
+                            index_t k)
+{
+    CAKE_CHECK(m >= 0 && n >= 0 && k >= 0);
+    CAKE_CHECK(lda >= k && ldb >= n && ldc >= n);
+    if (m == 0 || n == 0) return;
+    if (k == 0) {
+        if (!options_.accumulate) {
+            for (index_t i = 0; i < m; ++i)
+                std::fill(c + i * ldc, c + i * ldc + n, T(0));
+        }
+        return;
+    }
+
+    Timer total_timer;
+    const int p = options_.p;
+
+    const GotoBlocking defaults =
+        goto_default_blocking(machine_, kernel_.mr, kernel_.nr);
+    const index_t mc = options_.mc ? *options_.mc : defaults.mc;
+    CAKE_CHECK_MSG(mc >= kernel_.mr && mc % kernel_.mr == 0,
+                   "mc must be a positive multiple of mr");
+    const index_t kc = mc;
+    index_t nc = defaults.nc;
+    if (options_.nc) {
+        nc = *options_.nc;
+        CAKE_CHECK_MSG(nc >= kernel_.nr && nc % kernel_.nr == 0,
+                       "nc must be a positive multiple of nr");
+    }
+
+    stats_ = GotoStats{};
+    stats_.mc = mc;
+    stats_.kc = kc;
+    stats_.nc = nc;
+
+    pack_b_.ensure(
+        static_cast<std::size_t>(packed_b_size(kc, nc, kernel_.nr)));
+    if (pack_a_.size() < static_cast<std::size_t>(p)) {
+        pack_a_.resize(static_cast<std::size_t>(p));
+        scratch_.resize(static_cast<std::size_t>(p));
+    }
+    for (auto& buf : pack_a_) {
+        buf.ensure(
+            static_cast<std::size_t>(packed_a_size(mc, kc, kernel_.mr)));
+    }
+    for (auto& s : scratch_) {
+        s.ensure(static_cast<std::size_t>(kernel_.mr * kernel_.nr));
+    }
+
+    const MicroKernelT<T> kernel = kernel_;
+
+    for (index_t jc = 0; jc < n; jc += nc) {
+        const index_t ncur = std::min(nc, n - jc);
+        for (index_t pc = 0; pc < k; pc += kc) {
+            const index_t kcur = std::min(kc, k - pc);
+            const bool acc = options_.accumulate || pc > 0;
+
+            // Pack the B panel into the LLC stand-in buffer.
+            Timer pack_timer;
+            const T* bsrc = b + pc * ldb + jc;
+            pool_.parallel_for(0, ceil_div(ncur, kernel.nr), p,
+                               [&](index_t s0, index_t s1) {
+                const index_t c0 = s0 * kernel.nr;
+                const index_t c1 = std::min(ncur, s1 * kernel.nr);
+                pack_b_panel(bsrc + c0, ldb, kcur, c1 - c0, kernel.nr,
+                             pack_b_.data() + c0 * kcur);
+            });
+            stats_.pack_seconds += pack_timer.seconds();
+
+            // Parallel over M: each worker packs its own A block into its
+            // private-L2 stand-in and runs the macro-kernel, streaming
+            // partial C tiles directly to user (external) memory.
+            Timer compute_timer;
+            const T* pb = pack_b_.data();
+            pool_.run(p, [&, kernel, pb, acc](int tid) {
+                T* pa = pack_a_[static_cast<std::size_t>(tid)].data();
+                T* scratch = scratch_[static_cast<std::size_t>(tid)].data();
+                for (index_t ic = tid * mc; ic < m;
+                     ic += static_cast<index_t>(p) * mc) {
+                    const index_t mcur = std::min(mc, m - ic);
+                    pack_a_panel(a + ic * lda + pc, lda, mcur, kcur,
+                                 kernel.mr, pa);
+                    for (index_t ir = 0; ir < mcur; ir += kernel.mr) {
+                        const index_t mrows = std::min(kernel.mr, mcur - ir);
+                        const T* a_sliver =
+                            pa + (ir / kernel.mr) * kernel.mr * kcur;
+                        for (index_t jr = 0; jr < ncur; jr += kernel.nr) {
+                            const index_t ncols =
+                                std::min(kernel.nr, ncur - jr);
+                            const T* b_sliver =
+                                pb + (jr / kernel.nr) * kernel.nr * kcur;
+                            run_microkernel_tile(
+                                kernel, kcur, a_sliver, b_sliver,
+                                c + (ic + ir) * ldc + jc + jr, ldc, mrows,
+                                ncols, acc, scratch);
+                        }
+                    }
+                }
+            });
+            stats_.compute_seconds += compute_timer.seconds();
+
+            // External-traffic model for this (jc, pc) pass.
+            ++stats_.c_passes;
+            stats_.b_packs += 1;
+            stats_.dram_read_bytes +=
+                static_cast<std::uint64_t>(kcur) * ncur * sizeof(T);
+            const index_t a_blocks = ceil_div(m, mc);
+            stats_.a_packs += a_blocks;
+            stats_.dram_read_bytes +=
+                static_cast<std::uint64_t>(m) * kcur * sizeof(T);
+            const auto c_bytes =
+                static_cast<std::uint64_t>(m) * ncur * sizeof(T);
+            stats_.dram_write_bytes += c_bytes;  // partial results stream out
+            if (acc) stats_.dram_read_bytes += c_bytes;  // ... and back in
+        }
+    }
+
+    stats_.total_seconds = total_timer.seconds();
+}
+
+template class GotoGemmT<float>;
+template class GotoGemmT<double>;
+
+void goto_sgemm(const float* a, const float* b, float* c, index_t m,
+                index_t n, index_t k, ThreadPool& pool,
+                const GotoOptions& options, GotoStats* stats)
+{
+    GotoGemm gemm(pool, options);
+    gemm.multiply(a, k, b, n, c, n, m, n, k);
+    if (stats != nullptr) *stats = gemm.stats();
+}
+
+void goto_dgemm(const double* a, const double* b, double* c, index_t m,
+                index_t n, index_t k, ThreadPool& pool,
+                const GotoOptions& options, GotoStats* stats)
+{
+    GotoGemmD gemm(pool, options);
+    gemm.multiply(a, k, b, n, c, n, m, n, k);
+    if (stats != nullptr) *stats = gemm.stats();
+}
+
+Matrix goto_gemm(const Matrix& a, const Matrix& b, ThreadPool& pool,
+                 const GotoOptions& options, GotoStats* stats)
+{
+    CAKE_CHECK(a.cols() == b.rows());
+    Matrix c(a.rows(), b.cols());
+    goto_sgemm(a.data(), b.data(), c.data(), a.rows(), b.cols(), a.cols(),
+               pool, options, stats);
+    return c;
+}
+
+MatrixD goto_gemm(const MatrixD& a, const MatrixD& b, ThreadPool& pool,
+                  const GotoOptions& options, GotoStats* stats)
+{
+    CAKE_CHECK(a.cols() == b.rows());
+    MatrixD c(a.rows(), b.cols());
+    goto_dgemm(a.data(), b.data(), c.data(), a.rows(), b.cols(), a.cols(),
+               pool, options, stats);
+    return c;
+}
+
+}  // namespace cake

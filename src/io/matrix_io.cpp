@@ -1,0 +1,167 @@
+#include "io/matrix_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cake {
+namespace io {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'A', 'K', 'E', 'M', 'A', 'T', '1'};
+
+template <typename T>
+constexpr std::uint32_t dtype_code()
+{
+    return sizeof(T);  // 4 = f32, 8 = f64
+}
+
+}  // namespace
+
+template <typename T>
+void save_matrix(const MatrixT<T>& m, const std::string& path)
+{
+    std::ofstream f(path, std::ios::binary);
+    CAKE_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+    f.write(kMagic, sizeof(kMagic));
+    const std::uint32_t dtype = dtype_code<T>();
+    const std::int64_t rows = m.rows();
+    const std::int64_t cols = m.cols();
+    f.write(reinterpret_cast<const char*>(&dtype), sizeof(dtype));
+    f.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    f.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    f.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(
+                static_cast<std::size_t>(m.size()) * sizeof(T)));
+    CAKE_CHECK_MSG(f.good(), "write to " << path << " failed");
+}
+
+template <typename T>
+MatrixT<T> load_matrix(const std::string& path)
+{
+    std::ifstream f(path, std::ios::binary);
+    CAKE_CHECK_MSG(f.good(), "cannot open " << path);
+    char magic[8];
+    f.read(magic, sizeof(magic));
+    CAKE_CHECK_MSG(f.good() && std::memcmp(magic, kMagic, 8) == 0,
+                   path << ": bad magic (not a CAKE matrix file)");
+    std::uint32_t dtype = 0;
+    std::int64_t rows = 0, cols = 0;
+    f.read(reinterpret_cast<char*>(&dtype), sizeof(dtype));
+    f.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    f.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    CAKE_CHECK_MSG(f.good(), path << ": truncated header");
+    CAKE_CHECK_MSG(dtype == dtype_code<T>(),
+                   path << ": dtype code " << dtype << " != requested "
+                        << dtype_code<T>());
+    CAKE_CHECK_MSG(rows >= 0 && cols >= 0, path << ": negative dimensions");
+    MatrixT<T> m(rows, cols, /*zero=*/false);
+    f.read(reinterpret_cast<char*>(m.data()),
+           static_cast<std::streamsize>(
+               static_cast<std::size_t>(m.size()) * sizeof(T)));
+    CAKE_CHECK_MSG(f.gcount()
+                       == static_cast<std::streamsize>(
+                           static_cast<std::size_t>(m.size()) * sizeof(T)),
+                   path << ": truncated payload");
+    return m;
+}
+
+void save_csv(const Matrix& m, const std::string& path)
+{
+    std::ofstream f(path);
+    CAKE_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+    f.precision(9);
+    for (index_t r = 0; r < m.rows(); ++r) {
+        for (index_t c = 0; c < m.cols(); ++c) {
+            if (c) f << ',';
+            f << m.at(r, c);
+        }
+        f << '\n';
+    }
+    CAKE_CHECK_MSG(f.good(), "write to " << path << " failed");
+}
+
+Matrix load_csv(const std::string& path)
+{
+    std::ifstream f(path);
+    CAKE_CHECK_MSG(f.good(), "cannot open " << path);
+    std::vector<std::vector<float>> rows;
+    std::string line;
+    while (std::getline(f, line)) {
+        if (line.empty()) continue;
+        std::vector<float> row;
+        std::stringstream ss(line);
+        std::string cell;
+        while (std::getline(ss, cell, ',')) {
+            row.push_back(std::stof(cell));
+        }
+        if (!rows.empty()) {
+            CAKE_CHECK_MSG(row.size() == rows.front().size(),
+                           path << ": ragged CSV at line " << rows.size() + 1);
+        }
+        rows.push_back(std::move(row));
+    }
+    if (rows.empty()) return {};
+    Matrix m(static_cast<index_t>(rows.size()),
+             static_cast<index_t>(rows.front().size()), /*zero=*/false);
+    for (index_t r = 0; r < m.rows(); ++r)
+        for (index_t c = 0; c < m.cols(); ++c)
+            m.at(r, c) = rows[static_cast<std::size_t>(r)]
+                             [static_cast<std::size_t>(c)];
+    return m;
+}
+
+void save_matrix_market(const Matrix& m, const std::string& path)
+{
+    std::ofstream f(path);
+    CAKE_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+    f << "%%MatrixMarket matrix array real general\n";
+    f << "% written by the CAKE library\n";
+    f << m.rows() << ' ' << m.cols() << '\n';
+    f.precision(9);
+    // Matrix Market array format is column-major.
+    for (index_t c = 0; c < m.cols(); ++c)
+        for (index_t r = 0; r < m.rows(); ++r) f << m.at(r, c) << '\n';
+    CAKE_CHECK_MSG(f.good(), "write to " << path << " failed");
+}
+
+Matrix load_matrix_market(const std::string& path)
+{
+    std::ifstream f(path);
+    CAKE_CHECK_MSG(f.good(), "cannot open " << path);
+    std::string line;
+    CAKE_CHECK_MSG(std::getline(f, line), path << ": empty file");
+    CAKE_CHECK_MSG(line.rfind("%%MatrixMarket", 0) == 0,
+                   path << ": missing MatrixMarket banner");
+    CAKE_CHECK_MSG(line.find("array") != std::string::npos,
+                   path << ": only dense 'array' format supported");
+    // Skip comments.
+    while (std::getline(f, line) && !line.empty() && line[0] == '%') {
+    }
+    std::stringstream dims(line);
+    index_t rows = 0, cols = 0;
+    dims >> rows >> cols;
+    CAKE_CHECK_MSG(rows > 0 && cols > 0, path << ": bad dimension line");
+    Matrix m(rows, cols, /*zero=*/false);
+    for (index_t c = 0; c < cols; ++c) {
+        for (index_t r = 0; r < rows; ++r) {
+            float v;
+            CAKE_CHECK_MSG(static_cast<bool>(f >> v),
+                           path << ": truncated body");
+            m.at(r, c) = v;
+        }
+    }
+    return m;
+}
+
+template void save_matrix<float>(const Matrix&, const std::string&);
+template void save_matrix<double>(const MatrixD&, const std::string&);
+template Matrix load_matrix<float>(const std::string&);
+template MatrixD load_matrix<double>(const std::string&);
+
+}  // namespace io
+}  // namespace cake

@@ -1,0 +1,44 @@
+// Matrix serialization: a compact binary container, CSV, and the Matrix
+// Market dense ("array") format — so workloads, benchmark inputs and
+// results can round-trip to disk and interoperate with numpy/Matlab/
+// SuiteSparse tooling.
+#pragma once
+
+#include <string>
+
+#include "common/matrix.hpp"
+
+namespace cake {
+namespace io {
+
+/// Binary container: 8-byte magic "CAKEMAT1", u32 dtype (4 = f32, 8 =
+/// f64), i64 rows, i64 cols, then rows*cols little-endian elements.
+template <typename T>
+void save_matrix(const MatrixT<T>& m, const std::string& path);
+
+/// Load a binary container; throws cake::Error on bad magic, dtype
+/// mismatch or truncation.
+template <typename T>
+MatrixT<T> load_matrix(const std::string& path);
+
+/// Plain CSV (no header), full float precision.
+void save_csv(const Matrix& m, const std::string& path);
+
+/// Load CSV written by save_csv (rectangular, comma-separated floats).
+Matrix load_csv(const std::string& path);
+
+/// Matrix Market dense format: "%%MatrixMarket matrix array real general",
+/// column-major body per the spec.
+void save_matrix_market(const Matrix& m, const std::string& path);
+
+/// Load a dense Matrix Market file (array real general).
+Matrix load_matrix_market(const std::string& path);
+
+extern template void save_matrix<float>(const Matrix&, const std::string&);
+extern template void save_matrix<double>(const MatrixD&,
+                                         const std::string&);
+extern template Matrix load_matrix<float>(const std::string&);
+extern template MatrixD load_matrix<double>(const std::string&);
+
+}  // namespace io
+}  // namespace cake

@@ -1,0 +1,90 @@
+// AVX-512F micro-kernels: 14x32 float and 14x16 double. Both use 28 zmm
+// accumulators + 2 zmm B loads + 1 broadcast register = 31 of 32
+// architectural registers. Compiled with -mavx512f; only executed after
+// runtime dispatch confirms support.
+#include <immintrin.h>
+
+#include "kernel/microkernel.hpp"
+
+namespace cake {
+namespace {
+
+constexpr index_t kMr = 14;
+
+void avx512_ukr_14x32(index_t kc, const float* a, const float* b, float* c,
+                      index_t ldc, bool accumulate)
+{
+    constexpr index_t kNr = 32;
+    __m512 acc[kMr][2];
+    for (auto& row : acc) {
+        row[0] = _mm512_setzero_ps();
+        row[1] = _mm512_setzero_ps();
+    }
+
+    for (index_t p = 0; p < kc; ++p) {
+        const __m512 b0 = _mm512_load_ps(b + p * kNr);
+        const __m512 b1 = _mm512_load_ps(b + p * kNr + 16);
+        const float* ap = a + p * kMr;
+        for (index_t i = 0; i < kMr; ++i) {
+            const __m512 ai = _mm512_set1_ps(ap[i]);
+            acc[i][0] = _mm512_fmadd_ps(ai, b0, acc[i][0]);
+            acc[i][1] = _mm512_fmadd_ps(ai, b1, acc[i][1]);
+        }
+    }
+
+    for (index_t i = 0; i < kMr; ++i) {
+        float* ci = c + i * ldc;
+        if (accumulate) {
+            acc[i][0] = _mm512_add_ps(acc[i][0], _mm512_loadu_ps(ci));
+            acc[i][1] = _mm512_add_ps(acc[i][1], _mm512_loadu_ps(ci + 16));
+        }
+        _mm512_storeu_ps(ci, acc[i][0]);
+        _mm512_storeu_ps(ci + 16, acc[i][1]);
+    }
+}
+
+void avx512_ukr_14x16_f64(index_t kc, const double* a, const double* b,
+                          double* c, index_t ldc, bool accumulate)
+{
+    constexpr index_t kNr = 16;
+    __m512d acc[kMr][2];
+    for (auto& row : acc) {
+        row[0] = _mm512_setzero_pd();
+        row[1] = _mm512_setzero_pd();
+    }
+
+    for (index_t p = 0; p < kc; ++p) {
+        const __m512d b0 = _mm512_load_pd(b + p * kNr);
+        const __m512d b1 = _mm512_load_pd(b + p * kNr + 8);
+        const double* ap = a + p * kMr;
+        for (index_t i = 0; i < kMr; ++i) {
+            const __m512d ai = _mm512_set1_pd(ap[i]);
+            acc[i][0] = _mm512_fmadd_pd(ai, b0, acc[i][0]);
+            acc[i][1] = _mm512_fmadd_pd(ai, b1, acc[i][1]);
+        }
+    }
+
+    for (index_t i = 0; i < kMr; ++i) {
+        double* ci = c + i * ldc;
+        if (accumulate) {
+            acc[i][0] = _mm512_add_pd(acc[i][0], _mm512_loadu_pd(ci));
+            acc[i][1] = _mm512_add_pd(acc[i][1], _mm512_loadu_pd(ci + 8));
+        }
+        _mm512_storeu_pd(ci, acc[i][0]);
+        _mm512_storeu_pd(ci + 8, acc[i][1]);
+    }
+}
+
+}  // namespace
+
+MicroKernel avx512_microkernel()
+{
+    return {"avx512_14x32", Isa::kAvx512, kMr, 32, &avx512_ukr_14x32};
+}
+
+MicroKernelD avx512_microkernel_f64()
+{
+    return {"avx512_14x16_f64", Isa::kAvx512, kMr, 16, &avx512_ukr_14x16_f64};
+}
+
+}  // namespace cake

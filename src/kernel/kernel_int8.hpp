@@ -1,0 +1,55 @@
+// Quantized (u8 x s8 -> s32) micro-kernels for DNN inference — the
+// deployment format of the CNN workloads the paper's introduction
+// motivates. Follows the x86 integer dot-product idiom (vpmaddubsw /
+// vpmaddwd): the reduction dimension is processed in groups of four.
+//
+// Packed layouts (kq = round_up(kc, 4) / 4 k-quads):
+//   A (uint8): a[q*mr*4 + i*4 + j] = A(i, 4q + j), zero-padded in k and m.
+//   B (int8):  b[q*nr*4 + jj*4 + j] = B(4q + j, jj), zero-padded.
+// C is int32, row-major with leading dimension ldc.
+//
+// Range note: the AVX2/AVX-512 kernels use vpmaddubsw, whose int16 pair
+// sums saturate. Results are exact whenever every A value is <= 127
+// (guaranteed by cake::quantize_unsigned, which maps into [0,127]); the
+// scalar kernel is exact over the full u8 range.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "kernel/cpu_features.hpp"
+
+namespace cake {
+
+/// Kernel contract: C(mr x nr) (+)= A_panel * B_panel over kq k-quads.
+using Int8KernelFn = void (*)(index_t kq, const std::uint8_t* a,
+                              const std::int8_t* b, std::int32_t* c,
+                              index_t ldc, bool accumulate);
+
+struct Int8MicroKernel {
+    const char* name = "";
+    Isa isa = Isa::kScalar;
+    index_t mr = 0;
+    index_t nr = 0;
+    Int8KernelFn fn = nullptr;
+};
+
+Int8MicroKernel scalar_int8_microkernel();
+#if defined(CAKE_HAVE_AVX2_KERNEL)
+Int8MicroKernel avx2_int8_microkernel();  ///< 4x16, needs AVX2
+#endif
+#if defined(CAKE_HAVE_AVX512_KERNEL)
+Int8MicroKernel avx512_int8_microkernel();  ///< 4x32, needs AVX-512BW
+#endif
+
+/// Best int8 kernel runnable on this CPU (honours CAKE_FORCE_ISA).
+const Int8MicroKernel& best_int8_microkernel();
+
+/// Run a (possibly partial) m x n tile through `k`; edges go via scratch
+/// (mr*nr int32, 64-byte aligned).
+void run_int8_tile(const Int8MicroKernel& k, index_t kq,
+                   const std::uint8_t* a, const std::int8_t* b,
+                   std::int32_t* c, index_t ldc, index_t m, index_t n,
+                   bool accumulate, std::int32_t* scratch);
+
+}  // namespace cake

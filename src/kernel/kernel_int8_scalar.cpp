@@ -1,0 +1,105 @@
+// Scalar u8 x s8 -> s32 micro-kernel (exact over the full input range)
+// plus the shared dispatch and edge-tile helpers.
+#include "kernel/kernel_int8.hpp"
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+namespace cake {
+namespace {
+
+constexpr index_t kMr = 4;
+constexpr index_t kNr = 4;
+
+void scalar_int8_ukr(index_t kq, const std::uint8_t* a, const std::int8_t* b,
+                     std::int32_t* c, index_t ldc, bool accumulate)
+{
+    std::int32_t acc[kMr][kNr] = {};
+    for (index_t q = 0; q < kq; ++q) {
+        const std::uint8_t* aq = a + q * kMr * 4;
+        const std::int8_t* bq = b + q * kNr * 4;
+        for (index_t i = 0; i < kMr; ++i) {
+            for (index_t jj = 0; jj < kNr; ++jj) {
+                std::int32_t dot = 0;
+                for (index_t j = 0; j < 4; ++j) {
+                    dot += static_cast<std::int32_t>(aq[i * 4 + j])
+                        * static_cast<std::int32_t>(bq[jj * 4 + j]);
+                }
+                acc[i][jj] += dot;
+            }
+        }
+    }
+    if (accumulate) {
+        for (index_t i = 0; i < kMr; ++i)
+            for (index_t j = 0; j < kNr; ++j) c[i * ldc + j] += acc[i][j];
+    } else {
+        for (index_t i = 0; i < kMr; ++i)
+            for (index_t j = 0; j < kNr; ++j) c[i * ldc + j] = acc[i][j];
+    }
+}
+
+}  // namespace
+
+Int8MicroKernel scalar_int8_microkernel()
+{
+    return {"scalar_int8_4x4", Isa::kScalar, kMr, kNr, &scalar_int8_ukr};
+}
+
+const Int8MicroKernel& best_int8_microkernel()
+{
+    static const Int8MicroKernel chosen = [] {
+        if (auto forced = env_string("CAKE_FORCE_ISA")) {
+            const Isa isa = parse_isa(*forced);
+            switch (isa) {
+                case Isa::kScalar: return scalar_int8_microkernel();
+                case Isa::kAvx2:
+#if defined(CAKE_HAVE_AVX2_KERNEL)
+                    CAKE_CHECK_MSG(cpu_features().avx2,
+                                   "AVX2 not supported by CPU");
+                    return avx2_int8_microkernel();
+#else
+                    throw Error("AVX2 int8 kernel not compiled in");
+#endif
+                case Isa::kAvx512:
+#if defined(CAKE_HAVE_AVX512_KERNEL)
+                    CAKE_CHECK_MSG(cpu_features().avx512bw,
+                                   "AVX-512BW not supported by CPU");
+                    return avx512_int8_microkernel();
+#else
+                    throw Error("AVX-512 int8 kernel not compiled in");
+#endif
+            }
+        }
+#if defined(CAKE_HAVE_AVX512_KERNEL)
+        if (cpu_features().avx512bw) return avx512_int8_microkernel();
+#endif
+#if defined(CAKE_HAVE_AVX2_KERNEL)
+        if (cpu_features().avx2) return avx2_int8_microkernel();
+#endif
+        return scalar_int8_microkernel();
+    }();
+    return chosen;
+}
+
+void run_int8_tile(const Int8MicroKernel& k, index_t kq,
+                   const std::uint8_t* a, const std::int8_t* b,
+                   std::int32_t* c, index_t ldc, index_t m, index_t n,
+                   bool accumulate, std::int32_t* scratch)
+{
+    if (m == k.mr && n == k.nr) {
+        k.fn(kq, a, b, c, ldc, accumulate);
+        return;
+    }
+    k.fn(kq, a, b, scratch, k.nr, /*accumulate=*/false);
+    if (accumulate) {
+        for (index_t i = 0; i < m; ++i)
+            for (index_t j = 0; j < n; ++j)
+                c[i * ldc + j] += scratch[i * k.nr + j];
+    } else {
+        for (index_t i = 0; i < m; ++i)
+            for (index_t j = 0; j < n; ++j)
+                c[i * ldc + j] = scratch[i * k.nr + j];
+    }
+}
+
+}  // namespace cake

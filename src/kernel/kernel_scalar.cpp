@@ -1,0 +1,43 @@
+// Portable scalar micro-kernels. Serve as the correctness oracles for the
+// SIMD variants and as the fallback on CPUs without AVX2.
+#include "kernel/microkernel.hpp"
+
+namespace cake {
+namespace {
+
+template <typename T, index_t kMr, index_t kNr>
+void scalar_ukr(index_t kc, const T* a, const T* b, T* c, index_t ldc,
+                bool accumulate)
+{
+    // Local accumulator tile; compilers vectorise this reliably.
+    T acc[kMr][kNr] = {};
+    for (index_t p = 0; p < kc; ++p) {
+        const T* ap = a + p * kMr;
+        const T* bp = b + p * kNr;
+        for (index_t i = 0; i < kMr; ++i) {
+            const T ai = ap[i];
+            for (index_t j = 0; j < kNr; ++j) acc[i][j] += ai * bp[j];
+        }
+    }
+    if (accumulate) {
+        for (index_t i = 0; i < kMr; ++i)
+            for (index_t j = 0; j < kNr; ++j) c[i * ldc + j] += acc[i][j];
+    } else {
+        for (index_t i = 0; i < kMr; ++i)
+            for (index_t j = 0; j < kNr; ++j) c[i * ldc + j] = acc[i][j];
+    }
+}
+
+}  // namespace
+
+MicroKernel scalar_microkernel()
+{
+    return {"scalar_8x8", Isa::kScalar, 8, 8, &scalar_ukr<float, 8, 8>};
+}
+
+MicroKernelD scalar_microkernel_f64()
+{
+    return {"scalar_8x8_f64", Isa::kScalar, 8, 8, &scalar_ukr<double, 8, 8>};
+}
+
+}  // namespace cake

@@ -1,0 +1,81 @@
+// Micro-kernel contract: the register-tiled rank-kc update at the bottom of
+// both the CAKE and GOTO schedulers (paper Figs 5e / 6e).
+//
+// A micro-kernel computes C(mr x nr) (+)= A_panel * B_panel where:
+//   * A_panel is packed column-major by k-step: a[p*mr + i] = A(i, p)
+//   * B_panel is packed row-major by k-step:    b[p*nr + j] = B(p, j)
+//   * C is an mr x nr tile inside a row-major matrix with leading dim ldc.
+//
+// Full tiles hit the SIMD kernels; partial edge tiles are computed into an
+// aligned scratch tile and copied out (see run_microkernel_tile). Kernels
+// exist for float (sgemm) and double (dgemm) at every ISA level.
+#pragma once
+
+#include "common/types.hpp"
+#include "kernel/cpu_features.hpp"
+
+namespace cake {
+
+/// Function signature shared by all micro-kernels of element type T.
+/// `accumulate == false` overwrites C; `true` adds into C.
+template <typename T>
+using MicroKernelFnT = void (*)(index_t kc, const T* a, const T* b, T* c,
+                                index_t ldc, bool accumulate);
+
+/// A registered micro-kernel variant with its register-tile dimensions.
+template <typename T>
+struct MicroKernelT {
+    const char* name = "";
+    Isa isa = Isa::kScalar;
+    index_t mr = 0;  ///< register-tile rows (paper's m_r)
+    index_t nr = 0;  ///< register-tile cols (paper's n_r)
+    MicroKernelFnT<T> fn = nullptr;
+};
+
+using MicroKernel = MicroKernelT<float>;
+using MicroKernelD = MicroKernelT<double>;
+
+/// Scalar reference kernels (always available).
+MicroKernel scalar_microkernel();
+MicroKernelD scalar_microkernel_f64();
+
+#if defined(CAKE_HAVE_AVX2_KERNEL)
+/// 6x16 (float) and 6x8 (double) AVX2+FMA kernels.
+MicroKernel avx2_microkernel();
+MicroKernelD avx2_microkernel_f64();
+#endif
+
+#if defined(CAKE_HAVE_AVX512_KERNEL)
+/// 14x32 (float) and 14x16 (double) AVX-512F kernels.
+MicroKernel avx512_microkernel();
+MicroKernelD avx512_microkernel_f64();
+#endif
+
+/// Run a (possibly partial) m x n tile, m <= mr, n <= nr, with depth `kc`:
+/// full tiles call the kernel directly; edges go through a scratch tile.
+/// `scratch` must hold at least mr*nr elements, 64-byte aligned.
+template <typename T>
+void run_microkernel_tile(const MicroKernelT<T>& k, index_t kc, const T* a,
+                          const T* b, T* c, index_t ldc, index_t m, index_t n,
+                          bool accumulate, T* scratch)
+{
+    if (m == k.mr && n == k.nr) {
+        k.fn(kc, a, b, c, ldc, accumulate);
+        return;
+    }
+    // Edge tile: compute the full mr x nr tile into scratch (packed panels
+    // are zero-padded, so the extra rows/cols are zero), then copy the live
+    // m x n region.
+    k.fn(kc, a, b, scratch, k.nr, /*accumulate=*/false);
+    if (accumulate) {
+        for (index_t i = 0; i < m; ++i)
+            for (index_t j = 0; j < n; ++j)
+                c[i * ldc + j] += scratch[i * k.nr + j];
+    } else {
+        for (index_t i = 0; i < m; ++i)
+            for (index_t j = 0; j < n; ++j)
+                c[i * ldc + j] = scratch[i * k.nr + j];
+    }
+}
+
+}  // namespace cake

@@ -1,0 +1,99 @@
+#include "kernel/registry.hpp"
+
+#include <algorithm>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+namespace cake {
+namespace {
+
+template <typename T>
+const MicroKernelT<T>& microkernel_for_impl(Isa isa)
+{
+    for (const auto& k : all_microkernels_of<T>()) {
+        if (k.isa == isa) {
+            CAKE_CHECK_MSG(isa_supported(isa),
+                           "ISA " << isa_name(isa) << " not supported by CPU");
+            return k;
+        }
+    }
+    throw Error(std::string("no micro-kernel compiled for ISA ")
+                + isa_name(isa));
+}
+
+template <typename T>
+const MicroKernelT<T>& best_microkernel_impl()
+{
+    static const MicroKernelT<T> chosen = [] {
+        if (auto forced = env_string("CAKE_FORCE_ISA")) {
+            return microkernel_for_impl<T>(parse_isa(*forced));
+        }
+        auto supported = supported_microkernels_of<T>();
+        CAKE_CHECK(!supported.empty());
+        return supported.front();
+    }();
+    return chosen;
+}
+
+}  // namespace
+
+template <>
+const std::vector<MicroKernel>& all_microkernels_of<float>()
+{
+    static const std::vector<MicroKernel> kernels = [] {
+        std::vector<MicroKernel> v;
+        v.push_back(scalar_microkernel());
+#if defined(CAKE_HAVE_AVX2_KERNEL)
+        v.push_back(avx2_microkernel());
+#endif
+#if defined(CAKE_HAVE_AVX512_KERNEL)
+        v.push_back(avx512_microkernel());
+#endif
+        return v;
+    }();
+    return kernels;
+}
+
+template <>
+const std::vector<MicroKernelD>& all_microkernels_of<double>()
+{
+    static const std::vector<MicroKernelD> kernels = [] {
+        std::vector<MicroKernelD> v;
+        v.push_back(scalar_microkernel_f64());
+#if defined(CAKE_HAVE_AVX2_KERNEL)
+        v.push_back(avx2_microkernel_f64());
+#endif
+#if defined(CAKE_HAVE_AVX512_KERNEL)
+        v.push_back(avx512_microkernel_f64());
+#endif
+        return v;
+    }();
+    return kernels;
+}
+
+template <>
+const MicroKernel& microkernel_for_of<float>(Isa isa)
+{
+    return microkernel_for_impl<float>(isa);
+}
+
+template <>
+const MicroKernelD& microkernel_for_of<double>(Isa isa)
+{
+    return microkernel_for_impl<double>(isa);
+}
+
+template <>
+const MicroKernel& best_microkernel_of<float>()
+{
+    return best_microkernel_impl<float>();
+}
+
+template <>
+const MicroKernelD& best_microkernel_of<double>()
+{
+    return best_microkernel_impl<double>();
+}
+
+}  // namespace cake

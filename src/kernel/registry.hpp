@@ -1,0 +1,77 @@
+// Kernel registry and runtime dispatch, for float (sgemm) and double
+// (dgemm) kernel families.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "kernel/microkernel.hpp"
+
+namespace cake {
+
+/// All kernels of element type T compiled into this binary (regardless of
+/// CPU support). Specialised for float and double.
+template <typename T>
+const std::vector<MicroKernelT<T>>& all_microkernels_of();
+
+/// Kernels of element type T runnable on the executing CPU, widest first.
+template <typename T>
+std::vector<MicroKernelT<T>> supported_microkernels_of()
+{
+    std::vector<MicroKernelT<T>> v;
+    for (const auto& k : all_microkernels_of<T>()) {
+        if (isa_supported(k.isa)) v.push_back(k);
+    }
+    // Widest vector first: avx512 > avx2 > scalar.
+    std::sort(v.begin(), v.end(),
+              [](const MicroKernelT<T>& a, const MicroKernelT<T>& b) {
+                  return static_cast<int>(a.isa) > static_cast<int>(b.isa);
+              });
+    return v;
+}
+
+/// Kernel of element type T for a specific ISA; throws cake::Error if not
+/// compiled in or not supported by this CPU.
+template <typename T>
+const MicroKernelT<T>& microkernel_for_of(Isa isa);
+
+/// The preferred kernel of element type T for this CPU. Honours the
+/// CAKE_FORCE_ISA environment variable ("scalar" | "avx2" | "avx512").
+template <typename T>
+const MicroKernelT<T>& best_microkernel_of();
+
+// Explicit specialisations are defined in registry.cpp. They must be
+// declared before the inline wrappers below instantiate the templates.
+template <>
+const std::vector<MicroKernel>& all_microkernels_of<float>();
+template <>
+const std::vector<MicroKernelD>& all_microkernels_of<double>();
+template <>
+const MicroKernel& microkernel_for_of<float>(Isa isa);
+template <>
+const MicroKernelD& microkernel_for_of<double>(Isa isa);
+template <>
+const MicroKernel& best_microkernel_of<float>();
+template <>
+const MicroKernelD& best_microkernel_of<double>();
+
+// ---- float-named convenience API (the original sgemm surface) ----
+
+inline const std::vector<MicroKernel>& all_microkernels()
+{
+    return all_microkernels_of<float>();
+}
+inline std::vector<MicroKernel> supported_microkernels()
+{
+    return supported_microkernels_of<float>();
+}
+inline const MicroKernel& best_microkernel()
+{
+    return best_microkernel_of<float>();
+}
+inline const MicroKernel& microkernel_for(Isa isa)
+{
+    return microkernel_for_of<float>(isa);
+}
+
+}  // namespace cake

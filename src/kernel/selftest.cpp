@@ -1,0 +1,128 @@
+#include "kernel/selftest.hpp"
+
+#include <cmath>
+
+#include "common/aligned.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "kernel/kernel_int8.hpp"
+#include "kernel/registry.hpp"
+#include "pack/pack_int8.hpp"
+
+namespace cake {
+namespace {
+
+template <typename T>
+KernelSelfTestResult test_float_kernel(const MicroKernelT<T>& kernel,
+                                       const char* family, index_t kc,
+                                       Rng& rng)
+{
+    KernelSelfTestResult result;
+    result.kernel = kernel.name;
+    result.family = family;
+
+    AlignedBuffer<T> a(static_cast<std::size_t>(kernel.mr * kc));
+    AlignedBuffer<T> b(static_cast<std::size_t>(kernel.nr * kc));
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] = static_cast<T>(rng.next_double() * 2 - 1);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b[i] = static_cast<T>(rng.next_double() * 2 - 1);
+
+    AlignedBuffer<T> c(static_cast<std::size_t>(kernel.mr * kernel.nr),
+                       true);
+    kernel.fn(kc, a.data(), b.data(), c.data(), kernel.nr, false);
+
+    double worst = 0;
+    for (index_t i = 0; i < kernel.mr; ++i) {
+        for (index_t j = 0; j < kernel.nr; ++j) {
+            long double acc = 0;
+            for (index_t p = 0; p < kc; ++p)
+                acc += static_cast<long double>(
+                           a[static_cast<std::size_t>(p * kernel.mr + i)])
+                    * b[static_cast<std::size_t>(p * kernel.nr + j)];
+            worst = std::max(
+                worst,
+                std::abs(static_cast<double>(
+                    c[static_cast<std::size_t>(i * kernel.nr + j)]
+                    - static_cast<T>(acc))));
+        }
+    }
+    result.max_error = worst;
+    const double tol = sizeof(T) == 4 ? gemm_tolerance(kc)
+                                      : dgemm_tolerance(kc);
+    result.passed = worst <= tol;
+    return result;
+}
+
+KernelSelfTestResult test_int8_kernel(const Int8MicroKernel& kernel,
+                                      index_t kc, Rng& rng)
+{
+    KernelSelfTestResult result;
+    result.kernel = kernel.name;
+    result.family = "int8";
+
+    const index_t kq = int8_kq(kc);
+    AlignedBuffer<std::uint8_t> a(
+        static_cast<std::size_t>(kernel.mr * kq * 4));
+    AlignedBuffer<std::int8_t> b(
+        static_cast<std::size_t>(kernel.nr * kq * 4));
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] = static_cast<std::uint8_t>(rng.next_below(128));
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b[i] = static_cast<std::int8_t>(
+            static_cast<int>(rng.next_below(255)) - 127);
+
+    AlignedBuffer<std::int32_t> c(
+        static_cast<std::size_t>(kernel.mr * kernel.nr), true);
+    kernel.fn(kq, a.data(), b.data(), c.data(), kernel.nr, false);
+
+    double worst = 0;
+    for (index_t i = 0; i < kernel.mr; ++i) {
+        for (index_t j = 0; j < kernel.nr; ++j) {
+            std::int64_t acc = 0;
+            for (index_t q = 0; q < kq; ++q)
+                for (index_t d = 0; d < 4; ++d)
+                    acc += static_cast<std::int64_t>(
+                               a[static_cast<std::size_t>(q * kernel.mr * 4
+                                                          + i * 4 + d)])
+                        * b[static_cast<std::size_t>(q * kernel.nr * 4
+                                                     + j * 4 + d)];
+            worst = std::max(
+                worst,
+                std::abs(static_cast<double>(
+                    c[static_cast<std::size_t>(i * kernel.nr + j)] - acc)));
+        }
+    }
+    result.max_error = worst;
+    result.passed = worst == 0.0;  // integer kernels must be exact
+    return result;
+}
+
+}  // namespace
+
+std::vector<KernelSelfTestResult> run_kernel_selftest(index_t kc,
+                                                      std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<KernelSelfTestResult> results;
+    for (const auto& k : supported_microkernels_of<float>())
+        results.push_back(test_float_kernel(k, "f32", kc, rng));
+    for (const auto& k : supported_microkernels_of<double>())
+        results.push_back(test_float_kernel(k, "f64", kc, rng));
+    // int8 family: scalar always; SIMD variants per CPU support.
+    results.push_back(test_int8_kernel(scalar_int8_microkernel(), kc, rng));
+    const Int8MicroKernel& best = best_int8_microkernel();
+    if (std::string(best.name) != "scalar_int8_4x4")
+        results.push_back(test_int8_kernel(best, kc, rng));
+    return results;
+}
+
+bool all_kernels_ok()
+{
+    for (const auto& r : run_kernel_selftest()) {
+        if (!r.passed) return false;
+    }
+    return true;
+}
+
+}  // namespace cake

@@ -1,0 +1,154 @@
+#include "linalg/cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/blas_like.hpp"
+
+namespace cake {
+namespace linalg {
+namespace {
+
+/// Unblocked Cholesky on a jb x jb diagonal block (row-major, ld = lda).
+void factor_diagonal(float* a, index_t lda, index_t jb)
+{
+    for (index_t j = 0; j < jb; ++j) {
+        double d = a[j * lda + j];
+        for (index_t t = 0; t < j; ++t) {
+            d -= static_cast<double>(a[j * lda + t]) * a[j * lda + t];
+        }
+        CAKE_CHECK_MSG(d > 0.0,
+                       "matrix not positive definite at pivot " << j);
+        const float ljj = static_cast<float>(std::sqrt(d));
+        a[j * lda + j] = ljj;
+        for (index_t i = j + 1; i < jb; ++i) {
+            double s = a[i * lda + j];
+            for (index_t t = 0; t < j; ++t) {
+                s -= static_cast<double>(a[i * lda + t]) * a[j * lda + t];
+            }
+            a[i * lda + j] = static_cast<float>(s / ljj);
+        }
+    }
+}
+
+/// Panel solve: rows x jb block P <- P * L_d^{-T}, with L_d the factored
+/// jb x jb diagonal block (both row-major, leading dimension lda).
+void solve_panel(float* p, const float* ld, index_t lda, index_t rows,
+                 index_t jb)
+{
+    for (index_t c = 0; c < jb; ++c) {
+        const float inv = 1.0f / ld[c * lda + c];
+        for (index_t r = 0; r < rows; ++r) {
+            double s = p[r * lda + c];
+            for (index_t t = 0; t < c; ++t) {
+                s -= static_cast<double>(p[r * lda + t]) * ld[c * lda + t];
+            }
+            p[r * lda + c] = static_cast<float>(s * inv);
+        }
+    }
+}
+
+}  // namespace
+
+void cholesky(Matrix& a, ThreadPool& pool, index_t block)
+{
+    CAKE_CHECK_MSG(a.rows() == a.cols(), "Cholesky needs a square matrix");
+    const index_t n = a.rows();
+    if (block <= 0) block = std::min<index_t>(128, std::max<index_t>(n, 1));
+    float* data = a.data();
+
+    for (index_t j0 = 0; j0 < n; j0 += block) {
+        const index_t jb = std::min(block, n - j0);
+        float* diag = data + j0 * n + j0;
+
+        // 1. Factor the diagonal block (unblocked).
+        factor_diagonal(diag, n, jb);
+
+        const index_t trail = n - j0 - jb;
+        if (trail == 0) continue;
+        float* panel = data + (j0 + jb) * n + j0;
+
+        // 2. Triangular solve for the panel below the diagonal block.
+        solve_panel(panel, diag, n, trail, jb);
+
+        // 3. Trailing update A22 -= L21 * L21^T: the BLAS3 bulk of the
+        // factorization, routed through the CAKE SYRK adapter.
+        float* trailing = data + (j0 + jb) * n + (j0 + jb);
+        cake_syrk<float>(pool, panel, n, trailing, n, trail, jb,
+                         /*alpha=*/-1.0f, /*beta=*/1.0f);
+    }
+
+    // Zero the strict upper triangle: A now stores L.
+    for (index_t r = 0; r < n; ++r) {
+        for (index_t c = r + 1; c < n; ++c) data[r * n + c] = 0.0f;
+    }
+}
+
+void solve_lower(const Matrix& l, float* b, index_t nrhs)
+{
+    const index_t n = l.rows();
+    for (index_t i = 0; i < n; ++i) {
+        const float* li = l.data() + i * n;
+        float* bi = b + i * nrhs;
+        for (index_t j = 0; j < nrhs; ++j) {
+            double s = bi[j];
+            for (index_t t = 0; t < i; ++t) {
+                s -= static_cast<double>(li[t]) * b[t * nrhs + j];
+            }
+            bi[j] = static_cast<float>(s / li[i]);
+        }
+    }
+}
+
+void solve_lower_transposed(const Matrix& l, float* b, index_t nrhs)
+{
+    const index_t n = l.rows();
+    for (index_t i = n; i-- > 0;) {
+        float* bi = b + i * nrhs;
+        for (index_t j = 0; j < nrhs; ++j) {
+            double s = bi[j];
+            for (index_t t = i + 1; t < n; ++t) {
+                // L^T[i][t] = L[t][i]
+                s -= static_cast<double>(l.at(t, i)) * b[t * nrhs + j];
+            }
+            bi[j] = static_cast<float>(s / l.at(i, i));
+        }
+    }
+}
+
+Matrix solve_spd(const Matrix& a, const Matrix& b, ThreadPool& pool)
+{
+    CAKE_CHECK(a.rows() == a.cols());
+    CAKE_CHECK(b.rows() == a.rows());
+    Matrix l(a.rows(), a.cols(), /*zero=*/false);
+    std::copy_n(a.data(), a.size(), l.data());
+    cholesky(l, pool);
+
+    Matrix x(b.rows(), b.cols(), /*zero=*/false);
+    std::copy_n(b.data(), b.size(), x.data());
+    solve_lower(l, x.data(), x.cols());
+    solve_lower_transposed(l, x.data(), x.cols());
+    return x;
+}
+
+double reconstruction_error(const Matrix& a, const Matrix& l,
+                            ThreadPool& pool)
+{
+    CAKE_CHECK(a.rows() == a.cols() && l.rows() == a.rows());
+    const index_t n = a.rows();
+    Matrix llt(n, n);
+    cake_syrk<float>(pool, l.data(), n, llt.data(), n, n, n);
+    double frob = 0;
+    for (index_t r = 0; r < n; ++r) {
+        for (index_t c = 0; c < n; ++c) {
+            const double d =
+                static_cast<double>(a.at(r, c)) - llt.at(r, c);
+            frob += d * d;
+        }
+    }
+    return std::sqrt(frob);
+}
+
+}  // namespace linalg
+}  // namespace cake

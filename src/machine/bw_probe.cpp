@@ -1,0 +1,99 @@
+#include "machine/bw_probe.hpp"
+
+#include <atomic>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace cake {
+namespace {
+
+/// Sum-reduce an array; written to vectorise and to defeat dead-code
+/// elimination via the returned value.
+double scan_once(const float* data, std::size_t count)
+{
+    // Four independent partial sums keep the FMA pipelines busy.
+    float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        s0 += data[i];
+        s1 += data[i + 1];
+        s2 += data[i + 2];
+        s3 += data[i + 3];
+    }
+    for (; i < count; ++i) s0 += data[i];
+    return static_cast<double>(s0) + s1 + s2 + s3;
+}
+
+}  // namespace
+
+double measure_scan_bandwidth_gbs(ThreadPool& pool, int threads,
+                                  std::size_t bytes_per_thread, int sweeps)
+{
+    CAKE_CHECK(threads >= 1 && threads <= pool.size());
+    CAKE_CHECK(bytes_per_thread >= 4096);
+    CAKE_CHECK(sweeps >= 1);
+    const std::size_t count = bytes_per_thread / sizeof(float);
+
+    std::vector<AlignedBuffer<float>> arrays;
+    arrays.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        arrays.emplace_back(count);
+        for (std::size_t i = 0; i < count; ++i)
+            arrays.back()[i] = static_cast<float>(i & 0xFF) * 0.001f;
+    }
+
+    std::atomic<double> sink{0.0};
+    // Warm-up sweep loads the working set into cache.
+    pool.run(threads, [&](int tid) {
+        sink.fetch_add(
+            scan_once(arrays[static_cast<std::size_t>(tid)].data(), count));
+    });
+
+    Timer timer;
+    pool.run(threads, [&](int tid) {
+        double local = 0;
+        for (int s = 0; s < sweeps; ++s) {
+            local +=
+                scan_once(arrays[static_cast<std::size_t>(tid)].data(), count);
+        }
+        sink.fetch_add(local);
+    });
+    const double seconds = timer.seconds();
+    CAKE_CHECK(seconds > 0);
+    // Keep the compiler honest about the reduction result.
+    CAKE_CHECK(sink.load() != -1.0);
+
+    const double total_bytes = static_cast<double>(bytes_per_thread) * threads
+        * sweeps;
+    return total_bytes / seconds / 1e9;
+}
+
+std::vector<double> probe_internal_bw_curve(ThreadPool& pool, int max_threads,
+                                            std::size_t bytes_per_thread,
+                                            int sweeps)
+{
+    std::vector<double> curve;
+    curve.reserve(static_cast<std::size_t>(max_threads));
+    for (int p = 1; p <= max_threads; ++p) {
+        curve.push_back(
+            measure_scan_bandwidth_gbs(pool, p, bytes_per_thread, sweeps));
+    }
+    return curve;
+}
+
+std::vector<BwScanPoint> scan_working_sets(ThreadPool& pool, int threads,
+                                           const std::vector<std::size_t>& sizes,
+                                           int sweeps)
+{
+    std::vector<BwScanPoint> points;
+    points.reserve(sizes.size());
+    for (std::size_t bytes : sizes) {
+        points.push_back(
+            {bytes, measure_scan_bandwidth_gbs(pool, threads, bytes, sweeps)});
+    }
+    return points;
+}
+
+}  // namespace cake

@@ -1,0 +1,39 @@
+// Memory-bandwidth probing, in the spirit of pmbw (Bingmann 2013), which
+// the paper uses to measure internal (LLC <-> cores) bandwidth for
+// Figs. 10c/11c/12c. Each worker scans a private array with a vectorisable
+// sum reduction; aggregate GB/s at p workers approximates the machine's
+// parallel read bandwidth out of whatever level the working set fits in.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "threading/thread_pool.hpp"
+
+namespace cake {
+
+/// One measurement: aggregate read bandwidth when `threads` workers each
+/// scan a private array of `bytes_per_thread` bytes `sweeps` times.
+/// The returned figure is total bytes moved / wall time, in GB/s.
+double measure_scan_bandwidth_gbs(ThreadPool& pool, int threads,
+                                  std::size_t bytes_per_thread,
+                                  int sweeps = 8);
+
+/// pmbw-style curve: bandwidth at p = 1..max_threads for a working set
+/// sized to live in the cache level of interest (element i = p = i+1).
+/// Feed the result into MachineSpec::internal_bw_gbs to calibrate a host.
+std::vector<double> probe_internal_bw_curve(ThreadPool& pool, int max_threads,
+                                            std::size_t bytes_per_thread,
+                                            int sweeps = 8);
+
+/// A full pmbw-style scan over working-set sizes (bytes per thread),
+/// reporting GB/s for each; used by the bench_pmbw_host harness.
+struct BwScanPoint {
+    std::size_t bytes_per_thread = 0;
+    double gbs = 0.0;
+};
+std::vector<BwScanPoint> scan_working_sets(ThreadPool& pool, int threads,
+                                           const std::vector<std::size_t>& sizes,
+                                           int sweeps = 8);
+
+}  // namespace cake

@@ -1,0 +1,208 @@
+#include "memsim/cache_sim.hpp"
+
+#include "common/error.hpp"
+
+namespace cake {
+namespace memsim {
+
+CacheSim::CacheSim(std::size_t size_bytes, std::size_t line_bytes, int ways)
+    : size_bytes_(size_bytes), line_bytes_(line_bytes), ways_(ways)
+{
+    CAKE_CHECK(size_bytes > 0 && line_bytes > 0 && ways > 0);
+    sets_ = size_bytes / (line_bytes * static_cast<std::size_t>(ways));
+    CAKE_CHECK_MSG(sets_ >= 1, "cache smaller than one set");
+    store_.assign(sets_ * static_cast<std::size_t>(ways), Way{});
+}
+
+CacheSim::AccessResult CacheSim::access(std::uint64_t line_addr, bool write)
+{
+    AccessResult result;
+    const std::size_t set = static_cast<std::size_t>(line_addr) % sets_;
+    const std::uint64_t tag = line_addr / sets_;
+    Way* base = store_.data() + set * static_cast<std::size_t>(ways_);
+    ++tick_;
+
+    Way* victim = base;
+    for (int w = 0; w < ways_; ++w) {
+        Way& way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.last_use = tick_;
+            way.dirty = way.dirty || write;
+            result.hit = true;
+            return result;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.last_use < victim->last_use) {
+            victim = &way;
+        }
+    }
+
+    if (victim->valid && victim->dirty) {
+        result.evicted_dirty = true;
+        result.evicted_line = victim->tag * sets_ + set;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->last_use = tick_;
+    victim->dirty = write;
+    return result;
+}
+
+void CacheSim::clear()
+{
+    store_.assign(store_.size(), Way{});
+    tick_ = 0;
+}
+
+StallBreakdown attribute_stalls(const MemCounters& counters,
+                                const StallModel& model)
+{
+    StallBreakdown s;
+    s.l1 = static_cast<double>(counters.l1_hits) * model.l1_cycles;
+    s.l2 = static_cast<double>(counters.l2_hits) * model.l2_cycles;
+    s.llc = static_cast<double>(counters.llc_hits) * model.llc_cycles;
+    s.dram = static_cast<double>(counters.dram_accesses) * model.dram_cycles;
+    return s;
+}
+
+HierarchySim::HierarchySim(const MachineSpec& machine, int cores,
+                           const TlbConfig& tlb,
+                           const PrefetchConfig& prefetch)
+    : cores_(cores), page_bytes_(tlb.page_bytes), prefetch_(prefetch),
+      last_miss_line_(static_cast<std::size_t>(cores),
+                      ~std::uint64_t{0})
+{
+    CAKE_CHECK(cores >= 1);
+    const auto& levels = machine.caches.levels;
+    CAKE_CHECK_MSG(levels.size() >= 2, "need at least L1 + one shared level");
+    line_bytes_ = levels.front().line_bytes;
+
+    // A TLB is a cache of page numbers: model each entry as a 1-byte
+    // "line" so CacheSim's set/way machinery applies directly.
+    for (int c = 0; c < cores; ++c) {
+        tlb_.push_back(std::make_unique<CacheSim>(
+            static_cast<std::size_t>(tlb.entries), 1, tlb.ways));
+    }
+
+    const CacheLevel& last = levels.back();
+    llc_ = std::make_unique<CacheSim>(last.size_bytes, last.line_bytes,
+                                      last.ways > 0 ? last.ways : 16);
+
+    for (int c = 0; c < cores; ++c) {
+        const CacheLevel& l1 = levels.front();
+        l1_.push_back(std::make_unique<CacheSim>(
+            l1.size_bytes, l1.line_bytes, l1.ways > 0 ? l1.ways : 8));
+    }
+    // A private middle level exists when there are >= 3 levels (the
+    // desktop CPUs); on the A53 the shared L2 *is* the LLC.
+    if (levels.size() >= 3) {
+        has_private_l2_ = true;
+        const CacheLevel& l2 = levels[1];
+        for (int c = 0; c < cores; ++c) {
+            l2_.push_back(std::make_unique<CacheSim>(
+                l2.size_bytes, l2.line_bytes, l2.ways > 0 ? l2.ways : 8));
+        }
+    }
+}
+
+void HierarchySim::set_regions(std::vector<MemRegion> regions)
+{
+    regions_ = std::move(regions);
+    region_fills_.assign(regions_.size() + 1, 0);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+HierarchySim::dram_accesses_by_region() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (std::size_t r = 0; r < regions_.size(); ++r) {
+        out.emplace_back(regions_[r].name, region_fills_[r]);
+    }
+    if (!regions_.empty()) {
+        out.emplace_back("other", region_fills_.back());
+    }
+    return out;
+}
+
+void HierarchySim::access(int core, std::uint64_t addr, std::uint32_t bytes,
+                          bool write)
+{
+    CAKE_CHECK(core >= 0 && core < cores_);
+    if (bytes == 0) return;
+
+    // Address translation first: one TLB probe per page touched.
+    auto& tlb = *tlb_[static_cast<std::size_t>(core)];
+    const std::uint64_t first_page = addr / page_bytes_;
+    const std::uint64_t last_page = (addr + bytes - 1) / page_bytes_;
+    for (std::uint64_t page = first_page; page <= last_page; ++page) {
+        if (tlb.access(page, false).hit) ++counters_.tlb_hits;
+        else ++counters_.tlb_misses;
+    }
+
+    const std::uint64_t first = addr / line_bytes_;
+    const std::uint64_t last = (addr + bytes - 1) / line_bytes_;
+    auto& l1 = *l1_[static_cast<std::size_t>(core)];
+    CacheSim* l2 =
+        has_private_l2_ ? l2_[static_cast<std::size_t>(core)].get() : nullptr;
+
+    for (std::uint64_t line = first; line <= last; ++line) {
+        ++counters_.accesses;
+        if (l1.access(line, write).hit) {
+            ++counters_.l1_hits;
+            continue;
+        }
+        if (l2 != nullptr) {
+            const auto r2 = l2->access(line, write);
+            if (r2.evicted_dirty) {
+                // Dirty private-L2 victim falls back into the shared LLC.
+                if (llc_->access(r2.evicted_line, true).evicted_dirty)
+                    ++counters_.dram_writebacks;
+            }
+            if (r2.hit) {
+                ++counters_.l2_hits;
+                continue;
+            }
+        }
+        const auto r3 = llc_->access(line, write);
+        if (r3.evicted_dirty) ++counters_.dram_writebacks;
+        const bool llc_hit = r3.hit;
+        if (llc_hit) ++counters_.llc_hits;
+        else {
+            ++counters_.dram_accesses;
+            if (!regions_.empty()) {
+                const std::uint64_t byte_addr = line * line_bytes_;
+                std::size_t slot = regions_.size();  // "other"
+                for (std::size_t r = 0; r < regions_.size(); ++r) {
+                    if (byte_addr >= regions_[r].base
+                        && byte_addr < regions_[r].base + regions_[r].size) {
+                        slot = r;
+                        break;
+                    }
+                }
+                ++region_fills_[slot];
+            }
+        }
+
+        // Stream prefetcher: a demand miss continuing a per-core
+        // sequential run pulls the next `degree` lines into the LLC.
+        // The stream tracker advances on hits too, so a covered stream
+        // keeps re-arming as the demand pointer catches up.
+        if (prefetch_.enabled) {
+            auto& last = last_miss_line_[static_cast<std::size_t>(core)];
+            if (!llc_hit && line == last + 1) {
+                for (int d = 1; d <= prefetch_.degree; ++d) {
+                    const auto rp =
+                        llc_->access(line + static_cast<std::uint64_t>(d),
+                                     false);
+                    if (rp.evicted_dirty) ++counters_.dram_writebacks;
+                    if (!rp.hit) ++counters_.dram_prefetch_fills;
+                }
+            }
+            last = line;
+        }
+    }
+}
+
+}  // namespace memsim
+}  // namespace cake

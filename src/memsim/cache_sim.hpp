@@ -1,0 +1,166 @@
+// Multi-level set-associative LRU cache simulator: the portable stand-in
+// for the hardware performance counters (VTune / Linux perf / AMD uProf)
+// the paper uses to measure per-level hits, DRAM accesses and memory
+// stalls (Fig. 7, Figs. 10a/11a/12a).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace cake {
+namespace memsim {
+
+/// One set-associative LRU cache instance.
+class CacheSim {
+public:
+    CacheSim(std::size_t size_bytes, std::size_t line_bytes, int ways);
+
+    struct AccessResult {
+        bool hit = false;
+        bool evicted_dirty = false;  ///< a dirty line was written back
+        std::uint64_t evicted_line = 0;
+    };
+
+    /// Probe/insert one cache line (address already divided by line size).
+    AccessResult access(std::uint64_t line_addr, bool write);
+
+    /// Invalidate everything (counters are kept by the hierarchy).
+    void clear();
+
+    [[nodiscard]] std::size_t size_bytes() const { return size_bytes_; }
+    [[nodiscard]] std::size_t line_bytes() const { return line_bytes_; }
+    [[nodiscard]] int ways() const { return ways_; }
+    [[nodiscard]] std::size_t sets() const { return sets_; }
+
+private:
+    struct Way {
+        std::uint64_t tag = 0;
+        std::uint64_t last_use = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::size_t size_bytes_;
+    std::size_t line_bytes_;
+    int ways_;
+    std::size_t sets_;
+    std::uint64_t tick_ = 0;
+    std::vector<Way> store_;  // sets_ * ways_ entries
+};
+
+/// Translation lookaside buffer: a cache of page numbers. Minimising TLB
+/// misses is the original motivation of the GOTO lineage (Goto & van de
+/// Geijn 2002, the paper's ref [12]); packing exists so operand panels
+/// span few pages (§4.3 notes GOTO "sizes its blocks to minimize TLB
+/// misses").
+struct TlbConfig {
+    int entries = 64;            ///< typical L1 DTLB
+    int ways = 4;
+    std::size_t page_bytes = 4096;
+};
+
+/// Sequential (next-line) hardware prefetcher model. On a demand miss at
+/// the shared LLC that continues a per-core sequential stream, the next
+/// `degree` lines are fetched ahead of use: they still cross the DRAM
+/// interface (counted as prefetch fills) but no core waits on them, so
+/// they carry no stall cost. GEMM packing exists precisely to make
+/// operand streams sequential enough for this machinery to work.
+struct PrefetchConfig {
+    bool enabled = false;
+    int degree = 4;  ///< lines fetched ahead per detected stream step
+};
+
+/// Hit/traffic counters for a simulated run.
+struct MemCounters {
+    std::uint64_t accesses = 0;       ///< line-granular probes issued
+    std::uint64_t l1_hits = 0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t llc_hits = 0;       ///< last shared level (L3, or L2 on ARM)
+    std::uint64_t dram_accesses = 0;  ///< demand line fills from DRAM
+    std::uint64_t dram_writebacks = 0;
+    std::uint64_t dram_prefetch_fills = 0;  ///< lines fetched ahead of use
+    std::uint64_t tlb_hits = 0;       ///< page-granular translations served
+    std::uint64_t tlb_misses = 0;     ///< page-table walks
+
+    [[nodiscard]] std::uint64_t dram_bytes(std::size_t line) const
+    {
+        return (dram_accesses + dram_writebacks + dram_prefetch_fills)
+            * line;
+    }
+};
+
+/// Memory-level latencies (cycles) for the stall-time attribution of
+/// Fig. 7a. Values are representative desktop figures; only relative
+/// magnitudes matter for the reproduced shape.
+struct StallModel {
+    double l1_cycles = 4;
+    double l2_cycles = 14;
+    double llc_cycles = 50;
+    double dram_cycles = 250;
+};
+
+/// Stall time attributed to each memory level (in cycles).
+struct StallBreakdown {
+    double l1 = 0;
+    double l2 = 0;
+    double llc = 0;
+    double dram = 0;
+};
+
+StallBreakdown attribute_stalls(const MemCounters& counters,
+                                const StallModel& model = {});
+
+/// A named address range for traffic attribution (e.g. "A", "B", "C").
+struct MemRegion {
+    std::uint64_t base = 0;
+    std::uint64_t size = 0;
+    std::string name;
+};
+
+/// A multi-core cache hierarchy: private per-core levels plus one shared
+/// last-level cache, built from a MachineSpec.
+class HierarchySim {
+public:
+    HierarchySim(const MachineSpec& machine, int cores,
+                 const TlbConfig& tlb = {},
+                 const PrefetchConfig& prefetch = {});
+
+    /// Simulate a byte-range access by `core`; expands to line probes.
+    void access(int core, std::uint64_t addr, std::uint32_t bytes, bool write);
+
+    /// Register named address ranges; subsequent DRAM fills are attributed
+    /// to the covering region (see dram_accesses_by_region).
+    void set_regions(std::vector<MemRegion> regions);
+
+    /// Demand DRAM line fills per registered region (same order as
+    /// set_regions; unmatched fills land in an implicit trailing "other").
+    [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+    dram_accesses_by_region() const;
+
+    [[nodiscard]] const MemCounters& counters() const { return counters_; }
+    [[nodiscard]] std::size_t line_bytes() const { return line_bytes_; }
+    [[nodiscard]] int cores() const { return cores_; }
+
+private:
+    int cores_;
+    std::size_t line_bytes_;
+    std::size_t page_bytes_;
+    bool has_private_l2_ = false;
+    std::vector<std::unique_ptr<CacheSim>> l1_;  // per core
+    std::vector<std::unique_ptr<CacheSim>> l2_;  // per core (may be empty)
+    std::unique_ptr<CacheSim> llc_;              // shared
+    std::vector<std::unique_ptr<CacheSim>> tlb_;  // per core (page cache)
+    PrefetchConfig prefetch_;
+    std::vector<std::uint64_t> last_miss_line_;   // per-core stream tracker
+    std::vector<MemRegion> regions_;
+    std::vector<std::uint64_t> region_fills_;     // regions_ + 1 ("other")
+    MemCounters counters_;
+};
+
+}  // namespace memsim
+}  // namespace cake

@@ -1,0 +1,60 @@
+#include "model/analysis.hpp"
+
+#include "common/error.hpp"
+
+namespace cake {
+namespace model {
+
+double mem_internal_tiles(double alpha, double p, double k)
+{
+    CAKE_CHECK(alpha >= 1.0 && p >= 1.0 && k >= 1.0);
+    return alpha * p * k * k + p * k * k + alpha * p * p * k * k;
+}
+
+double bw_min_tiles_per_cycle(double alpha, double k)
+{
+    CAKE_CHECK(alpha >= 1.0 && k >= 1.0);
+    return (alpha + 1.0) / alpha * k;
+}
+
+double alpha_from_ratio(double r)
+{
+    CAKE_CHECK_MSG(r > 1.0, "need external BW ratio R > 1, got R=" << r);
+    return 1.0 / (r - 1.0);
+}
+
+double bw_internal_tiles_per_cycle(double alpha, double p, double k)
+{
+    return bw_min_tiles_per_cycle(alpha, k) + 2.0 * p * k;
+}
+
+double goto_ext_bw(double p, double kc, double nc, double mr, double nr)
+{
+    CAKE_CHECK(p >= 1.0 && kc >= 1.0 && nc >= 1.0);
+    return (1.0 + p + (kc / nc) * p) * mr * nr;
+}
+
+double cake_ext_bw(double alpha, double mr, double nr)
+{
+    CAKE_CHECK(alpha >= 1.0);
+    return (alpha + 1.0) / alpha * mr * nr;
+}
+
+double cake_local_mem(double p, double mc, double kc, double alpha)
+{
+    return p * mc * kc * (alpha + 1.0) + alpha * p * p * mc * mc;
+}
+
+double cake_int_bw(double p, double alpha, double mr, double nr)
+{
+    CAKE_CHECK(alpha >= 1.0);
+    return (2.0 * p + 1.0 / alpha + 1.0) * mr * nr;
+}
+
+double cb_arithmetic_intensity(double m, double k, double n)
+{
+    return m * k * n / (m * k + k * n);
+}
+
+}  // namespace model
+}  // namespace cake

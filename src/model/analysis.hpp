@@ -1,0 +1,50 @@
+// The paper's closed-form resource equations (§3.1-§3.3, §4.1-§4.2), in the
+// paper's own unitless tile/cycle terms. These power Fig. 4 (the
+// constant-bandwidth property) and the optimal-bandwidth dashed curves of
+// Figs. 10a/11a.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace cake {
+namespace model {
+
+/// Eq. 1 — internal memory needed by a CB block, in tiles:
+/// MEM_internal = alpha*p*k^2 + p*k^2 + alpha*p^2*k^2.
+double mem_internal_tiles(double alpha, double p, double k);
+
+/// Eq. 2 — minimum external bandwidth of a CB block, tiles/cycle:
+/// BW_min = ((alpha + 1)/alpha) * k.
+double bw_min_tiles_per_cycle(double alpha, double k);
+
+/// §3.2 — smallest alpha satisfying BW_ext = R*k >= BW_min, i.e.
+/// alpha >= 1/(R - 1). Requires R > 1.
+double alpha_from_ratio(double r);
+
+/// Eq. 3 — internal (local-memory) bandwidth requirement, tiles/cycle:
+/// (IO_A + IO_B + 2*IO_C) / T = ((alpha+1)/alpha)*k + 2*p*k.
+double bw_internal_tiles_per_cycle(double alpha, double p, double k);
+
+/// §4.1 — GOTO's external DRAM bandwidth when using p cores, in
+/// elements/unit-time: BW = (1 + p + (kc/nc)*p) * mr * nr.
+double goto_ext_bw(double p, double kc, double nc, double mr, double nr);
+
+/// Eq. 4 — CAKE's external DRAM bandwidth on the CPU model, in
+/// elements/unit-time: BW = ((alpha + 1)/alpha) * mr * nr.
+/// Independent of p: the constant-bandwidth property.
+double cake_ext_bw(double alpha, double mr, double nr);
+
+/// Eq. 5 — CAKE local-memory requirement on the CPU model, elements:
+/// MEM = p*mc*kc*(alpha + 1) + alpha*p^2*mc^2.
+double cake_local_mem(double p, double mc, double kc, double alpha);
+
+/// Eq. 6 — CAKE internal bandwidth requirement on the CPU model,
+/// elements/unit-time: BW = (2*p + 1/alpha + 1) * mr * nr.
+double cake_int_bw(double p, double alpha, double mr, double nr);
+
+/// Arithmetic intensity of a CB block (Fig. 4): V / IO where V is the MAC
+/// volume m*k*n and IO the two input surfaces (partial C stays local).
+double cb_arithmetic_intensity(double m, double k, double n);
+
+}  // namespace model
+}  // namespace cake

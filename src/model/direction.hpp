@@ -1,0 +1,63 @@
+// CB-block computation directions (§3): "Alternatively, we can compute a
+// CB block in the M or K-dimension... Computing CB blocks in alternative
+// directions may be advantageous on certain architectures. For example,
+// computing CB blocks in the K-dimension is preferable when doing in-place
+// accumulation. In a future paper we will show how the same shaping
+// methodology applies when computing CB blocks in the M or K-dimension."
+//
+// This module carries out that shaping in the paper's unitless tile terms:
+//
+//   * N-direction (the paper's §3 analysis): the A surface is stationary —
+//     one tile per core (m*k = p*k^2 tiles) — B streams along the
+//     alpha-stretched N dimension, T = n unit-times.
+//   * M-direction: the roles of A and B swap — B stationary (k*n = p*k^2
+//     tiles), A streams along the alpha-stretched M dimension, T = m.
+//   * K-direction: the *result* surface C is stationary (m*n = p*k^2
+//     tiles, one per core); A and B both stream along the alpha-stretched
+//     reduction dimension, T = k'. No partial result ever moves — zero
+//     output bandwidth at the price of input bandwidth that grows with p.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace cake {
+namespace model {
+
+/// Which block dimension the cores stream through.
+enum class ComputeDim {
+    kN,  ///< paper default: stationary A, stream B
+    kM,  ///< stationary B, stream A
+    kK,  ///< stationary C, stream A and B (in-place accumulation)
+};
+
+const char* compute_dim_name(ComputeDim dim);
+
+/// Unitless shape and resource profile of a CB block computed in a given
+/// direction, with p*k^2 cores, base tile count k, and stretch alpha >= 1.
+struct DirectionProfile {
+    ComputeDim dim = ComputeDim::kN;
+    double m = 0, k = 0, n = 0;   ///< block dimensions in tiles
+    double time = 0;              ///< computation time in unit-times
+    double io_in = 0;             ///< input surfaces fetched (tiles)
+    double io_out = 0;            ///< result surface written back (tiles)
+    double bw_in = 0;             ///< input bandwidth, tiles/unit-time
+    double bw_out = 0;            ///< output bandwidth, tiles/unit-time
+    double local_mem = 0;         ///< tiles resident in local memory
+
+    [[nodiscard]] double bw_total() const { return bw_in + bw_out; }
+};
+
+/// Shape and analyse a CB block computed in direction `dim`.
+/// `p` scales the core count (cores = p*k^2), `alpha >= 1` stretches the
+/// streamed dimension exactly as §3.2 stretches N.
+DirectionProfile analyze_direction(ComputeDim dim, double alpha, double p,
+                                   double k);
+
+/// The direction with the lowest total external bandwidth for a machine
+/// whose write path costs `write_cost_factor` times its read path (e.g.
+/// NVM-backed memories where the paper recommends the K direction).
+ComputeDim best_direction(double alpha, double p, double k,
+                          double write_cost_factor);
+
+}  // namespace model
+}  // namespace cake

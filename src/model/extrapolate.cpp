@@ -1,0 +1,52 @@
+#include "model/extrapolate.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace cake {
+namespace model {
+
+std::vector<double> extrapolate_series(const std::vector<double>& measured,
+                                       int target_p)
+{
+    CAKE_CHECK(!measured.empty());
+    CAKE_CHECK(target_p >= 1);
+    std::vector<double> out = measured;
+    if (static_cast<int>(out.size()) >= target_p) {
+        out.resize(static_cast<std::size_t>(target_p));
+        return out;
+    }
+    const auto n = static_cast<int>(measured.size());
+    if (n == 1) {
+        out.resize(static_cast<std::size_t>(target_p), measured[0]);
+        return out;
+    }
+    const LineFit line = line_through(
+        n - 1, measured[static_cast<std::size_t>(n - 2)], n,
+        measured[static_cast<std::size_t>(n - 1)]);
+    for (int p = n + 1; p <= target_p; ++p) out.push_back(line(p));
+    return out;
+}
+
+MachineSpec extrapolated_machine(const MachineSpec& base, int p)
+{
+    CAKE_CHECK(p >= 1);
+    MachineSpec m = base;
+    if (p <= base.cores) return m;
+    m.cores = p;
+    m.internal_bw_gbs = extrapolate_series(base.internal_bw_gbs, p);
+    // Local memory grows quadratically with core count (the p^2 term of
+    // Eq. 1/Eq. 5 dominates the CB block).
+    const double scale = static_cast<double>(p) / base.cores;
+    for (auto& level : m.caches.levels) {
+        if (level.shared_by_cores > 1) {
+            level.size_bytes = static_cast<std::size_t>(
+                static_cast<double>(level.size_bytes) * scale * scale);
+            level.shared_by_cores = p;
+        }
+    }
+    return m;
+}
+
+}  // namespace model
+}  // namespace cake

@@ -1,0 +1,28 @@
+// The paper's extrapolation protocol for the dotted lines in Figs. 10-12:
+// "The dotted extrapolation lines assume internal memory bandwidth
+// increases proportionally for each additional core, local memory size
+// increases quadratically, and DRAM bandwidth is fixed. We use the last
+// two data points in each plot to initialize the extrapolation line."
+#pragma once
+
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace cake {
+namespace model {
+
+/// Extend a measured per-core series (element i = value at p = i+1) to
+/// `target_p` entries using the line through its last two points. The
+/// measured prefix is preserved verbatim.
+std::vector<double> extrapolate_series(const std::vector<double>& measured,
+                                       int target_p);
+
+/// A hypothetical scaled-up machine with `p` cores under the paper's
+/// extrapolation assumptions: internal BW grows linearly per core from the
+/// measured tail, LLC capacity grows quadratically with p relative to the
+/// base core count, DRAM bandwidth fixed.
+MachineSpec extrapolated_machine(const MachineSpec& base, int p);
+
+}  // namespace model
+}  // namespace cake

@@ -1,0 +1,58 @@
+#include "model/nested.hpp"
+
+#include "common/error.hpp"
+#include "model/analysis.hpp"
+
+namespace cake {
+namespace model {
+
+NestedAnalysis analyze_nested(const std::vector<NestedLevelSpec>& specs)
+{
+    CAKE_CHECK_MSG(!specs.empty(), "need at least one nest level");
+    NestedAnalysis out;
+    out.levels.reserve(specs.size());
+
+    for (const NestedLevelSpec& spec : specs) {
+        CAKE_CHECK(spec.alpha >= 1.0 && spec.p >= 1.0 && spec.k >= 1.0);
+        NestedLevelProfile level;
+        const double m = spec.p * spec.k;
+        const double n = spec.alpha * spec.p * spec.k;
+        level.block_volume = m * spec.k * n;
+        level.time = n;  // §3: each compute unit performs n tile MMs
+        level.bw_demand_up = bw_min_tiles_per_cycle(spec.alpha, spec.k);
+        level.bw_demand_down =
+            bw_internal_tiles_per_cycle(spec.alpha, spec.p, spec.k);
+        level.mem_required = mem_internal_tiles(spec.alpha, spec.p, spec.k);
+        out.levels.push_back(level);
+        out.total_cores *= spec.p * spec.k * spec.k;
+    }
+
+    // Chaining: the "cores" of level i are level-(i+1) CB blocks. Level
+    // i hands each inner block one tile per unit time per core slot; the
+    // inner level's upward demand (per its own time base) must not exceed
+    // the per-slot supply. In tile/unit-time terms both sides are
+    // normalised per compute slot, so the condition is
+    //   bw_demand_down(i) / cores(i) >= bw_demand_up(i+1) / cores_slots,
+    // which reduces to comparing per-slot rates directly:
+    for (std::size_t i = 0; i + 1 < specs.size(); ++i) {
+        const double cores_i = specs[i].p * specs[i].k * specs[i].k;
+        const double supply_per_slot =
+            out.levels[i].bw_demand_down / cores_i;
+        // Inner block consumes bw_demand_up spread over its own slots.
+        const double inner_cores =
+            specs[i + 1].p * specs[i + 1].k * specs[i + 1].k;
+        const double demand_per_slot =
+            out.levels[i + 1].bw_demand_up / inner_cores;
+        if (supply_per_slot + 1e-12 < demand_per_slot) out.feasible = false;
+    }
+
+    const NestedLevelProfile& outer = out.levels.front();
+    const NestedLevelSpec& ospec = specs.front();
+    const double io = ospec.p * ospec.k * ospec.k
+        + ospec.k * ospec.alpha * ospec.p * ospec.k;
+    out.net_arithmetic_intensity = outer.block_volume / io;
+    return out;
+}
+
+}  // namespace model
+}  // namespace cake

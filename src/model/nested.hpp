@@ -1,0 +1,51 @@
+// Multi-level CB blocks: the paper's opening claim that CB blocks can
+// operate "from within any memory hierarchy level" (§1) made concrete.
+// Apply the §3 shaping recursively: the level-i CB block is the "external
+// memory" of the level-(i+1) CB block nested inside it. Each level i has
+// its own (p_i, k_i, alpha_i); the bandwidth its block demands from the
+// level above (Eq. 2) must be supplied by that level's internal bandwidth
+// (Eq. 3) — chaining these inequalities yields a whole-hierarchy
+// feasibility check.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cake {
+namespace model {
+
+/// One level of the nested CB hierarchy (outermost first).
+struct NestedLevelSpec {
+    double p = 1;      ///< core-scaling factor at this level
+    double k = 1;      ///< base tile count at this level
+    double alpha = 1;  ///< stretch factor at this level (>= 1)
+};
+
+/// Resource profile of one level in the nest.
+struct NestedLevelProfile {
+    double block_volume = 0;    ///< MACs per block (tile units)
+    double time = 0;            ///< unit-times per block
+    double bw_demand_up = 0;    ///< bandwidth demanded from the level above
+                                ///< (Eq. 2: ((alpha+1)/alpha)*k)
+    double bw_demand_down = 0;  ///< bandwidth this level must supply to the
+                                ///< level below (Eq. 3: demand_up + 2pk)
+    double mem_required = 0;    ///< local memory at this level (Eq. 1)
+};
+
+/// Full-hierarchy analysis: profile every level and check the chaining
+/// condition — level i's downward supply (Eq. 3) must at least cover
+/// level i+1's upward demand (Eq. 2) scaled by the compute-rate ratio.
+struct NestedAnalysis {
+    std::vector<NestedLevelProfile> levels;
+    bool feasible = true;        ///< all chaining conditions hold
+    double total_cores = 1;      ///< product of p_i * k_i^2
+    double net_arithmetic_intensity = 0;  ///< outermost block V / IO
+};
+
+/// Analyse a nest of CB blocks (outermost level first). Requires at least
+/// one level; alphas >= 1.
+NestedAnalysis analyze_nested(const std::vector<NestedLevelSpec>& specs);
+
+}  // namespace model
+}  // namespace cake

@@ -1,0 +1,51 @@
+#include "model/planner.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cake {
+namespace model {
+
+CakePlan make_plan(const MachineSpec& machine, int p, const GemmShape& shape,
+                   KernelShape kernel)
+{
+    CAKE_CHECK(p >= 1);
+    CakePlan plan;
+    plan.cores = p;
+    plan.prediction = predict_cake(machine, p, shape, kernel);
+    plan.params = plan.prediction.cake_params;
+    const Prediction base = predict_cake(machine, 1, shape, kernel);
+    plan.speedup_vs_1core =
+        base.seconds > 0 ? base.seconds / plan.prediction.seconds : 1.0;
+
+    std::ostringstream os;
+    os << "CB block " << plan.params.m_blk << "x" << plan.params.k_blk << "x"
+       << plan.params.n_blk << " (mc=" << plan.params.mc
+       << ", alpha=" << plan.params.alpha << ") on " << p << " core(s): "
+       << plan.prediction.gflops << " GFLOP/s predicted, "
+       << plan.prediction.bound << "-bound, "
+       << plan.prediction.avg_dram_bw_gbs << " GB/s DRAM";
+    plan.summary = os.str();
+    return plan;
+}
+
+CakePlan recommend_plan(const MachineSpec& machine, const GemmShape& shape,
+                        KernelShape kernel, double tolerance)
+{
+    CAKE_CHECK(machine.cores >= 1);
+    CakePlan best = make_plan(machine, 1, shape, kernel);
+    for (int p = 2; p <= machine.cores; ++p) {
+        CakePlan candidate = make_plan(machine, p, shape, kernel);
+        // Strictly-better beyond the tolerance band wins; otherwise keep
+        // the cheaper (fewer-core) plan.
+        if (candidate.prediction.gflops
+            > best.prediction.gflops * (1.0 + tolerance)) {
+            best = std::move(candidate);
+        }
+    }
+    return best;
+}
+
+}  // namespace model
+}  // namespace cake

@@ -1,0 +1,37 @@
+// Planner: the "no design search" user-facing API. Given a machine and a
+// problem, return the analytically derived execution plan — CB geometry,
+// predicted time/throughput, the binding resource, and the recommended
+// core count (more cores stop paying once internal bandwidth or block
+// quantisation bites).
+#pragma once
+
+#include <string>
+
+#include "core/tiling.hpp"
+#include "machine/machine.hpp"
+#include "model/throughput.hpp"
+
+namespace cake {
+namespace model {
+
+/// A complete execution plan for one GEMM.
+struct CakePlan {
+    CbBlockParams params;      ///< solved CB-block geometry
+    int cores = 1;             ///< cores the plan uses
+    Prediction prediction;     ///< predicted time / GFLOP/s / bound
+    double speedup_vs_1core = 1.0;
+    std::string summary;       ///< one-line human-readable description
+};
+
+/// Plan `shape` on `machine` with a fixed core count.
+CakePlan make_plan(const MachineSpec& machine, int p, const GemmShape& shape,
+                   KernelShape kernel = {});
+
+/// Choose the core count in [1, machine.cores] with the highest predicted
+/// throughput; prefers fewer cores on ties within `tolerance` (fraction),
+/// since extra cores that add nothing still cost power.
+CakePlan recommend_plan(const MachineSpec& machine, const GemmShape& shape,
+                        KernelShape kernel = {}, double tolerance = 0.02);
+
+}  // namespace model
+}  // namespace cake

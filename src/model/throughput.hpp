@@ -1,0 +1,83 @@
+// Whole-problem performance prediction for CAKE and GOTO on a described
+// machine: the engine behind the reproduction of Figs. 8-12 (multi-core
+// curves that a single-core host cannot measure directly).
+//
+// The prediction takes the three resource limits the paper analyses —
+// compute throughput, external (DRAM) bandwidth, and internal (LLC<->core)
+// bandwidth — computes the time each would impose, and takes the maximum
+// (block IO overlaps compute by CB-block construction, §2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "core/schedule.hpp"
+#include "core/tiling.hpp"
+#include "machine/machine.hpp"
+
+namespace cake {
+namespace model {
+
+/// External-memory traffic of a full CAKE run, from walking the actual
+/// block schedule with surface sharing (mirrors CakeGemm's bookkeeping;
+/// tests assert the two agree exactly).
+struct TrafficSummary {
+    std::uint64_t dram_read_bytes = 0;
+    std::uint64_t dram_write_bytes = 0;
+    /// Subset of the above that is partial-result read-modify-write
+    /// round-trip traffic — charged at MachineSpec::rmw_bw_gbs() because
+    /// RMW streams run latency-bound on some memory systems (§4.1).
+    std::uint64_t c_rmw_bytes = 0;
+    index_t a_packs = 0;
+    index_t b_packs = 0;
+    index_t c_flushes = 0;
+
+    [[nodiscard]] std::uint64_t total_bytes() const
+    {
+        return dram_read_bytes + dram_write_bytes;
+    }
+};
+
+/// Walk the CB-block schedule for `shape` and tally external traffic.
+TrafficSummary cake_traffic(const GemmShape& shape,
+                            const CbBlockParams& params,
+                            ScheduleKind kind = ScheduleKind::kKFirstSerpentine,
+                            bool accumulate = false);
+
+/// Tally GOTO's external traffic for `shape` with panel sizes mc=kc, nc.
+TrafficSummary goto_traffic(const GemmShape& shape, index_t mc, index_t nc,
+                            bool accumulate = false);
+
+/// Performance prediction for one configuration.
+struct Prediction {
+    double seconds = 0;
+    double gflops = 0;
+    double avg_dram_bw_gbs = 0;       ///< traffic spread over predicted time
+    std::uint64_t dram_bytes = 0;
+    double internal_bytes = 0;
+    double t_compute = 0;             ///< compute-limited time
+    double t_dram = 0;                ///< DRAM-bandwidth-limited time
+    double t_internal = 0;            ///< internal-bandwidth-limited time
+    std::string bound;                ///< "compute" | "dram" | "internal"
+    CbBlockParams cake_params;        ///< populated for CAKE predictions
+};
+
+/// Register-tile shape assumed by the model (the paper's BLIS kernels are
+/// AVX2-class 6x16).
+struct KernelShape {
+    index_t mr = 6;
+    index_t nr = 16;
+};
+
+/// Predict a CAKE run of `shape` on `machine` with `p` cores.
+Prediction predict_cake(const MachineSpec& machine, int p,
+                        const GemmShape& shape, KernelShape kernel = {},
+                        const TilingOptions& topts = {});
+
+/// Predict a GOTO run (the MKL/ARMPL/OpenBLAS stand-in).
+Prediction predict_goto(const MachineSpec& machine, int p,
+                        const GemmShape& shape, KernelShape kernel = {});
+
+}  // namespace model
+}  // namespace cake

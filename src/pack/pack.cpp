@@ -1,0 +1,197 @@
+#include "pack/pack.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace cake {
+
+template <typename T>
+void pack_a_panel(const T* a, index_t lda, index_t m, index_t k, index_t mr,
+                  T* out)
+{
+    CAKE_CHECK(m >= 0 && k >= 0 && mr > 0 && lda >= k);
+    const index_t slivers = ceil_div(m, mr);
+    for (index_t s = 0; s < slivers; ++s) {
+        T* dst = out + s * mr * k;
+        const index_t row0 = s * mr;
+        const index_t live = std::min(mr, m - row0);
+        for (index_t p = 0; p < k; ++p) {
+            T* col = dst + p * mr;
+            const T* src = a + row0 * lda + p;
+            index_t i = 0;
+            for (; i < live; ++i) col[i] = src[i * lda];
+            for (; i < mr; ++i) col[i] = T(0);
+        }
+    }
+}
+
+template <typename T>
+void pack_a_panel_transposed(const T* a, index_t lda, index_t m, index_t k,
+                             index_t mr, T* out)
+{
+    // Source is k x m (row-major, lda >= m): element (i, p) of the logical
+    // A block reads a[p * lda + i], which is unit-stride in i — the
+    // transposed pack is actually the cheap direction for A.
+    CAKE_CHECK(m >= 0 && k >= 0 && mr > 0 && lda >= m);
+    const index_t slivers = ceil_div(m, mr);
+    for (index_t s = 0; s < slivers; ++s) {
+        T* dst = out + s * mr * k;
+        const index_t row0 = s * mr;
+        const index_t live = std::min(mr, m - row0);
+        for (index_t p = 0; p < k; ++p) {
+            T* col = dst + p * mr;
+            const T* src = a + p * lda + row0;
+            std::memcpy(col, src, static_cast<std::size_t>(live) * sizeof(T));
+            std::fill(col + live, col + mr, T(0));
+        }
+    }
+}
+
+template <typename T>
+void pack_b_panel(const T* b, index_t ldb, index_t k, index_t n, index_t nr,
+                  T* out)
+{
+    CAKE_CHECK(k >= 0 && n >= 0 && nr > 0 && ldb >= n);
+    const index_t slivers = ceil_div(n, nr);
+    for (index_t t = 0; t < slivers; ++t) {
+        T* dst = out + t * nr * k;
+        const index_t col0 = t * nr;
+        const index_t live = std::min(nr, n - col0);
+        for (index_t p = 0; p < k; ++p) {
+            T* row = dst + p * nr;
+            const T* src = b + p * ldb + col0;
+            if (live == nr) {
+                std::memcpy(row, src,
+                            static_cast<std::size_t>(nr) * sizeof(T));
+            } else {
+                std::memcpy(row, src,
+                            static_cast<std::size_t>(live) * sizeof(T));
+                std::fill(row + live, row + nr, T(0));
+            }
+        }
+    }
+}
+
+template <typename T>
+void pack_b_panel_transposed(const T* b, index_t ldb, index_t k, index_t n,
+                             index_t nr, T* out)
+{
+    // Source is n x k (row-major, ldb >= k): element (p, j) of the logical
+    // B block reads b[j * ldb + p] — strided in j, the expensive direction.
+    CAKE_CHECK(k >= 0 && n >= 0 && nr > 0 && ldb >= k);
+    const index_t slivers = ceil_div(n, nr);
+    for (index_t t = 0; t < slivers; ++t) {
+        T* dst = out + t * nr * k;
+        const index_t col0 = t * nr;
+        const index_t live = std::min(nr, n - col0);
+        for (index_t p = 0; p < k; ++p) {
+            T* row = dst + p * nr;
+            const T* src = b + col0 * ldb + p;
+            index_t j = 0;
+            for (; j < live; ++j) row[j] = src[j * ldb];
+            for (; j < nr; ++j) row[j] = T(0);
+        }
+    }
+}
+
+template <typename T>
+void unpack_c_block(const T* cbuf, index_t m, index_t n, T* c, index_t ldc,
+                    bool accumulate)
+{
+    CAKE_CHECK(m >= 0 && n >= 0 && ldc >= n);
+    if (accumulate) {
+        for (index_t i = 0; i < m; ++i) {
+            const T* src = cbuf + i * n;
+            T* dst = c + i * ldc;
+            for (index_t j = 0; j < n; ++j) dst[j] += src[j];
+        }
+    } else {
+        for (index_t i = 0; i < m; ++i) {
+            std::memcpy(c + i * ldc, cbuf + i * n,
+                        static_cast<std::size_t>(n) * sizeof(T));
+        }
+    }
+}
+
+template <typename T>
+void unpack_c_block_scaled(const T* cbuf, index_t m, index_t n, T* c,
+                           index_t ldc, T alpha, T beta)
+{
+    CAKE_CHECK(m >= 0 && n >= 0 && ldc >= n);
+    if (beta == T(0)) {
+        // Overwrite: never read c (it may hold garbage or NaN).
+        for (index_t i = 0; i < m; ++i) {
+            const T* src = cbuf + i * n;
+            T* dst = c + i * ldc;
+            for (index_t j = 0; j < n; ++j) dst[j] = alpha * src[j];
+        }
+    } else {
+        for (index_t i = 0; i < m; ++i) {
+            const T* src = cbuf + i * n;
+            T* dst = c + i * ldc;
+            for (index_t j = 0; j < n; ++j)
+                dst[j] = alpha * src[j] + beta * dst[j];
+        }
+    }
+}
+
+template <typename T>
+T packed_a_at(const T* packed, index_t m, index_t k, index_t mr, index_t i,
+              index_t p)
+{
+    CAKE_CHECK(i >= 0 && p >= 0 && p < k && i < round_up(m, mr));
+    const index_t s = i / mr;
+    const index_t ii = i % mr;
+    return packed[s * mr * k + p * mr + ii];
+}
+
+template <typename T>
+T packed_b_at(const T* packed, index_t k, index_t n, index_t nr, index_t p,
+              index_t j)
+{
+    CAKE_CHECK(p >= 0 && p < k && j >= 0 && j < round_up(n, nr));
+    const index_t t = j / nr;
+    const index_t jj = j % nr;
+    return packed[t * nr * k + p * nr + jj];
+}
+
+template void pack_a_panel<float>(const float*, index_t, index_t, index_t,
+                                  index_t, float*);
+template void pack_a_panel<double>(const double*, index_t, index_t, index_t,
+                                   index_t, double*);
+template void pack_a_panel_transposed<float>(const float*, index_t, index_t,
+                                             index_t, index_t, float*);
+template void pack_a_panel_transposed<double>(const double*, index_t, index_t,
+                                              index_t, index_t, double*);
+template void pack_b_panel<float>(const float*, index_t, index_t, index_t,
+                                  index_t, float*);
+template void pack_b_panel<double>(const double*, index_t, index_t, index_t,
+                                   index_t, double*);
+template void pack_b_panel_transposed<float>(const float*, index_t, index_t,
+                                             index_t, index_t, float*);
+template void pack_b_panel_transposed<double>(const double*, index_t, index_t,
+                                              index_t, index_t, double*);
+template void unpack_c_block<float>(const float*, index_t, index_t, float*,
+                                    index_t, bool);
+template void unpack_c_block<std::int32_t>(const std::int32_t*, index_t,
+                                           index_t, std::int32_t*, index_t,
+                                           bool);
+template void unpack_c_block<double>(const double*, index_t, index_t, double*,
+                                     index_t, bool);
+template void unpack_c_block_scaled<float>(const float*, index_t, index_t,
+                                           float*, index_t, float, float);
+template void unpack_c_block_scaled<double>(const double*, index_t, index_t,
+                                            double*, index_t, double, double);
+template float packed_a_at<float>(const float*, index_t, index_t, index_t,
+                                  index_t, index_t);
+template double packed_a_at<double>(const double*, index_t, index_t, index_t,
+                                    index_t, index_t);
+template float packed_b_at<float>(const float*, index_t, index_t, index_t,
+                                  index_t, index_t);
+template double packed_b_at<double>(const double*, index_t, index_t, index_t,
+                                    index_t, index_t);
+
+}  // namespace cake

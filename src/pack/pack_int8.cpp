@@ -1,0 +1,58 @@
+#include "pack/pack_int8.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace cake {
+
+void pack_a_panel_int8(const std::uint8_t* a, index_t lda, index_t m,
+                       index_t k, index_t mr, std::uint8_t* out)
+{
+    CAKE_CHECK(m >= 0 && k >= 0 && mr > 0 && lda >= k);
+    const index_t slivers = ceil_div(m, mr);
+    const index_t kq = int8_kq(k);
+    for (index_t s = 0; s < slivers; ++s) {
+        std::uint8_t* dst = out + s * mr * kq * 4;
+        const index_t row0 = s * mr;
+        const index_t live = std::min(mr, m - row0);
+        for (index_t q = 0; q < kq; ++q) {
+            std::uint8_t* quad = dst + q * mr * 4;
+            for (index_t i = 0; i < mr; ++i) {
+                for (index_t j = 0; j < 4; ++j) {
+                    const index_t kk = 4 * q + j;
+                    quad[i * 4 + j] = (i < live && kk < k)
+                        ? a[(row0 + i) * lda + kk]
+                        : std::uint8_t{0};
+                }
+            }
+        }
+    }
+}
+
+void pack_b_panel_int8(const std::int8_t* b, index_t ldb, index_t k,
+                       index_t n, index_t nr, std::int8_t* out)
+{
+    CAKE_CHECK(k >= 0 && n >= 0 && nr > 0 && ldb >= n);
+    const index_t slivers = ceil_div(n, nr);
+    const index_t kq = int8_kq(k);
+    for (index_t t = 0; t < slivers; ++t) {
+        std::int8_t* dst = out + t * nr * kq * 4;
+        const index_t col0 = t * nr;
+        const index_t live = std::min(nr, n - col0);
+        for (index_t q = 0; q < kq; ++q) {
+            std::int8_t* quad = dst + q * nr * 4;
+            for (index_t jj = 0; jj < nr; ++jj) {
+                for (index_t j = 0; j < 4; ++j) {
+                    const index_t kk = 4 * q + j;
+                    quad[jj * 4 + j] = (jj < live && kk < k)
+                        ? b[kk * ldb + col0 + jj]
+                        : std::int8_t{0};
+                }
+            }
+        }
+    }
+}
+
+}  // namespace cake

@@ -1,0 +1,142 @@
+#include "ref/naive_gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cake {
+
+void naive_sgemm(const float* a, index_t lda, const float* b, index_t ldb,
+                 float* c, index_t ldc, index_t m, index_t n, index_t k,
+                 bool accumulate)
+{
+    CAKE_CHECK(m >= 0 && n >= 0 && k >= 0);
+    if (!accumulate) {
+        for (index_t i = 0; i < m; ++i)
+            std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    }
+    for (index_t i = 0; i < m; ++i) {
+        const float* ai = a + i * lda;
+        float* ci = c + i * ldc;
+        for (index_t p = 0; p < k; ++p) {
+            const float aip = ai[p];
+            const float* bp = b + p * ldb;
+            for (index_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+        }
+    }
+}
+
+void blocked_sgemm(const float* a, index_t lda, const float* b, index_t ldb,
+                   float* c, index_t ldc, index_t m, index_t n, index_t k,
+                   bool accumulate, index_t block)
+{
+    CAKE_CHECK(block > 0);
+    if (!accumulate) {
+        for (index_t i = 0; i < m; ++i)
+            std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    }
+    for (index_t i0 = 0; i0 < m; i0 += block) {
+        const index_t im = std::min(block, m - i0);
+        for (index_t p0 = 0; p0 < k; p0 += block) {
+            const index_t pm = std::min(block, k - p0);
+            for (index_t j0 = 0; j0 < n; j0 += block) {
+                const index_t jm = std::min(block, n - j0);
+                for (index_t i = 0; i < im; ++i) {
+                    const float* ai = a + (i0 + i) * lda + p0;
+                    float* ci = c + (i0 + i) * ldc + j0;
+                    for (index_t p = 0; p < pm; ++p) {
+                        const float aip = ai[p];
+                        const float* bp = b + (p0 + p) * ldb + j0;
+                        for (index_t j = 0; j < jm; ++j) ci[j] += aip * bp[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+Matrix oracle_gemm(const Matrix& a, const Matrix& b)
+{
+    CAKE_CHECK(a.cols() == b.rows());
+    const index_t m = a.rows();
+    const index_t k = a.cols();
+    const index_t n = b.cols();
+    Matrix c(m, n);
+    std::vector<double> row(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < m; ++i) {
+        std::fill(row.begin(), row.end(), 0.0);
+        for (index_t p = 0; p < k; ++p) {
+            const double aip = a.at(i, p);
+            const float* bp = b.data() + p * n;
+            for (index_t j = 0; j < n; ++j)
+                row[static_cast<std::size_t>(j)] += aip * bp[j];
+        }
+        for (index_t j = 0; j < n; ++j)
+            c.at(i, j) = static_cast<float>(row[static_cast<std::size_t>(j)]);
+    }
+    return c;
+}
+
+Matrix naive_gemm(const Matrix& a, const Matrix& b)
+{
+    CAKE_CHECK(a.cols() == b.rows());
+    Matrix c(a.rows(), b.cols());
+    naive_sgemm(a.data(), a.cols(), b.data(), b.cols(), c.data(), c.cols(),
+                a.rows(), b.cols(), a.cols(), /*accumulate=*/false);
+    return c;
+}
+
+void naive_dgemm(const double* a, index_t lda, const double* b, index_t ldb,
+                 double* c, index_t ldc, index_t m, index_t n, index_t k,
+                 bool accumulate)
+{
+    CAKE_CHECK(m >= 0 && n >= 0 && k >= 0);
+    if (!accumulate) {
+        for (index_t i = 0; i < m; ++i)
+            std::fill(c + i * ldc, c + i * ldc + n, 0.0);
+    }
+    for (index_t i = 0; i < m; ++i) {
+        const double* ai = a + i * lda;
+        double* ci = c + i * ldc;
+        for (index_t p = 0; p < k; ++p) {
+            const double aip = ai[p];
+            const double* bp = b + p * ldb;
+            for (index_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+        }
+    }
+}
+
+MatrixD oracle_gemm(const MatrixD& a, const MatrixD& b)
+{
+    CAKE_CHECK(a.cols() == b.rows());
+    const index_t m = a.rows();
+    const index_t k = a.cols();
+    const index_t n = b.cols();
+    MatrixD c(m, n);
+    std::vector<long double> row(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < m; ++i) {
+        std::fill(row.begin(), row.end(), 0.0L);
+        for (index_t p = 0; p < k; ++p) {
+            const long double aip = a.at(i, p);
+            const double* bp = b.data() + p * n;
+            for (index_t j = 0; j < n; ++j)
+                row[static_cast<std::size_t>(j)] += aip * bp[j];
+        }
+        for (index_t j = 0; j < n; ++j)
+            c.at(i, j) =
+                static_cast<double>(row[static_cast<std::size_t>(j)]);
+    }
+    return c;
+}
+
+MatrixD naive_gemm(const MatrixD& a, const MatrixD& b)
+{
+    CAKE_CHECK(a.cols() == b.rows());
+    MatrixD c(a.rows(), b.cols());
+    naive_dgemm(a.data(), a.cols(), b.data(), b.cols(), c.data(), c.cols(),
+                a.rows(), b.cols(), a.cols(), /*accumulate=*/false);
+    return c;
+}
+
+}  // namespace cake

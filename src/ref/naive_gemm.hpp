@@ -1,0 +1,37 @@
+// Reference matrix multiplications used as correctness oracles and as the
+// "no blocking" baseline in ablation benches.
+#pragma once
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace cake {
+
+/// Naive i-k-j triple loop (row-major friendly). C (+)= A * B.
+/// A is MxK (lda), B is KxN (ldb), C is MxN (ldc).
+void naive_sgemm(const float* a, index_t lda, const float* b, index_t ldb,
+                 float* c, index_t ldc, index_t m, index_t n, index_t k,
+                 bool accumulate);
+
+/// Cache-blocked scalar reference (square blocks), for mid-size oracles.
+void blocked_sgemm(const float* a, index_t lda, const float* b, index_t ldb,
+                   float* c, index_t ldc, index_t m, index_t n, index_t k,
+                   bool accumulate, index_t block = 64);
+
+/// Double-precision accumulation oracle: computes A*B in float64 and rounds
+/// once, minimising oracle rounding error for tolerance checks.
+Matrix oracle_gemm(const Matrix& a, const Matrix& b);
+
+/// Long-double accumulation oracle for the double-precision (dgemm) path.
+MatrixD oracle_gemm(const MatrixD& a, const MatrixD& b);
+
+/// Naive double-precision triple loop. C (+)= A * B.
+void naive_dgemm(const double* a, index_t lda, const double* b, index_t ldb,
+                 double* c, index_t ldc, index_t m, index_t n, index_t k,
+                 bool accumulate);
+
+/// Convenience wrappers over Matrix.
+Matrix naive_gemm(const Matrix& a, const Matrix& b);
+MatrixD naive_gemm(const MatrixD& a, const MatrixD& b);
+
+}  // namespace cake

@@ -1,0 +1,34 @@
+#include "sim/event.hpp"
+
+#include "common/error.hpp"
+
+namespace cake {
+namespace sim {
+
+void EventQueue::schedule(double time, Callback fn)
+{
+    CAKE_CHECK_MSG(time >= now_, "cannot schedule event in the past: t="
+                                     << time << " now=" << now_);
+    queue_.push({time, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::run_one()
+{
+    if (queue_.empty()) return false;
+    // Move the callback out before popping so it can schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    return true;
+}
+
+double EventQueue::run_all()
+{
+    while (run_one()) {
+    }
+    return now_;
+}
+
+}  // namespace sim
+}  // namespace cake

@@ -1,0 +1,51 @@
+// Discrete-event engine for the CAKE architecture simulator — the portable
+// replacement for the paper's SystemC/MatchLib simulator (§6.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace cake {
+namespace sim {
+
+/// Time-ordered event queue. Events scheduled for the same instant run in
+/// scheduling order (stable), which keeps simulations deterministic.
+class EventQueue {
+public:
+    using Callback = std::function<void()>;
+
+    /// Schedule `fn` at absolute time `time` (>= now()).
+    void schedule(double time, Callback fn);
+
+    /// Run the earliest event; returns false if the queue is empty.
+    bool run_one();
+
+    /// Run until no events remain; returns the final simulation time.
+    double run_all();
+
+    [[nodiscard]] double now() const { return now_; }
+    [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+private:
+    struct Event {
+        double time;
+        std::uint64_t seq;
+        Callback fn;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const
+        {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    double now_ = 0.0;
+    std::uint64_t next_seq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace sim
+}  // namespace cake

@@ -1,0 +1,502 @@
+#include "sim/machine_sim.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "gotoblas/goto_gemm.hpp"
+#include "pack/pack.hpp"
+#include "ref/naive_gemm.hpp"
+#include "sim/channel.hpp"
+
+namespace cake {
+namespace sim {
+namespace {
+
+constexpr double kF = sizeof(float);
+
+index_t block_extent(index_t idx, index_t blk, index_t total)
+{
+    return std::min(blk, total - idx * blk);
+}
+
+/// Seconds for one core to run one mr x nr x ki micro-kernel call.
+double tile_seconds(const MachineSpec& machine, index_t mr, index_t nr,
+                    index_t ki)
+{
+    return 2.0 * static_cast<double>(mr) * nr * ki
+        / (machine.core_gflops * 1e9);
+}
+
+/// Internal (local memory <-> cores) bytes of a block's macro-kernel sweep.
+double internal_bytes(index_t mi, index_t ni, index_t ki, index_t mr,
+                      index_t nr)
+{
+    const double calls = static_cast<double>(ceil_div(mi, mr))
+        * static_cast<double>(ceil_div(ni, nr));
+    return (calls * (static_cast<double>(ki) * nr + 2.0 * mr * nr)
+            + static_cast<double>(mi) * ki)
+        * kF;
+}
+
+/// One pipeline macro-step: the packets to fetch before compute can start,
+/// the compute duration on the core grid, and the packets to drain after.
+struct Step {
+    std::vector<Packet> fetch;
+    std::vector<Packet> drain;
+    double compute_seconds = 0;
+    BlockCoord coord;   ///< grid coordinates (functional mode)
+};
+
+std::vector<Step> build_cake_steps(const SimConfig& config,
+                                   const CbBlockParams& params)
+{
+    const GemmShape& shape = config.shape;
+    const MachineSpec& machine = config.machine;
+    const index_t mb = ceil_div(shape.m, params.m_blk);
+    const index_t nb = ceil_div(shape.n, params.n_blk);
+    const index_t kb = ceil_div(shape.k, params.k_blk);
+    const auto order = build_schedule(config.schedule, mb, nb, kb,
+                                      /*n_outermost=*/shape.n >= shape.m);
+
+    std::vector<Step> steps;
+    steps.reserve(order.size());
+    std::vector<char> flushed(static_cast<std::size_t>(mb * nb), 0);
+    std::vector<index_t> k_done(static_cast<std::size_t>(mb * nb), 0);
+    std::uint64_t next_id = 0;
+    BlockCoord last{-1, -1, -1};
+    bool have_last = false;
+    index_t cur_mi = 0, cur_ni = 0;
+
+    for (std::size_t idx = 0; idx < order.size(); ++idx) {
+        const BlockCoord& coord = order[idx];
+        const index_t mi = block_extent(coord.m, params.m_blk, shape.m);
+        const index_t ni = block_extent(coord.n, params.n_blk, shape.n);
+        const index_t ki = block_extent(coord.k, params.k_blk, shape.k);
+
+        Step step;
+        if (!(have_last && last.m == coord.m && last.k == coord.k)) {
+            step.fetch.push_back({next_id++, PacketKind::kSurfaceA, coord,
+                                  static_cast<std::uint64_t>(mi * ki * kF)});
+        }
+        if (!(have_last && last.k == coord.k && last.n == coord.n)) {
+            step.fetch.push_back({next_id++, PacketKind::kSurfaceB, coord,
+                                  static_cast<std::uint64_t>(ki * ni * kF)});
+        }
+        if (!(have_last && last.m == coord.m && last.n == coord.n)) {
+            if (have_last) {
+                // The departing (m, n) surface drains to DRAM: complete if
+                // its K reduction finished (always true under the K-first
+                // serpentine schedule), partial otherwise — partial spills
+                // are RMW round trips charged at the slower RMW rate.
+                const auto& prev = order[idx - 1];
+                const std::size_t slot =
+                    static_cast<std::size_t>(prev.m * nb + prev.n);
+                const bool complete = k_done[slot] == kb;
+                steps.back().drain.push_back(
+                    {next_id++,
+                     complete ? PacketKind::kResultC : PacketKind::kPartialC,
+                     prev,
+                     static_cast<std::uint64_t>(cur_mi * cur_ni * kF)});
+                flushed[slot] = 1;
+            }
+            const std::size_t slot =
+                static_cast<std::size_t>(coord.m * nb + coord.n);
+            if (flushed[slot] != 0) {
+                // Revisit of a spilled surface (non-K-first ablation only).
+                step.fetch.push_back(
+                    {next_id++, PacketKind::kPartialC, coord,
+                     static_cast<std::uint64_t>(mi * ni * kF)});
+            }
+            cur_mi = mi;
+            cur_ni = ni;
+        }
+
+        // Busiest core's row band: mc for full blocks; edge blocks split
+        // their rows evenly across cores (mirrors the driver).
+        const index_t band = std::min<index_t>(
+            params.mc,
+            round_up(ceil_div(mi, static_cast<index_t>(config.p)),
+                     params.mr));
+        const double core_time = static_cast<double>(ceil_div(band, params.mr))
+            * static_cast<double>(ceil_div(ni, params.nr))
+            * tile_seconds(machine, params.mr, params.nr, ki);
+        const double int_time =
+            internal_bytes(mi, ni, ki, params.mr, params.nr)
+            / (machine.internal_bw_at(config.p) * 1e9);
+        step.compute_seconds = std::max(core_time, int_time);
+        step.coord = coord;
+
+        steps.push_back(std::move(step));
+        ++k_done[static_cast<std::size_t>(coord.m * nb + coord.n)];
+        last = coord;
+        have_last = true;
+    }
+    if (have_last && !steps.empty()) {
+        steps.back().drain.push_back(
+            {next_id++, PacketKind::kResultC, last,
+             static_cast<std::uint64_t>(cur_mi * cur_ni * kF)});
+    }
+    return steps;
+}
+
+std::vector<Step> build_goto_steps(const SimConfig& config)
+{
+    const GemmShape& shape = config.shape;
+    const MachineSpec& machine = config.machine;
+    const GotoBlocking blocking = goto_default_blocking(
+        machine, config.kernel.mr, config.kernel.nr);
+    const index_t mc = blocking.mc;
+    const index_t kc = blocking.kc;
+    const index_t nc = blocking.nc;
+    const int p = config.p;
+
+    std::vector<Step> steps;
+    std::uint64_t next_id = 0;
+    index_t kidx = 0;
+    for (index_t jc = 0; jc < shape.n; jc += nc) {
+        const index_t ncur = std::min(nc, shape.n - jc);
+        kidx = 0;
+        for (index_t pc = 0; pc < shape.k; pc += kc, ++kidx) {
+            const index_t kcur = std::min(kc, shape.k - pc);
+            const bool acc = pc > 0;
+            Step step;
+            const BlockCoord coord{0, jc / nc, kidx};
+            step.fetch.push_back(
+                {next_id++, PacketKind::kSurfaceB, coord,
+                 static_cast<std::uint64_t>(kcur * ncur * kF)});
+            step.fetch.push_back(
+                {next_id++, PacketKind::kSurfaceA, coord,
+                 static_cast<std::uint64_t>(shape.m * kcur * kF)});
+            if (acc) {
+                step.fetch.push_back(
+                    {next_id++, PacketKind::kPartialC, coord,
+                     static_cast<std::uint64_t>(shape.m * ncur * kF)});
+            }
+            // Partial C streams back out every pass — the traffic CAKE
+            // eliminates (§4.4).
+            step.drain.push_back(
+                {next_id++,
+                 pc + kc >= shape.k ? PacketKind::kResultC
+                                    : PacketKind::kPartialC,
+                 coord, static_cast<std::uint64_t>(shape.m * ncur * kF)});
+
+            // Busiest core handles ceil(blocks/p) A blocks of this pass.
+            const index_t a_blocks = ceil_div(shape.m, mc);
+            const index_t per_core = ceil_div(a_blocks, p);
+            const double core_time = static_cast<double>(per_core)
+                * static_cast<double>(ceil_div(std::min(mc, shape.m),
+                                               config.kernel.mr))
+                * static_cast<double>(ceil_div(ncur, config.kernel.nr))
+                * tile_seconds(machine, config.kernel.mr, config.kernel.nr,
+                               kcur);
+            const double int_time =
+                internal_bytes(shape.m, ncur, kcur, config.kernel.mr,
+                               config.kernel.nr)
+                / (machine.internal_bw_at(p) * 1e9);
+            step.compute_seconds = std::max(core_time, int_time);
+            steps.push_back(std::move(step));
+        }
+    }
+    return steps;
+}
+
+/// Event-driven execution of one step stream on its own core grid: fetch
+/// of step i+1 overlaps compute of step i (double buffering); drains
+/// occupy the DRAM channel but do not stall the pipeline. Several
+/// Pipelines may share one Channel (multi-tenant mode).
+class Pipeline {
+public:
+    using StepExecutor = std::function<void(const Step&)>;
+
+    Pipeline(EventQueue& queue, Channel& dram, std::vector<Step> steps,
+             Timeline* timeline = nullptr, int tenant = 0,
+             StepExecutor executor = {})
+        : queue_(queue), dram_(dram), steps_(std::move(steps)),
+          io_done_(steps_.size(), 0), timeline_(timeline), tenant_(tenant),
+          executor_(std::move(executor))
+    {
+    }
+
+    /// Schedule the pipeline's first fetch at the current simulation time.
+    void start()
+    {
+        if (steps_.empty()) {
+            finish_time_ = queue_.now();
+            return;
+        }
+        queue_.schedule(queue_.now(), [this] { issue_io(0); });
+    }
+
+    [[nodiscard]] double finish_time() const { return finish_time_; }
+    [[nodiscard]] double core_busy_seconds() const
+    {
+        return core_busy_seconds_;
+    }
+    [[nodiscard]] const PacketCounters& packets() const { return packets_; }
+    [[nodiscard]] index_t steps() const
+    {
+        return static_cast<index_t>(steps_.size());
+    }
+
+private:
+    void issue_io(std::size_t i)
+    {
+        if (i >= steps_.size()) return;
+        if (steps_[i].fetch.empty()) {
+            io_done_[i] = 1;
+            try_start_compute(i);
+            return;
+        }
+        const std::size_t last_pkt = steps_[i].fetch.size() - 1;
+        for (std::size_t j = 0; j < steps_[i].fetch.size(); ++j) {
+            const Packet& pkt = steps_[i].fetch[j];
+            packets_.record(pkt);
+            Channel::Interval iv;
+            if (j == last_pkt) {
+                iv = dram_.transfer(queue_.now(), pkt, [this, i](double) {
+                    io_done_[i] = 1;
+                    try_start_compute(i);
+                });
+            } else {
+                iv = dram_.transfer(queue_.now(), pkt);
+            }
+            if (timeline_ != nullptr) {
+                timeline_->record({SliceKind::kFetch, tenant_,
+                                   static_cast<std::int64_t>(i), pkt.kind,
+                                   iv.start, iv.end});
+            }
+        }
+    }
+
+    void try_start_compute(std::size_t i)
+    {
+        if (i != next_compute_ || core_busy_ || io_done_[i] == 0) return;
+        core_busy_ = true;
+        const double duration = steps_[i].compute_seconds;
+        core_busy_seconds_ += duration;
+        // Double buffering: the next step's surfaces start streaming as
+        // soon as this step's compute begins (its buffers are now free).
+        issue_io(i + 1);
+        if (timeline_ != nullptr) {
+            timeline_->record({SliceKind::kCompute, tenant_,
+                               static_cast<std::int64_t>(i),
+                               PacketKind::kSurfaceA, queue_.now(),
+                               queue_.now() + duration});
+        }
+        queue_.schedule(queue_.now() + duration, [this, i] {
+            core_busy_ = false;
+            // Functional payload: the block's real math runs exactly when
+            // the simulated computation completes.
+            if (executor_) executor_(steps_[i]);
+            double drained = queue_.now();
+            for (const Packet& pkt : steps_[i].drain) {
+                packets_.record(pkt);
+                const Channel::Interval iv =
+                    dram_.transfer(queue_.now(), pkt);
+                drained = std::max(drained, iv.end);
+                if (timeline_ != nullptr) {
+                    timeline_->record({SliceKind::kDrain, tenant_,
+                                       static_cast<std::int64_t>(i),
+                                       pkt.kind, iv.start, iv.end});
+                }
+            }
+            ++next_compute_;
+            if (next_compute_ < steps_.size()) {
+                try_start_compute(next_compute_);
+            } else {
+                finish_time_ = drained;
+            }
+        });
+    }
+
+    EventQueue& queue_;
+    Channel& dram_;
+    std::vector<Step> steps_;
+    std::vector<char> io_done_;
+    std::size_t next_compute_ = 0;
+    bool core_busy_ = false;
+    double core_busy_seconds_ = 0;
+    double finish_time_ = 0;
+    PacketCounters packets_;
+    Timeline* timeline_ = nullptr;
+    int tenant_ = 0;
+    StepExecutor executor_;
+};
+
+SimResult run_pipeline(const SimConfig& config, std::vector<Step> steps,
+                       Pipeline::StepExecutor executor = {})
+{
+    SimResult result;
+    result.steps = static_cast<index_t>(steps.size());
+    if (steps.empty()) return result;
+
+    EventQueue queue;
+    Channel dram(queue, config.machine.dram_bw_gbs * 1e9, "dram",
+                 config.machine.rmw_bw_gbs() * 1e9);
+    Pipeline pipeline(queue, dram, std::move(steps), config.timeline, 0,
+                      std::move(executor));
+    pipeline.start();
+    const double end = queue.run_all();
+    // The channel may still be draining the final result packets.
+    const double finish = std::max({end, dram.busy_until(),
+                                    pipeline.finish_time()});
+
+    result.seconds = finish;
+    result.gflops = config.shape.flops() / finish / 1e9;
+    result.packets = pipeline.packets();
+    result.dram_bytes = result.packets.total_bytes();
+    result.avg_dram_bw_gbs =
+        static_cast<double>(result.dram_bytes) / finish / 1e9;
+    result.dram_busy_frac = dram.busy_seconds() / finish;
+    result.core_busy_frac = pipeline.core_busy_seconds() / finish;
+    return result;
+}
+
+std::vector<Step> build_steps(const SimConfig& config, SimResult& result)
+{
+    if (config.algorithm == Algorithm::kGoto) {
+        return build_goto_steps(config);
+    }
+    const CbBlockParams params =
+        compute_cb_block(config.machine, config.p, config.kernel.mr,
+                         config.kernel.nr, config.topts);
+    result.params = params;
+    return build_cake_steps(config, params);
+}
+
+}  // namespace
+
+SimResult simulate(const SimConfig& config)
+{
+    CAKE_CHECK(config.p >= 1);
+    CAKE_CHECK(config.shape.m > 0 && config.shape.n > 0 && config.shape.k > 0);
+
+    SimResult result;
+    std::vector<Step> steps = build_steps(config, result);
+    const CbBlockParams params = result.params;
+
+    if (config.validate_data) {
+        CAKE_CHECK_MSG(config.algorithm == Algorithm::kCake,
+                       "functional validation supports the CAKE pipeline");
+        // Real operands travel with the simulation: each compute event
+        // executes its block's partial product, as in the paper's §6.2
+        // simulator ("to validate the correctness of the CB block design
+        // and execution schedule").
+        Rng rng(config.validate_seed);
+        const GemmShape& shape = config.shape;
+        Matrix a(shape.m, shape.k);
+        Matrix b(shape.k, shape.n);
+        a.fill_random(rng);
+        b.fill_random(rng);
+        Matrix c(shape.m, shape.n);
+
+        auto executor = [&, params](const Step& step) {
+            const index_t m0 = step.coord.m * params.m_blk;
+            const index_t n0 = step.coord.n * params.n_blk;
+            const index_t k0 = step.coord.k * params.k_blk;
+            const index_t mi = std::min(params.m_blk, shape.m - m0);
+            const index_t ni = std::min(params.n_blk, shape.n - n0);
+            const index_t ki = std::min(params.k_blk, shape.k - k0);
+            naive_sgemm(a.data() + m0 * shape.k + k0, shape.k,
+                        b.data() + k0 * shape.n + n0, shape.n,
+                        c.data() + m0 * shape.n + n0, shape.n, mi, ni, ki,
+                        /*accumulate=*/true);
+        };
+        result = run_pipeline(config, std::move(steps), executor);
+        result.params = params;
+        result.max_abs_error = max_abs_diff(c, oracle_gemm(a, b));
+        return result;
+    }
+
+    result = run_pipeline(config, std::move(steps));
+    result.params = params;
+    return result;
+}
+
+MultiTenantResult simulate_shared_dram(const std::vector<SimConfig>& configs,
+                                       Timeline* timeline)
+{
+    CAKE_CHECK(!configs.empty());
+    for (const SimConfig& config : configs) {
+        CAKE_CHECK(config.p >= 1);
+        CAKE_CHECK_MSG(config.machine.name == configs.front().machine.name,
+                       "all tenants must share one machine");
+    }
+
+    EventQueue queue;
+    Channel dram(queue, configs.front().machine.dram_bw_gbs * 1e9,
+                 "dram-shared", configs.front().machine.rmw_bw_gbs() * 1e9);
+
+    MultiTenantResult result;
+    result.tenants.resize(configs.size());
+    std::vector<std::unique_ptr<Pipeline>> pipelines;
+    for (std::size_t t = 0; t < configs.size(); ++t) {
+        std::vector<Step> steps =
+            build_steps(configs[t], result.tenants[t]);
+        pipelines.push_back(std::make_unique<Pipeline>(
+            queue, dram, std::move(steps), timeline, static_cast<int>(t)));
+    }
+    for (auto& p : pipelines) p->start();
+    queue.run_all();
+
+    double total_flops = 0;
+    for (std::size_t t = 0; t < configs.size(); ++t) {
+        SimResult& tenant = result.tenants[t];
+        const double finish =
+            std::max(pipelines[t]->finish_time(), 1e-12);
+        tenant.seconds = finish;
+        tenant.steps = pipelines[t]->steps();
+        tenant.packets = pipelines[t]->packets();
+        tenant.dram_bytes = tenant.packets.total_bytes();
+        tenant.gflops = configs[t].shape.flops() / finish / 1e9;
+        tenant.avg_dram_bw_gbs =
+            static_cast<double>(tenant.dram_bytes) / finish / 1e9;
+        tenant.core_busy_frac =
+            pipelines[t]->core_busy_seconds() / finish;
+        result.makespan = std::max(result.makespan, finish);
+        total_flops += configs[t].shape.flops();
+    }
+    result.aggregate_gflops = total_flops / result.makespan / 1e9;
+    result.dram_busy_frac = dram.busy_seconds() / result.makespan;
+    return result;
+}
+
+double validate_schedule_numerics(const GemmShape& shape,
+                                  const CbBlockParams& params,
+                                  ScheduleKind kind, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix a(shape.m, shape.k);
+    Matrix b(shape.k, shape.n);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    Matrix c(shape.m, shape.n);  // zero-initialised
+
+    const index_t mb = ceil_div(shape.m, params.m_blk);
+    const index_t nb = ceil_div(shape.n, params.n_blk);
+    const index_t kb = ceil_div(shape.k, params.k_blk);
+    const auto order =
+        build_schedule(kind, mb, nb, kb, /*n_outermost=*/shape.n >= shape.m);
+
+    for (const BlockCoord& coord : order) {
+        const index_t mi = block_extent(coord.m, params.m_blk, shape.m);
+        const index_t ni = block_extent(coord.n, params.n_blk, shape.n);
+        const index_t ki = block_extent(coord.k, params.k_blk, shape.k);
+        const index_t m0 = coord.m * params.m_blk;
+        const index_t n0 = coord.n * params.n_blk;
+        const index_t k0 = coord.k * params.k_blk;
+        naive_sgemm(a.data() + m0 * shape.k + k0, shape.k,
+                    b.data() + k0 * shape.n + n0, shape.n,
+                    c.data() + m0 * shape.n + n0, shape.n, mi, ni, ki,
+                    /*accumulate=*/true);
+    }
+    return max_abs_diff(c, oracle_gemm(a, b));
+}
+
+}  // namespace sim
+}  // namespace cake

@@ -1,0 +1,64 @@
+// Standardized packets for all communication between simulated hardware
+// modules (paper §6.2): each packet carries a source route and the tile /
+// CB-block indices it belongs to, so schedules can be modified by editing
+// packet headers rather than module logic.
+#pragma once
+
+#include <cstdint>
+
+#include "core/schedule.hpp"
+
+namespace cake {
+namespace sim {
+
+/// What a packet carries.
+enum class PacketKind : std::uint8_t {
+    kSurfaceA,   ///< A input surface (DRAM -> local memory)
+    kSurfaceB,   ///< B input surface (DRAM -> local memory)
+    kResultC,    ///< completed result surface (local memory -> DRAM)
+    kPartialC,   ///< spilled partial results (local <-> DRAM, non-K-first)
+    kBroadcastB, ///< B tiles broadcast from local memory to a core column
+};
+
+const char* packet_kind_name(PacketKind kind);
+
+/// Hops a packet can traverse (source routing: the full route is fixed at
+/// packet creation in the external-memory module).
+enum class Hop : std::uint8_t {
+    kDram,
+    kLocalMemory,
+    kCoreGrid,
+};
+
+/// One simulated message.
+struct Packet {
+    std::uint64_t id = 0;
+    PacketKind kind = PacketKind::kSurfaceA;
+    BlockCoord block;         ///< CB block this packet belongs to
+    std::uint64_t bytes = 0;
+    Hop route[3] = {Hop::kDram, Hop::kLocalMemory, Hop::kCoreGrid};
+    int route_len = 2;
+};
+
+/// Per-kind packet accounting (checked against the schedule analysis).
+struct PacketCounters {
+    std::uint64_t count[5] = {};
+    std::uint64_t bytes[5] = {};
+
+    void record(const Packet& p)
+    {
+        const auto i = static_cast<std::size_t>(p.kind);
+        ++count[i];
+        bytes[i] += p.bytes;
+    }
+
+    [[nodiscard]] std::uint64_t total_bytes() const
+    {
+        std::uint64_t sum = 0;
+        for (auto b : bytes) sum += b;
+        return sum;
+    }
+};
+
+}  // namespace sim
+}  // namespace cake

@@ -1,0 +1,47 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace cake {
+namespace sim {
+
+const char* slice_kind_name(SliceKind kind)
+{
+    switch (kind) {
+        case SliceKind::kFetch: return "fetch";
+        case SliceKind::kCompute: return "compute";
+        case SliceKind::kDrain: return "drain";
+    }
+    return "unknown";
+}
+
+double Timeline::span() const
+{
+    double latest = 0;
+    for (const Slice& s : slices_) latest = std::max(latest, s.end);
+    return latest;
+}
+
+void Timeline::write_chrome_trace(std::ostream& os) const
+{
+    os << "[";
+    bool first = true;
+    for (const Slice& s : slices_) {
+        if (!first) os << ",";
+        first = false;
+        const int tid = s.kind == SliceKind::kCompute ? 1 : 0;
+        os << "\n{\"name\":\"" << slice_kind_name(s.kind);
+        if (s.kind != SliceKind::kCompute) {
+            os << ' ' << packet_kind_name(s.packet);
+        }
+        os << "\",\"cat\":\"sim\",\"ph\":\"X\",\"ts\":" << s.start * 1e6
+           << ",\"dur\":" << s.duration() * 1e6 << ",\"pid\":" << s.tenant
+           << ",\"tid\":" << tid << ",\"args\":{\"step\":" << s.step
+           << "}}";
+    }
+    os << "\n]\n";
+}
+
+}  // namespace sim
+}  // namespace cake

@@ -1,0 +1,61 @@
+// Simulation timeline recording and Chrome-trace export: every transfer
+// and compute interval of a pipeline run can be captured and written in
+// the chrome://tracing / Perfetto "trace event" JSON format, giving the
+// architecture simulator a visual debugger.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/packet.hpp"
+
+namespace cake {
+namespace sim {
+
+/// What a timeline slice represents.
+enum class SliceKind : std::uint8_t {
+    kFetch,    ///< DRAM -> local memory surface transfer
+    kCompute,  ///< core-grid block computation
+    kDrain,    ///< local memory -> DRAM result/partial writeback
+};
+
+const char* slice_kind_name(SliceKind kind);
+
+/// One recorded interval.
+struct Slice {
+    SliceKind kind = SliceKind::kCompute;
+    int tenant = 0;          ///< pipeline index (multi-tenant runs)
+    std::int64_t step = 0;   ///< pipeline macro-step
+    PacketKind packet = PacketKind::kSurfaceA;  ///< for fetch/drain slices
+    double start = 0;        ///< seconds
+    double end = 0;
+
+    [[nodiscard]] double duration() const { return end - start; }
+};
+
+/// Collects slices during a simulation run.
+class Timeline {
+public:
+    void record(Slice slice) { slices_.push_back(slice); }
+    [[nodiscard]] const std::vector<Slice>& slices() const
+    {
+        return slices_;
+    }
+    [[nodiscard]] bool empty() const { return slices_.empty(); }
+
+    /// Latest end time across all slices (0 when empty).
+    [[nodiscard]] double span() const;
+
+    /// Write the chrome://tracing JSON array. Rows: pid = tenant,
+    /// tid 0 = DRAM channel, tid 1 = core grid. Timestamps in
+    /// microseconds as the format requires.
+    void write_chrome_trace(std::ostream& os) const;
+
+private:
+    std::vector<Slice> slices_;
+};
+
+}  // namespace sim
+}  // namespace cake

@@ -1,0 +1,32 @@
+#include "threading/barrier.hpp"
+
+#include "common/error.hpp"
+
+namespace cake {
+
+Barrier::Barrier(int participants) : participants_(participants)
+{
+    CAKE_CHECK(participants >= 1);
+}
+
+void Barrier::arrive_and_wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const long my_generation = generation_;
+    if (++waiting_ == participants_) {
+        waiting_ = 0;
+        ++generation_;
+        lock.unlock();
+        cv_.notify_all();
+        return;
+    }
+    cv_.wait(lock, [&] { return generation_ != my_generation; });
+}
+
+long Barrier::generation() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return generation_;
+}
+
+}  // namespace cake

@@ -1,0 +1,37 @@
+// Sense-reversing centralized barrier for synchronising the worker "cores"
+// between CB-block phases.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace cake {
+
+/// Reusable barrier for a fixed number of participants.
+/// Unlike std::barrier, exposes the generation count for tests.
+class Barrier {
+public:
+    explicit Barrier(int participants);
+
+    Barrier(const Barrier&) = delete;
+    Barrier& operator=(const Barrier&) = delete;
+
+    /// Block until all participants have arrived; the barrier then resets
+    /// for the next phase.
+    void arrive_and_wait();
+
+    [[nodiscard]] int participants() const { return participants_; }
+
+    /// Number of completed phases (all participants arrived).
+    [[nodiscard]] long generation() const;
+
+private:
+    const int participants_;
+    int waiting_ = 0;
+    long generation_ = 0;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+};
+
+}  // namespace cake

@@ -1,0 +1,111 @@
+#include "threading/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cake {
+
+ThreadPool::ThreadPool(int size) : size_(size)
+{
+    CAKE_CHECK(size >= 1);
+    workers_.reserve(static_cast<std::size_t>(size - 1));
+    for (int i = 1; i < size; ++i) {
+        workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::execute_slot(int tid)
+{
+    const std::function<void(int)>* fn = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fn = job_fn_;
+    }
+    try {
+        (*fn)(tid);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+    }
+    bool last = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        last = (--remaining_ == 0);
+    }
+    if (last) done_cv_.notify_all();
+}
+
+void ThreadPool::worker_loop(int worker_id)
+{
+    long seen_job = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_cv_.wait(lock, [&] {
+                return stop_ || (job_id_ != seen_job && worker_id < job_width_);
+            });
+            if (stop_) return;
+            seen_job = job_id_;
+        }
+        execute_slot(worker_id);
+    }
+}
+
+void ThreadPool::run(int width, const std::function<void(int)>& fn)
+{
+    CAKE_CHECK_MSG(width >= 1 && width <= size_,
+                   "job width " << width << " outside [1, " << size_ << "]");
+    if (width == 1) {
+        fn(0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_fn_ = &fn;
+        job_width_ = width;
+        remaining_ = width;
+        first_error_ = nullptr;
+        ++job_id_;
+    }
+    start_cv_.notify_all();
+    execute_slot(0);  // calling thread is worker 0
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] { return remaining_ == 0; });
+        err = first_error_;
+        job_fn_ = nullptr;
+        job_width_ = 0;
+    }
+    if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::parallel_for(index_t begin, index_t end, int width,
+                              const std::function<void(index_t, index_t)>& fn)
+{
+    CAKE_CHECK(begin <= end);
+    const index_t total = end - begin;
+    if (total == 0) return;
+    width = static_cast<int>(
+        std::min<index_t>(width, std::max<index_t>(total, 1)));
+    width = std::clamp(width, 1, size_);
+    const index_t chunk = (total + width - 1) / width;
+    run(width, [&](int tid) {
+        const index_t lo = begin + tid * chunk;
+        const index_t hi = std::min(end, lo + chunk);
+        if (lo < hi) fn(lo, hi);
+    });
+}
+
+}  // namespace cake

@@ -1,0 +1,61 @@
+// Persistent worker pool: the software stand-in for the paper's grid of
+// processing cores. Threads are created once (CP.41) and joined by RAII
+// (CP.25); waits always use condition predicates (CP.42).
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cake {
+
+/// Fixed-size pool executing "team jobs": a job runs the same callable on
+/// worker ids 0..n-1 in parallel and returns when all have finished.
+/// The calling thread participates as worker 0, so a pool of size p uses
+/// p-1 background threads.
+class ThreadPool {
+public:
+    /// Creates a pool able to run jobs of width up to `size`.
+    explicit ThreadPool(int size);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] int size() const { return size_; }
+
+    /// Run `fn(tid)` for tid in [0, width) across the pool and block until
+    /// every invocation returns. `width` must be in [1, size()].
+    /// If any invocation throws, the first exception is rethrown here after
+    /// all workers finish.
+    void run(int width, const std::function<void(int)>& fn);
+
+    /// Parallel loop: split [begin, end) into `width` contiguous chunks and
+    /// run `fn(chunk_begin, chunk_end)` on each (empty chunks are skipped).
+    void parallel_for(index_t begin, index_t end, int width,
+                      const std::function<void(index_t, index_t)>& fn);
+
+private:
+    void worker_loop(int worker_id);
+    void execute_slot(int tid);
+
+    const int size_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    bool stop_ = false;
+    long job_id_ = 0;          ///< generation counter for job dispatch
+    int job_width_ = 0;        ///< workers participating in current job
+    int remaining_ = 0;        ///< workers not yet finished in current job
+    const std::function<void(int)>* job_fn_ = nullptr;
+    std::exception_ptr first_error_;
+};
+
+}  // namespace cake

@@ -1,0 +1,347 @@
+// Tests for the batched GEMM API, the conv2d module, and the BLAS-style
+// adapters (SYRK / GEMV).
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "conv/conv2d.hpp"
+#include "core/batched.hpp"
+#include "core/blas_like.hpp"
+#include "ref/naive_gemm.hpp"
+
+namespace cake {
+namespace {
+
+ThreadPool& test_pool()
+{
+    static ThreadPool pool(4);
+    return pool;
+}
+
+// ---------------------------------------------------------------- batched
+
+TEST(Batched, MixedShapesBothStrategiesMatchOracle)
+{
+    Rng rng(51);
+    struct Problem {
+        Matrix a, b, c;
+    };
+    std::vector<Problem> problems;
+    const std::vector<std::tuple<index_t, index_t, index_t>> shapes = {
+        {16, 16, 16}, {33, 21, 44}, {64, 8, 128}, {5, 80, 7}, {40, 40, 40}};
+    for (const auto& [m, n, k] : shapes) {
+        Problem p{Matrix(m, k), Matrix(k, n), Matrix(m, n)};
+        p.a.fill_random(rng);
+        p.b.fill_random(rng);
+        problems.push_back(std::move(p));
+    }
+
+    for (BatchStrategy strategy :
+         {BatchStrategy::kSequential, BatchStrategy::kParallelProblems,
+          BatchStrategy::kAuto}) {
+        std::vector<GemmBatchItem<float>> items;
+        for (auto& p : problems) {
+            p.c.fill(-7.0f);
+            items.push_back({p.a.data(), p.a.cols(), p.b.data(), p.b.cols(),
+                             p.c.data(), p.c.cols(), p.a.rows(), p.b.cols(),
+                             p.a.cols()});
+        }
+        CakeOptions options;
+        options.mc = best_microkernel().mr * 2;
+        cake_gemm_batched(test_pool(), items, options, strategy);
+        for (auto& p : problems) {
+            EXPECT_LE(max_abs_diff(p.c, oracle_gemm(p.a, p.b)),
+                      gemm_tolerance(p.a.cols()))
+                << "strategy " << static_cast<int>(strategy);
+        }
+    }
+}
+
+TEST(Batched, StridedBatchedMatchesLoop)
+{
+    Rng rng(52);
+    const index_t m = 24, n = 32, k = 20, count = 6;
+    std::vector<float> a(static_cast<std::size_t>(count * m * k));
+    std::vector<float> b(static_cast<std::size_t>(count * k * n));
+    std::vector<float> c(static_cast<std::size_t>(count * m * n), 0.0f);
+    for (auto& v : a) v = rng.next_float(-1, 1);
+    for (auto& v : b) v = rng.next_float(-1, 1);
+
+    cake_gemm_strided_batched(test_pool(), a.data(), m * k, b.data(), k * n,
+                              c.data(), m * n, m, n, k, count);
+
+    for (index_t i = 0; i < count; ++i) {
+        Matrix ai(m, k), bi(k, n), ci(m, n);
+        std::copy_n(a.data() + i * m * k, m * k, ai.data());
+        std::copy_n(b.data() + i * k * n, k * n, bi.data());
+        std::copy_n(c.data() + i * m * n, m * n, ci.data());
+        EXPECT_LE(max_abs_diff(ci, oracle_gemm(ai, bi)), gemm_tolerance(k))
+            << "batch item " << i;
+    }
+}
+
+TEST(Batched, EmptyBatchIsNoop)
+{
+    cake_gemm_batched<float>(test_pool(), {});
+    cake_gemm_strided_batched<float>(test_pool(), nullptr, 0, nullptr, 0,
+                                     nullptr, 0, 4, 4, 4, 0);
+}
+
+TEST(Batched, DoublePrecisionBatch)
+{
+    Rng rng(53);
+    const index_t m = 18, n = 22, k = 14, count = 4;
+    std::vector<double> a(static_cast<std::size_t>(count * m * k));
+    std::vector<double> b(static_cast<std::size_t>(count * k * n));
+    std::vector<double> c(static_cast<std::size_t>(count * m * n));
+    for (auto& v : a) v = rng.next_double() - 0.5;
+    for (auto& v : b) v = rng.next_double() - 0.5;
+    cake_gemm_strided_batched(test_pool(), a.data(), m * k, b.data(), k * n,
+                              c.data(), m * n, m, n, k, count, {},
+                              BatchStrategy::kParallelProblems);
+    for (index_t i = 0; i < count; ++i) {
+        MatrixD ai(m, k), bi(k, n), ci(m, n);
+        std::copy_n(a.data() + i * m * k, m * k, ai.data());
+        std::copy_n(b.data() + i * k * n, k * n, bi.data());
+        std::copy_n(c.data() + i * m * n, m * n, ci.data());
+        EXPECT_LE(max_abs_diff(ci, oracle_gemm(ai, bi)), dgemm_tolerance(k));
+    }
+}
+
+// ------------------------------------------------------------------ conv
+
+TEST(Conv2d, OutDimFormula)
+{
+    using conv::conv_out_dim;
+    EXPECT_EQ(conv_out_dim(28, 5, 1, 0), 24);
+    EXPECT_EQ(conv_out_dim(28, 3, 1, 1), 28);  // "same" padding
+    EXPECT_EQ(conv_out_dim(28, 3, 2, 1), 14);
+    EXPECT_EQ(conv_out_dim(7, 7, 1, 0), 1);
+    EXPECT_THROW(conv_out_dim(3, 7, 1, 0), Error);
+}
+
+TEST(Conv2d, Im2colIdentityKernel)
+{
+    // 1x1 kernel, stride 1: im2col is a plain channel-interleave.
+    conv::Conv2dParams params;
+    params.in_channels = 2;
+    params.kernel_h = params.kernel_w = 1;
+    std::vector<float> input = {1, 2, 3, 4,   // channel 0 (2x2)
+                                5, 6, 7, 8};  // channel 1
+    std::vector<float> cols(8, -1.0f);
+    conv::im2col(input.data(), 2, 2, params, cols.data());
+    const std::vector<float> expected = {1, 5, 2, 6, 3, 7, 4, 8};
+    EXPECT_EQ(cols, expected);
+}
+
+TEST(Conv2d, Im2colZeroPadsBorders)
+{
+    conv::Conv2dParams params;
+    params.kernel_h = params.kernel_w = 3;
+    params.pad_h = params.pad_w = 1;
+    std::vector<float> input = {1, 2, 3, 4};  // 2x2, single channel
+    const index_t oh = conv::conv_out_dim(2, 3, 1, 1);
+    std::vector<float> cols(static_cast<std::size_t>(oh * oh * 9));
+    conv::im2col(input.data(), 2, 2, params, cols.data());
+    // Patch at output (0,0) is centred on input (0,0): top row and left
+    // column are padding zeros.
+    const std::vector<float> patch0(cols.begin(), cols.begin() + 9);
+    const std::vector<float> expected = {0, 0, 0, 0, 1, 2, 0, 3, 4};
+    EXPECT_EQ(patch0, expected);
+}
+
+class ConvParamTest
+    : public ::testing::TestWithParam<
+          std::tuple<index_t, index_t, index_t, index_t, index_t>> {};
+
+TEST_P(ConvParamTest, GemmLoweringMatchesDirect)
+{
+    const auto [in_c, out_c, kernel, stride, pad] = GetParam();
+    conv::Conv2dParams params;
+    params.in_channels = in_c;
+    params.out_channels = out_c;
+    params.kernel_h = params.kernel_w = kernel;
+    params.stride_h = params.stride_w = stride;
+    params.pad_h = params.pad_w = pad;
+
+    const index_t h = 13, w = 17, n = 2;
+    Rng rng(60 + static_cast<std::uint64_t>(in_c * 100 + out_c * 10 + kernel));
+    std::vector<float> input(static_cast<std::size_t>(n * in_c * h * w));
+    std::vector<float> weights(
+        static_cast<std::size_t>(out_c * params.patch_size()));
+    for (auto& v : input) v = rng.next_float(-1, 1);
+    for (auto& v : weights) v = rng.next_float(-1, 1);
+
+    const index_t oh = conv::conv_out_dim(h, kernel, stride, pad);
+    const index_t ow = conv::conv_out_dim(w, kernel, stride, pad);
+    std::vector<float> output(
+        static_cast<std::size_t>(n * out_c * oh * ow), -1.0f);
+    const auto extent = conv::conv2d_forward(
+        input.data(), n, h, w, weights.data(), params, output.data(),
+        test_pool());
+    EXPECT_EQ(extent.h, oh);
+    EXPECT_EQ(extent.w, ow);
+
+    std::vector<float> direct(static_cast<std::size_t>(out_c * oh * ow));
+    const double tol = gemm_tolerance(params.patch_size());
+    for (index_t img = 0; img < n; ++img) {
+        conv::conv2d_naive(input.data() + img * in_c * h * w, h, w,
+                           weights.data(), params, direct.data());
+        for (std::size_t i = 0; i < direct.size(); ++i) {
+            EXPECT_NEAR(output[static_cast<std::size_t>(
+                            img * out_c * oh * ow) + i],
+                        direct[i], tol)
+                << "img=" << img << " i=" << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvParamTest,
+    ::testing::Values(
+        std::make_tuple<index_t, index_t, index_t, index_t, index_t>(
+            1, 1, 3, 1, 0),
+        std::make_tuple<index_t, index_t, index_t, index_t, index_t>(
+            3, 8, 3, 1, 1),
+        std::make_tuple<index_t, index_t, index_t, index_t, index_t>(
+            2, 4, 5, 2, 2),
+        std::make_tuple<index_t, index_t, index_t, index_t, index_t>(
+            4, 2, 1, 1, 0),
+        std::make_tuple<index_t, index_t, index_t, index_t, index_t>(
+            1, 6, 7, 3, 3)),
+    [](const auto& info) {
+        return "c" + std::to_string(std::get<0>(info.param)) + "o"
+            + std::to_string(std::get<1>(info.param)) + "k"
+            + std::to_string(std::get<2>(info.param)) + "s"
+            + std::to_string(std::get<3>(info.param)) + "p"
+            + std::to_string(std::get<4>(info.param));
+    });
+
+TEST(Conv2dInt8, ApproximatesFloatConvolution)
+{
+    conv::Conv2dParams params;
+    params.in_channels = 3;
+    params.out_channels = 8;
+    params.kernel_h = params.kernel_w = 3;
+    params.pad_h = params.pad_w = 1;
+
+    const index_t h = 16, w = 16, n = 3;
+    Rng rng(90);
+    std::vector<float> input(static_cast<std::size_t>(n * 3 * h * w));
+    std::vector<float> weights(
+        static_cast<std::size_t>(8 * params.patch_size()));
+    for (auto& v : input) v = rng.next_float(0.0f, 1.0f);
+    for (auto& v : weights) v = rng.next_float(-0.5f, 0.5f);
+
+    const index_t pixels = h * w;  // "same" padding
+    std::vector<float> out_f(static_cast<std::size_t>(n * 8 * pixels));
+    std::vector<float> out_q(out_f.size());
+    conv::conv2d_forward(input.data(), n, h, w, weights.data(), params,
+                         out_f.data(), test_pool());
+    const conv::QuantizedConvWeights qw(weights.data(), params);
+    const auto extent = conv::conv2d_forward_int8(
+        input.data(), n, h, w, qw, out_q.data(), test_pool());
+    EXPECT_EQ(extent.h, h);
+    EXPECT_EQ(extent.w, w);
+
+    double worst = 0;
+    double scale = 0;
+    for (std::size_t i = 0; i < out_f.size(); ++i) {
+        worst = std::max(worst,
+                         std::abs(static_cast<double>(out_f[i]) - out_q[i]));
+        scale = std::max(scale, std::abs(static_cast<double>(out_f[i])));
+    }
+    EXPECT_LE(worst, 0.05 * scale + 0.02)
+        << "7-bit quantized conv must track the float conv";
+}
+
+TEST(Conv2dInt8, ZeroInputGivesZeroOutput)
+{
+    conv::Conv2dParams params;
+    params.in_channels = 1;
+    params.out_channels = 4;
+    params.kernel_h = params.kernel_w = 3;
+    std::vector<float> input(64, 0.0f);  // 8x8 zeros
+    std::vector<float> weights(
+        static_cast<std::size_t>(4 * params.patch_size()));
+    Rng rng(91);
+    for (auto& v : weights) v = rng.next_float(-1, 1);
+    const conv::QuantizedConvWeights qw(weights.data(), params);
+    std::vector<float> out(static_cast<std::size_t>(4 * 36), -1.0f);
+    conv::conv2d_forward_int8(input.data(), 1, 8, 8, qw, out.data(),
+                              test_pool());
+    for (float v : out) EXPECT_NEAR(v, 0.0f, 1e-4f);
+}
+
+// ------------------------------------------------------------- blas-like
+
+TEST(BlasLike, SyrkMatchesGemmWithTranspose)
+{
+    Rng rng(70);
+    const index_t n = 37, k = 53;
+    Matrix a(n, k);
+    a.fill_random(rng);
+    Matrix c(n, n);
+    c.fill(1.0f);
+
+    cake_syrk(test_pool(), a.data(), k, c.data(), n, n, k, 2.0f, 0.5f);
+
+    // Oracle: 2 * A A^T + 0.5 * ones.
+    Matrix at(k, n);
+    for (index_t i = 0; i < n; ++i)
+        for (index_t p = 0; p < k; ++p) at.at(p, i) = a.at(i, p);
+    Matrix expected = oracle_gemm(a, at);
+    for (index_t i = 0; i < n; ++i)
+        for (index_t j = 0; j < n; ++j)
+            expected.at(i, j) = 2.0f * expected.at(i, j) + 0.5f;
+    EXPECT_LE(max_abs_diff(c, expected), 4 * gemm_tolerance(k));
+}
+
+TEST(BlasLike, SyrkTransposedForm)
+{
+    Rng rng(71);
+    const index_t rows = 64, n = 20;
+    Matrix x(rows, n);  // A^T A with A = x (k = rows)
+    x.fill_random(rng);
+    Matrix c(n, n);
+    cake_syrk_t(test_pool(), x.data(), n, c.data(), n, n, rows);
+
+    Matrix xt(n, rows);
+    for (index_t r = 0; r < rows; ++r)
+        for (index_t j = 0; j < n; ++j) xt.at(j, r) = x.at(r, j);
+    EXPECT_LE(max_abs_diff(c, oracle_gemm(xt, x)), 2 * gemm_tolerance(rows));
+    // Result is symmetric.
+    for (index_t i = 0; i < n; ++i)
+        for (index_t j = 0; j < i; ++j)
+            EXPECT_NEAR(c.at(i, j), c.at(j, i), 2 * gemm_tolerance(rows));
+}
+
+TEST(BlasLike, GemvMatchesRowDots)
+{
+    Rng rng(72);
+    const index_t m = 48, k = 31;
+    Matrix a(m, k);
+    a.fill_random(rng);
+    std::vector<float> x(static_cast<std::size_t>(k));
+    for (auto& v : x) v = rng.next_float(-1, 1);
+    std::vector<float> y(static_cast<std::size_t>(m), 3.0f);
+
+    cake_gemv(test_pool(), a.data(), k, x.data(), y.data(), m, k, 1.0f,
+              2.0f);
+
+    for (index_t i = 0; i < m; ++i) {
+        double dot = 0;
+        for (index_t p = 0; p < k; ++p)
+            dot += static_cast<double>(a.at(i, p))
+                * x[static_cast<std::size_t>(p)];
+        EXPECT_NEAR(y[static_cast<std::size_t>(i)], dot + 6.0,
+                    gemm_tolerance(k) + 1e-5)
+            << "row " << i;
+    }
+}
+
+}  // namespace
+}  // namespace cake

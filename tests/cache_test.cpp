@@ -1,0 +1,56 @@
+// Cache-topology detection tests.
+#include <gtest/gtest.h>
+
+#include "cache/topology.hpp"
+#include "common/error.hpp"
+
+namespace cake {
+namespace {
+
+TEST(ParseCacheSize, Units)
+{
+    EXPECT_EQ(parse_cache_size("32K"), 32u * 1024);
+    EXPECT_EQ(parse_cache_size("2048K"), 2048u * 1024);
+    EXPECT_EQ(parse_cache_size("20M"), 20u * 1024 * 1024);
+    EXPECT_EQ(parse_cache_size("1G"), 1024u * 1024 * 1024);
+    EXPECT_EQ(parse_cache_size("512"), 512u);
+    EXPECT_EQ(parse_cache_size(""), 0u);
+    EXPECT_EQ(parse_cache_size("junk"), 0u);
+}
+
+TEST(DefaultCaches, ThreeLevelsSorted)
+{
+    const CacheHierarchy h = default_caches();
+    ASSERT_EQ(h.levels.size(), 3u);
+    EXPECT_EQ(h.levels[0].level, 1);
+    EXPECT_EQ(h.levels[2].level, 3);
+    EXPECT_LT(h.levels[0].size_bytes, h.levels[2].size_bytes);
+    EXPECT_EQ(h.llc().level, 3);
+}
+
+TEST(CacheHierarchy, LevelLookup)
+{
+    const CacheHierarchy h = default_caches();
+    EXPECT_TRUE(h.level(2).has_value());
+    EXPECT_EQ(h.level(2)->size_bytes, 1024u * 1024);
+    EXPECT_FALSE(h.level(4).has_value());
+}
+
+TEST(DetectHostCaches, ProducesUsableHierarchy)
+{
+    // On any Linux host this reads sysfs; elsewhere it falls back. Either
+    // way the result must be well-formed.
+    const CacheHierarchy h = detect_host_caches();
+    ASSERT_GE(h.levels.size(), 1u);
+    for (std::size_t i = 0; i < h.levels.size(); ++i) {
+        EXPECT_GT(h.levels[i].size_bytes, 0u);
+        EXPECT_GT(h.levels[i].line_bytes, 0u);
+        EXPECT_GE(h.levels[i].shared_by_cores, 1);
+        if (i > 0) {
+            EXPECT_GT(h.levels[i].level, h.levels[i - 1].level);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace cake

@@ -1,0 +1,274 @@
+// CAKE GEMM driver correctness: shape sweeps against a float64 oracle,
+// accumulate semantics, leading-dimension handling, scheduling variants,
+// worker-count variants, and stats invariants.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/cake_gemm.hpp"
+#include "ref/naive_gemm.hpp"
+
+namespace cake {
+namespace {
+
+ThreadPool& test_pool()
+{
+    static ThreadPool pool(4);
+    return pool;
+}
+
+/// Small-machine options so tests exercise many blocks without huge sizes.
+CakeOptions tiny_block_options()
+{
+    CakeOptions options;
+    options.mc = best_microkernel().mr * 3;
+    return options;
+}
+
+using ShapeParam = std::tuple<index_t, index_t, index_t>;
+
+class CakeShapeTest : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(CakeShapeTest, MatchesOracle)
+{
+    const auto [m, n, k] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(m * 73856093 ^ n * 19349663
+                                       ^ k * 83492791));
+    Matrix a(m, k);
+    Matrix b(k, n);
+    a.fill_random(rng);
+    b.fill_random(rng);
+
+    CakeOptions options;
+    // Small forced geometry => multiple CB blocks in every dimension.
+    options.mc = best_microkernel().mr * 2;
+    options.alpha = 1.0;
+    CakeStats stats;
+    const Matrix c = cake_gemm(a, b, test_pool(), options, &stats);
+
+    const Matrix expected = oracle_gemm(a, b);
+    EXPECT_LE(max_abs_diff(c, expected), gemm_tolerance(k))
+        << "m=" << m << " n=" << n << " k=" << k
+        << " blocks=" << stats.blocks_executed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, CakeShapeTest,
+    ::testing::Values(
+        // Degenerate and tiny
+        ShapeParam{1, 1, 1}, ShapeParam{1, 1, 64}, ShapeParam{1, 64, 1},
+        ShapeParam{64, 1, 1}, ShapeParam{2, 3, 4},
+        // Exact multiples of register tiles
+        ShapeParam{12, 32, 24}, ShapeParam{48, 64, 48},
+        // Awkward primes
+        ShapeParam{13, 17, 19}, ShapeParam{97, 89, 83},
+        // One dim large (skewed, §5.2.1)
+        ShapeParam{256, 8, 8}, ShapeParam{8, 256, 8}, ShapeParam{8, 8, 256},
+        // Mid-size square and rectangles
+        ShapeParam{100, 100, 100}, ShapeParam{150, 75, 33},
+        ShapeParam{75, 150, 201}, ShapeParam{201, 33, 150}),
+    [](const auto& info) {
+        return "m" + std::to_string(std::get<0>(info.param)) + "n"
+            + std::to_string(std::get<1>(info.param)) + "k"
+            + std::to_string(std::get<2>(info.param));
+    });
+
+TEST(CakeGemm, AccumulateAddsToExistingC)
+{
+    Rng rng(9);
+    Matrix a(40, 30);
+    Matrix b(30, 50);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    Matrix c(40, 50);
+    c.fill(2.0f);
+
+    CakeOptions options = tiny_block_options();
+    options.accumulate = true;
+    cake_sgemm(a.data(), b.data(), c.data(), 40, 50, 30, test_pool(),
+               options);
+
+    Matrix expected = oracle_gemm(a, b);
+    for (index_t i = 0; i < expected.rows(); ++i)
+        for (index_t j = 0; j < expected.cols(); ++j)
+            expected.at(i, j) += 2.0f;
+    EXPECT_LE(max_abs_diff(c, expected), gemm_tolerance(30));
+}
+
+TEST(CakeGemm, OverwriteModeIgnoresGarbageInC)
+{
+    Rng rng(10);
+    Matrix a(33, 21);
+    Matrix b(21, 47);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    Matrix c(33, 47);
+    c.fill(1e30f);  // pre-existing garbage must be overwritten
+
+    cake_sgemm(a.data(), b.data(), c.data(), 33, 47, 21, test_pool(),
+               tiny_block_options());
+    EXPECT_LE(max_abs_diff(c, oracle_gemm(a, b)), gemm_tolerance(21));
+}
+
+TEST(CakeGemm, LeadingDimensionsRespected)
+{
+    // Multiply sub-matrices embedded in larger allocations.
+    Rng rng(11);
+    Matrix abig(50, 60);
+    Matrix bbig(60, 70);
+    abig.fill_random(rng);
+    bbig.fill_random(rng);
+    const index_t m = 30, n = 40, k = 25;
+    Matrix cbig(50, 70);
+    cbig.fill(-5.0f);
+
+    CakeGemm gemm(test_pool(), tiny_block_options());
+    gemm.multiply(abig.data() + 2 * 60 + 3, 60, bbig.data() + 4 * 70 + 5, 70,
+                  cbig.data() + 6 * 70 + 7, 70, m, n, k);
+
+    // Oracle on the extracted sub-matrices.
+    Matrix asub(m, k), bsub(k, n);
+    for (index_t i = 0; i < m; ++i)
+        for (index_t p = 0; p < k; ++p) asub.at(i, p) = abig.at(2 + i, 3 + p);
+    for (index_t p = 0; p < k; ++p)
+        for (index_t j = 0; j < n; ++j) bsub.at(p, j) = bbig.at(4 + p, 5 + j);
+    const Matrix expected = oracle_gemm(asub, bsub);
+    double worst = 0;
+    for (index_t i = 0; i < m; ++i)
+        for (index_t j = 0; j < n; ++j)
+            worst = std::max(worst,
+                             std::abs(static_cast<double>(
+                                          cbig.at(6 + i, 7 + j))
+                                      - expected.at(i, j)));
+    EXPECT_LE(worst, gemm_tolerance(k));
+    // Region outside the target sub-matrix untouched.
+    EXPECT_EQ(cbig.at(0, 0), -5.0f);
+    EXPECT_EQ(cbig.at(49, 69), -5.0f);
+    EXPECT_EQ(cbig.at(5, 7), -5.0f);
+}
+
+TEST(CakeGemm, AllWorkerCountsAgree)
+{
+    Rng rng(12);
+    Matrix a(90, 80);
+    Matrix b(80, 110);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    const Matrix expected = oracle_gemm(a, b);
+    for (int p = 1; p <= 4; ++p) {
+        CakeOptions options = tiny_block_options();
+        options.p = p;
+        CakeStats stats;
+        const Matrix c = cake_gemm(a, b, test_pool(), options, &stats);
+        EXPECT_LE(max_abs_diff(c, expected), gemm_tolerance(80)) << "p=" << p;
+        EXPECT_EQ(stats.params.p, p);
+    }
+}
+
+TEST(CakeGemm, AllSchedulesProduceSameResult)
+{
+    Rng rng(13);
+    Matrix a(70, 60);
+    Matrix b(60, 90);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    const Matrix expected = oracle_gemm(a, b);
+    for (ScheduleKind kind :
+         {ScheduleKind::kKFirstSerpentine, ScheduleKind::kKFirstNoFlip,
+          ScheduleKind::kNInnermost}) {
+        CakeOptions options = tiny_block_options();
+        options.mc = best_microkernel().mr;
+        options.schedule = kind;
+        const Matrix c = cake_gemm(a, b, test_pool(), options);
+        EXPECT_LE(max_abs_diff(c, expected), gemm_tolerance(60))
+            << schedule_kind_name(kind);
+    }
+}
+
+TEST(CakeGemm, ZeroDimensionsHandled)
+{
+    Matrix c(4, 4);
+    c.fill(3.0f);
+    // k == 0: overwrite mode zeroes C, accumulate mode leaves it alone.
+    CakeGemm gemm(test_pool());
+    gemm.multiply(nullptr, 0, nullptr, 4, c.data(), 4, 4, 4, 0);
+    EXPECT_EQ(max_abs_diff(c, Matrix(4, 4)), 0.0);
+
+    Matrix c2(4, 4);
+    c2.fill(3.0f);
+    CakeOptions acc;
+    acc.accumulate = true;
+    CakeGemm gemm2(test_pool(), acc);
+    gemm2.multiply(nullptr, 0, nullptr, 4, c2.data(), 4, 4, 4, 0);
+    EXPECT_EQ(c2.at(0, 0), 3.0f);
+}
+
+TEST(CakeGemm, StatsInvariants)
+{
+    Rng rng(14);
+    const index_t m = 96, n = 128, k = 72;
+    Matrix a(m, k);
+    Matrix b(k, n);
+    a.fill_random(rng);
+    b.fill_random(rng);
+
+    CakeOptions options;
+    options.mc = best_microkernel().mr * 2;
+    options.alpha = 1.0;
+    options.p = 2;
+    CakeStats stats;
+    cake_sgemm(a.data(), b.data(), Matrix(m, n).data(), m, n, k, test_pool(),
+               options, &stats);
+
+    EXPECT_EQ(stats.blocks_executed,
+              stats.grid_mb * stats.grid_nb * stats.grid_kb);
+    // K-first: every C surface flushed exactly once, no partial spills.
+    EXPECT_EQ(stats.c_flushes, stats.grid_mb * stats.grid_nb);
+    EXPECT_EQ(stats.c_partial_spills, 0);
+    // Surface sharing means strictly fewer packs than blocks (grids > 1).
+    EXPECT_LE(stats.a_packs, stats.blocks_executed);
+    EXPECT_LE(stats.b_packs, stats.blocks_executed);
+    EXPECT_GT(stats.a_packs, 0);
+    // C write traffic is exactly the result matrix, written once.
+    EXPECT_EQ(stats.dram_write_bytes,
+              static_cast<std::uint64_t>(m) * n * sizeof(float));
+    EXPECT_GT(stats.total_seconds, 0.0);
+}
+
+TEST(CakeGemm, ReusedContextIsConsistent)
+{
+    Rng rng(15);
+    CakeGemm gemm(test_pool(), tiny_block_options());
+    // Grow-then-shrink exercises buffer reuse paths.
+    for (index_t size : {32, 96, 48, 128, 16}) {
+        Matrix a(size, size);
+        Matrix b(size, size);
+        a.fill_random(rng);
+        b.fill_random(rng);
+        Matrix c(size, size);
+        gemm.multiply(a.data(), size, b.data(), size, c.data(), size, size,
+                      size, size);
+        EXPECT_LE(max_abs_diff(c, oracle_gemm(a, b)), gemm_tolerance(size))
+            << "size=" << size;
+    }
+}
+
+TEST(CakeGemm, ForcedScalarIsaMatches)
+{
+    Rng rng(16);
+    Matrix a(50, 40);
+    Matrix b(40, 60);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    CakeOptions options;
+    options.isa = Isa::kScalar;
+    // mc must align with the *forced* kernel's register rows.
+    options.mc = microkernel_for(Isa::kScalar).mr * 3;
+    const Matrix c = cake_gemm(a, b, test_pool(), options);
+    EXPECT_LE(max_abs_diff(c, oracle_gemm(a, b)), gemm_tolerance(40));
+}
+
+}  // namespace
+}  // namespace cake

@@ -1,0 +1,275 @@
+// Extended GEMM semantics: transposed operands and the BLAS epilogue
+// C = alpha*op(A)*op(B) + beta*C, plus the transposed packing routines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/cake_gemm.hpp"
+#include "pack/pack.hpp"
+#include "ref/naive_gemm.hpp"
+
+namespace cake {
+namespace {
+
+ThreadPool& test_pool()
+{
+    static ThreadPool pool(4);
+    return pool;
+}
+
+Matrix transpose(const Matrix& a)
+{
+    Matrix t(a.cols(), a.rows());
+    for (index_t r = 0; r < a.rows(); ++r)
+        for (index_t c = 0; c < a.cols(); ++c) t.at(c, r) = a.at(r, c);
+    return t;
+}
+
+CakeOptions small_blocks()
+{
+    CakeOptions options;
+    options.mc = best_microkernel().mr * 2;
+    return options;
+}
+
+TEST(PackTransposed, PackAMatchesUntransposedPack)
+{
+    Rng rng(31);
+    Matrix a(37, 23);  // logical A block m=37, k=23
+    a.fill_random(rng);
+    const Matrix at = transpose(a);  // stored k x m
+
+    const index_t mr = 6;
+    std::vector<float> direct(
+        static_cast<std::size_t>(packed_a_size(37, 23, mr)));
+    std::vector<float> viat(direct.size());
+    pack_a_panel(a.data(), 23, 37, 23, mr, direct.data());
+    pack_a_panel_transposed(at.data(), 37, 37, 23, mr, viat.data());
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        EXPECT_EQ(direct[i], viat[i]) << "i=" << i;
+}
+
+TEST(PackTransposed, PackBMatchesUntransposedPack)
+{
+    Rng rng(32);
+    Matrix b(19, 41);  // logical B block k=19, n=41
+    b.fill_random(rng);
+    const Matrix bt = transpose(b);  // stored n x k
+
+    const index_t nr = 16;
+    std::vector<float> direct(
+        static_cast<std::size_t>(packed_b_size(19, 41, nr)));
+    std::vector<float> viat(direct.size());
+    pack_b_panel(b.data(), 41, 19, 41, nr, direct.data());
+    pack_b_panel_transposed(bt.data(), 19, 19, 41, nr, viat.data());
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        EXPECT_EQ(direct[i], viat[i]) << "i=" << i;
+}
+
+TEST(TransposeOps, TransposedAMatchesOracle)
+{
+    Rng rng(33);
+    const index_t m = 61, n = 85, k = 47;
+    Matrix a(m, k);
+    Matrix b(k, n);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    const Matrix at = transpose(a);  // stored k x m
+    const Matrix expected = oracle_gemm(a, b);
+
+    CakeOptions options = small_blocks();
+    options.op_a = Op::kTranspose;
+    CakeGemm gemm(test_pool(), options);
+    Matrix c(m, n);
+    gemm.multiply(at.data(), m, b.data(), n, c.data(), n, m, n, k);
+    EXPECT_LE(max_abs_diff(c, expected), gemm_tolerance(k));
+}
+
+TEST(TransposeOps, TransposedBMatchesOracle)
+{
+    Rng rng(34);
+    const index_t m = 53, n = 77, k = 39;
+    Matrix a(m, k);
+    Matrix b(k, n);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    const Matrix bt = transpose(b);  // stored n x k
+    const Matrix expected = oracle_gemm(a, b);
+
+    CakeOptions options = small_blocks();
+    options.op_b = Op::kTranspose;
+    CakeGemm gemm(test_pool(), options);
+    Matrix c(m, n);
+    gemm.multiply(a.data(), k, bt.data(), k, c.data(), n, m, n, k);
+    EXPECT_LE(max_abs_diff(c, expected), gemm_tolerance(k));
+}
+
+TEST(TransposeOps, BothTransposedMatchesOracle)
+{
+    Rng rng(35);
+    const index_t m = 44, n = 66, k = 88;
+    Matrix a(m, k);
+    Matrix b(k, n);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    const Matrix at = transpose(a);
+    const Matrix bt = transpose(b);
+    const Matrix expected = oracle_gemm(a, b);
+
+    CakeOptions options = small_blocks();
+    options.op_a = Op::kTranspose;
+    options.op_b = Op::kTranspose;
+    CakeGemm gemm(test_pool(), options);
+    Matrix c(m, n);
+    gemm.multiply(at.data(), m, bt.data(), k, c.data(), n, m, n, k);
+    EXPECT_LE(max_abs_diff(c, expected), gemm_tolerance(k));
+}
+
+TEST(TransposeOps, GramMatrixUseCase)
+{
+    // X^T X — the classic use of a transposed-A GEMM: symmetric output.
+    Rng rng(36);
+    const index_t rows = 70, cols = 30;
+    Matrix x(rows, cols);
+    x.fill_random(rng);
+
+    CakeOptions options = small_blocks();
+    options.op_a = Op::kTranspose;
+    CakeGemm gemm(test_pool(), options);
+    Matrix gram(cols, cols);
+    gemm.multiply(x.data(), cols, x.data(), cols, gram.data(), cols, cols,
+                  cols, rows);
+
+    const Matrix expected = oracle_gemm(transpose(x), x);
+    EXPECT_LE(max_abs_diff(gram, expected), gemm_tolerance(rows));
+    double asym = 0;
+    for (index_t i = 0; i < cols; ++i)
+        for (index_t j = 0; j < cols; ++j)
+            asym = std::max(asym,
+                            std::abs(static_cast<double>(gram.at(i, j))
+                                     - gram.at(j, i)));
+    EXPECT_LE(asym, 2 * gemm_tolerance(rows));
+}
+
+TEST(ScaledEpilogue, UnpackScaledBlockSemantics)
+{
+    const index_t m = 3, n = 4;
+    std::vector<float> cbuf(static_cast<std::size_t>(m * n));
+    for (index_t i = 0; i < m * n; ++i)
+        cbuf[static_cast<std::size_t>(i)] = static_cast<float>(i + 1);
+    std::vector<float> c(static_cast<std::size_t>(m * n), 10.0f);
+
+    unpack_c_block_scaled(cbuf.data(), m, n, c.data(), n, 2.0f, 0.5f);
+    EXPECT_EQ(c[0], 2.0f * 1 + 0.5f * 10);
+    EXPECT_EQ(c[11], 2.0f * 12 + 0.5f * 10);
+
+    // beta = 0 must overwrite even NaN garbage.
+    std::vector<float> nan_c(static_cast<std::size_t>(m * n),
+                             std::nanf(""));
+    unpack_c_block_scaled(cbuf.data(), m, n, nan_c.data(), n, 1.0f, 0.0f);
+    EXPECT_EQ(nan_c[5], 6.0f);
+}
+
+TEST(ScaledEpilogue, FullBlasSemantics)
+{
+    Rng rng(37);
+    const index_t m = 72, n = 95, k = 58;
+    Matrix a(m, k);
+    Matrix b(k, n);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    Matrix c(m, n);
+    c.fill_with([](index_t r, index_t cc) {
+        return 0.01f * static_cast<float>(r - cc);
+    });
+    Matrix c0(m, n);
+    for (index_t i = 0; i < m; ++i)
+        for (index_t j = 0; j < n; ++j) c0.at(i, j) = c.at(i, j);
+
+    const float alpha = -1.5f;
+    const float beta = 0.25f;
+    CakeGemm gemm(test_pool(), small_blocks());
+    gemm.multiply_scaled(a.data(), k, b.data(), n, c.data(), n, m, n, k,
+                         alpha, beta);
+
+    Matrix expected = oracle_gemm(a, b);
+    for (index_t i = 0; i < m; ++i)
+        for (index_t j = 0; j < n; ++j)
+            expected.at(i, j) =
+                alpha * expected.at(i, j) + beta * c0.at(i, j);
+    EXPECT_LE(max_abs_diff(c, expected), 2 * gemm_tolerance(k));
+}
+
+TEST(ScaledEpilogue, BetaZeroIgnoresNanGarbage)
+{
+    Rng rng(38);
+    const index_t m = 25, n = 33, k = 17;
+    Matrix a(m, k);
+    Matrix b(k, n);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    Matrix c(m, n);
+    c.fill(std::nanf(""));
+
+    CakeGemm gemm(test_pool(), small_blocks());
+    gemm.multiply_scaled(a.data(), k, b.data(), n, c.data(), n, m, n, k,
+                         1.0f, 0.0f);
+    EXPECT_LE(max_abs_diff(c, oracle_gemm(a, b)), gemm_tolerance(k));
+}
+
+TEST(ScaledEpilogue, AlphaZeroScalesCOnly)
+{
+    Rng rng(39);
+    const index_t m = 20, n = 20, k = 20;
+    Matrix a(m, k);
+    Matrix b(k, n);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    Matrix c(m, n);
+    c.fill(4.0f);
+
+    CakeGemm gemm(test_pool(), small_blocks());
+    gemm.multiply_scaled(a.data(), k, b.data(), n, c.data(), n, m, n, k,
+                         0.0f, 0.5f);
+    Matrix expected(m, n);
+    expected.fill(2.0f);
+    EXPECT_EQ(max_abs_diff(c, expected), 0.0);
+}
+
+TEST(ScaledEpilogue, KZeroAppliesBeta)
+{
+    Matrix c(4, 4);
+    c.fill(8.0f);
+    CakeGemm gemm(test_pool(), small_blocks());
+    gemm.multiply_scaled(nullptr, 0, nullptr, 4, c.data(), 4, 4, 4, 0, 1.0f,
+                         0.25f);
+    Matrix expected(4, 4);
+    expected.fill(2.0f);
+    EXPECT_EQ(max_abs_diff(c, expected), 0.0);
+}
+
+TEST(TransposeOps, DoublePrecisionTransposedA)
+{
+    Rng rng(40);
+    const index_t m = 30, n = 42, k = 26;
+    MatrixD a(m, k);
+    MatrixD b(k, n);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    MatrixD at(k, m);
+    for (index_t r = 0; r < m; ++r)
+        for (index_t c = 0; c < k; ++c) at.at(c, r) = a.at(r, c);
+
+    CakeOptions options;
+    options.op_a = Op::kTranspose;
+    options.mc = best_microkernel_of<double>().mr * 2;
+    CakeGemmD gemm(test_pool(), options);
+    MatrixD c(m, n);
+    gemm.multiply(at.data(), m, b.data(), n, c.data(), n, m, n, k);
+    EXPECT_LE(max_abs_diff(c, oracle_gemm(a, b)), dgemm_tolerance(k));
+}
+
+}  // namespace
+}  // namespace cake

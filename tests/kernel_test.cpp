@@ -1,0 +1,193 @@
+// Micro-kernel tests: every compiled ISA variant against a double-precision
+// oracle on packed panels, full and edge tiles, across kc depths.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "kernel/cpu_features.hpp"
+#include "kernel/microkernel.hpp"
+#include "kernel/registry.hpp"
+#include "pack/pack.hpp"
+
+namespace cake {
+namespace {
+
+/// Oracle for one packed-panel micro-kernel call.
+std::vector<double> oracle_tile(const float* a, const float* b, index_t mr,
+                                index_t nr, index_t kc)
+{
+    std::vector<double> acc(static_cast<std::size_t>(mr * nr), 0.0);
+    for (index_t p = 0; p < kc; ++p) {
+        for (index_t i = 0; i < mr; ++i) {
+            for (index_t j = 0; j < nr; ++j) {
+                acc[static_cast<std::size_t>(i * nr + j)] +=
+                    static_cast<double>(a[p * mr + i]) * b[p * nr + j];
+            }
+        }
+    }
+    return acc;
+}
+
+class KernelParamTest
+    : public ::testing::TestWithParam<std::tuple<int, index_t>> {};
+
+TEST_P(KernelParamTest, MatchesOracleFullTile)
+{
+    const auto [kernel_index, kc] = GetParam();
+    const auto kernels = supported_microkernels();
+    ASSERT_LT(static_cast<std::size_t>(kernel_index), kernels.size());
+    const MicroKernel& k = kernels[static_cast<std::size_t>(kernel_index)];
+
+    Rng rng(1000 + static_cast<std::uint64_t>(kc));
+    AlignedBuffer<float> a(static_cast<std::size_t>(k.mr * kc));
+    AlignedBuffer<float> b(static_cast<std::size_t>(k.nr * kc));
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = rng.next_float(-1, 1);
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.next_float(-1, 1);
+
+    AlignedBuffer<float> c(static_cast<std::size_t>(k.mr * k.nr), true);
+    k.fn(kc, a.data(), b.data(), c.data(), k.nr, /*accumulate=*/false);
+
+    const auto oracle = oracle_tile(a.data(), b.data(), k.mr, k.nr, kc);
+    const double tol = gemm_tolerance(kc);
+    for (index_t i = 0; i < k.mr * k.nr; ++i) {
+        EXPECT_NEAR(c[static_cast<std::size_t>(i)],
+                    oracle[static_cast<std::size_t>(i)], tol)
+            << "kernel=" << k.name << " kc=" << kc << " idx=" << i;
+    }
+}
+
+TEST_P(KernelParamTest, AccumulateAddsIntoC)
+{
+    const auto [kernel_index, kc] = GetParam();
+    const auto kernels = supported_microkernels();
+    ASSERT_LT(static_cast<std::size_t>(kernel_index), kernels.size());
+    const MicroKernel& k = kernels[static_cast<std::size_t>(kernel_index)];
+
+    Rng rng(2000 + static_cast<std::uint64_t>(kc));
+    AlignedBuffer<float> a(static_cast<std::size_t>(k.mr * kc));
+    AlignedBuffer<float> b(static_cast<std::size_t>(k.nr * kc));
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = rng.next_float(-1, 1);
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.next_float(-1, 1);
+
+    AlignedBuffer<float> c(static_cast<std::size_t>(k.mr * k.nr));
+    for (std::size_t i = 0; i < c.size(); ++i)
+        c[i] = static_cast<float>(i % 5);
+    k.fn(kc, a.data(), b.data(), c.data(), k.nr, /*accumulate=*/true);
+
+    const auto oracle = oracle_tile(a.data(), b.data(), k.mr, k.nr, kc);
+    const double tol = gemm_tolerance(kc);
+    for (index_t i = 0; i < k.mr * k.nr; ++i) {
+        EXPECT_NEAR(c[static_cast<std::size_t>(i)],
+                    oracle[static_cast<std::size_t>(i)]
+                        + static_cast<double>(i % 5),
+                    tol);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAndDepths, KernelParamTest,
+    ::testing::Combine(
+        ::testing::Range(0, static_cast<int>(supported_microkernels().size())),
+        ::testing::Values<index_t>(1, 2, 3, 7, 16, 64, 192, 333)),
+    [](const auto& info) {
+        const auto kernels = supported_microkernels();
+        return std::string(
+                   kernels[static_cast<std::size_t>(std::get<0>(info.param))]
+                       .name)
+            + "_kc" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(KernelEdge, PartialTilesMatchOracle)
+{
+    const MicroKernel& k = best_microkernel();
+    const index_t kc = 33;
+    Rng rng(77);
+    AlignedBuffer<float> a(static_cast<std::size_t>(k.mr * kc), true);
+    AlignedBuffer<float> b(static_cast<std::size_t>(k.nr * kc), true);
+    AlignedBuffer<float> scratch(static_cast<std::size_t>(k.mr * k.nr));
+
+    for (index_t m = 1; m <= k.mr; ++m) {
+        for (index_t n = 1; n <= k.nr; n += 3) {
+            // Zero-pad rows >= m and cols >= n as the packers would.
+            for (index_t p = 0; p < kc; ++p) {
+                for (index_t i = 0; i < k.mr; ++i)
+                    a[static_cast<std::size_t>(p * k.mr + i)] =
+                        i < m ? rng.next_float(-1, 1) : 0.0f;
+                for (index_t j = 0; j < k.nr; ++j)
+                    b[static_cast<std::size_t>(p * k.nr + j)] =
+                        j < n ? rng.next_float(-1, 1) : 0.0f;
+            }
+            // C region sized exactly m x n with sentinel guard band after.
+            std::vector<float> c(static_cast<std::size_t>(m * n + 64), -9.0f);
+            for (index_t i = 0; i < m * n; ++i)
+                c[static_cast<std::size_t>(i)] = 0.0f;
+            run_microkernel_tile(k, kc, a.data(), b.data(), c.data(), n, m, n,
+                                 /*accumulate=*/false, scratch.data());
+
+            const auto oracle = oracle_tile(a.data(), b.data(), k.mr, k.nr, kc);
+            const double tol = gemm_tolerance(kc);
+            for (index_t i = 0; i < m; ++i)
+                for (index_t j = 0; j < n; ++j)
+                    EXPECT_NEAR(c[static_cast<std::size_t>(i * n + j)],
+                                oracle[static_cast<std::size_t>(i * k.nr + j)],
+                                tol)
+                        << "m=" << m << " n=" << n;
+            // Guard band untouched.
+            for (std::size_t g = static_cast<std::size_t>(m * n);
+                 g < c.size(); ++g)
+                EXPECT_EQ(c[g], -9.0f) << "guard overwritten at " << g;
+        }
+    }
+}
+
+TEST(KernelRegistry, ScalarAlwaysPresent)
+{
+    const auto kernels = supported_microkernels();
+    ASSERT_FALSE(kernels.empty());
+    bool has_scalar = false;
+    for (const auto& k : kernels) has_scalar |= k.isa == Isa::kScalar;
+    EXPECT_TRUE(has_scalar);
+}
+
+TEST(KernelRegistry, BestIsWidestSupported)
+{
+    const auto kernels = supported_microkernels();
+    const MicroKernel& best = best_microkernel();
+    // Unless overridden by env, best must be the front (widest) entry.
+    if (!std::getenv("CAKE_FORCE_ISA")) {
+        EXPECT_EQ(std::string(best.name), std::string(kernels.front().name));
+    }
+    EXPECT_GE(best.mr, 1);
+    EXPECT_GE(best.nr, 1);
+}
+
+TEST(KernelRegistry, IsaNamesRoundTrip)
+{
+    for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+        EXPECT_EQ(parse_isa(isa_name(isa)), isa);
+    }
+    EXPECT_THROW(parse_isa("neon"), Error);
+}
+
+TEST(KernelRegistry, AllCompiledKernelsHaveDistinctNames)
+{
+    const auto& all = all_microkernels();
+    for (std::size_t i = 0; i < all.size(); ++i)
+        for (std::size_t j = i + 1; j < all.size(); ++j)
+            EXPECT_NE(std::string(all[i].name), std::string(all[j].name));
+}
+
+TEST(CpuFeatures, ConsistentWithRegistry)
+{
+    // Every supported kernel's ISA must report as supported.
+    for (const auto& k : supported_microkernels()) {
+        EXPECT_TRUE(isa_supported(k.isa)) << k.name;
+    }
+    EXPECT_TRUE(isa_supported(Isa::kScalar));
+}
+
+}  // namespace
+}  // namespace cake

@@ -1,0 +1,125 @@
+// Blocked Cholesky / SPD-solve tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "linalg/cholesky.hpp"
+#include "ref/naive_gemm.hpp"
+
+namespace cake {
+namespace {
+
+ThreadPool& test_pool()
+{
+    static ThreadPool pool(4);
+    return pool;
+}
+
+/// Random SPD matrix: A = G * G^T + n * I (diagonally dominated).
+Matrix random_spd(index_t n, Rng& rng)
+{
+    Matrix g(n, n);
+    g.fill_random(rng, -1.0f, 1.0f);
+    Matrix gt(n, n);
+    for (index_t r = 0; r < n; ++r)
+        for (index_t c = 0; c < n; ++c) gt.at(c, r) = g.at(r, c);
+    Matrix a = oracle_gemm(g, gt);
+    for (index_t i = 0; i < n; ++i)
+        a.at(i, i) += static_cast<float>(n);
+    return a;
+}
+
+class CholeskySizeTest : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(CholeskySizeTest, FactorReconstructsA)
+{
+    const index_t n = GetParam();
+    Rng rng(500 + static_cast<std::uint64_t>(n));
+    const Matrix a = random_spd(n, rng);
+
+    Matrix l(n, n, /*zero=*/false);
+    std::copy_n(a.data(), a.size(), l.data());
+    linalg::cholesky(l, test_pool(), /*block=*/48);
+
+    // Lower triangular with positive diagonal, upper zeroed.
+    for (index_t r = 0; r < n; ++r) {
+        EXPECT_GT(l.at(r, r), 0.0f);
+        for (index_t c = r + 1; c < n; ++c) EXPECT_EQ(l.at(r, c), 0.0f);
+    }
+    const double err = linalg::reconstruction_error(a, l, test_pool());
+    // Relative to ||A||_F ~ n * diag magnitude.
+    const double scale = static_cast<double>(n) * n;
+    EXPECT_LE(err / scale, 1e-4) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizeTest,
+                         ::testing::Values<index_t>(1, 2, 7, 48, 65, 130,
+                                                    200),
+                         [](const auto& info) {
+                             return "n" + std::to_string(info.param);
+                         });
+
+TEST(Cholesky, BlockSizeInvariance)
+{
+    Rng rng(501);
+    const index_t n = 96;
+    const Matrix a = random_spd(n, rng);
+    Matrix l1(n, n, false), l2(n, n, false);
+    std::copy_n(a.data(), a.size(), l1.data());
+    std::copy_n(a.data(), a.size(), l2.data());
+    linalg::cholesky(l1, test_pool(), 16);
+    linalg::cholesky(l2, test_pool(), 96);  // unblocked in one panel
+    EXPECT_LE(max_abs_diff(l1, l2), 1e-3)
+        << "factor must not depend materially on the panel width";
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix)
+{
+    Matrix a(3, 3);
+    a.fill_with([](index_t r, index_t c) {
+        return r == c ? (r == 1 ? -1.0f : 1.0f) : 0.0f;
+    });
+    EXPECT_THROW(linalg::cholesky(a, test_pool()), Error);
+}
+
+TEST(Cholesky, SolveSpdRecoversKnownSolution)
+{
+    Rng rng(502);
+    const index_t n = 120, nrhs = 5;
+    const Matrix a = random_spd(n, rng);
+    Matrix x_true(n, nrhs);
+    x_true.fill_random(rng, -2.0f, 2.0f);
+    const Matrix b = oracle_gemm(a, x_true);
+
+    const Matrix x = linalg::solve_spd(a, b, test_pool());
+    EXPECT_LE(max_rel_diff(x, x_true, 1.0), 5e-3);
+}
+
+TEST(Cholesky, TriangularSolvesInvertEachOther)
+{
+    Rng rng(503);
+    const index_t n = 40;
+    Matrix l = random_spd(n, rng);
+    linalg::cholesky(l, test_pool());
+
+    std::vector<float> b(static_cast<std::size_t>(n), 1.0f);
+    std::vector<float> b0 = b;
+    // y = L^-1 b; then z = L y must give b back.
+    linalg::solve_lower(l, b.data(), 1);
+    std::vector<float> z(static_cast<std::size_t>(n), 0.0f);
+    for (index_t i = 0; i < n; ++i) {
+        double s = 0;
+        for (index_t t = 0; t <= i; ++t)
+            s += static_cast<double>(l.at(i, t))
+                * b[static_cast<std::size_t>(t)];
+        z[static_cast<std::size_t>(i)] = static_cast<float>(s);
+    }
+    for (index_t i = 0; i < n; ++i)
+        EXPECT_NEAR(z[static_cast<std::size_t>(i)],
+                    b0[static_cast<std::size_t>(i)], 1e-3);
+}
+
+}  // namespace
+}  // namespace cake

@@ -1,0 +1,233 @@
+// Analytical-model tests: the paper's Eqs. 1-6, traffic walkers, the
+// prediction engine, and the extrapolation protocol.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gotoblas/goto_gemm.hpp"
+#include "model/analysis.hpp"
+#include "model/extrapolate.hpp"
+#include "model/throughput.hpp"
+
+namespace cake {
+namespace {
+
+TEST(Equations, Eq1InternalMemory)
+{
+    // alpha=1, p=1, k=1: 1 + 1 + 1 = 3 surfaces of one tile each.
+    EXPECT_DOUBLE_EQ(model::mem_internal_tiles(1, 1, 1), 3.0);
+    // Quadratic growth in p (the paper's headline cost).
+    const double m4 = model::mem_internal_tiles(1, 4, 8);
+    const double m8 = model::mem_internal_tiles(1, 8, 8);
+    EXPECT_GT(m8 / m4, 3.0);  // dominated by the p^2 term
+    EXPECT_LT(m8 / m4, 4.0);
+}
+
+TEST(Equations, Eq2BandwidthFallsWithAlpha)
+{
+    const double k = 16;
+    EXPECT_DOUBLE_EQ(model::bw_min_tiles_per_cycle(1, k), 2 * k);
+    EXPECT_GT(model::bw_min_tiles_per_cycle(1, k),
+              model::bw_min_tiles_per_cycle(2, k));
+    // alpha -> infinity approaches k.
+    EXPECT_NEAR(model::bw_min_tiles_per_cycle(1e9, k), k, 1e-6);
+}
+
+TEST(Equations, AlphaFromRatio)
+{
+    // R = 2 -> alpha = 1; R = 1.5 -> alpha = 2; R -> 1+ diverges.
+    EXPECT_DOUBLE_EQ(model::alpha_from_ratio(2.0), 1.0);
+    EXPECT_DOUBLE_EQ(model::alpha_from_ratio(1.5), 2.0);
+    EXPECT_THROW(model::alpha_from_ratio(1.0), Error);
+}
+
+TEST(Equations, Eq3InternalBandwidthGrowsLinearlyInP)
+{
+    const double k = 8, alpha = 1;
+    const double b1 = model::bw_internal_tiles_per_cycle(alpha, 1, k);
+    const double b2 = model::bw_internal_tiles_per_cycle(alpha, 2, k);
+    const double b3 = model::bw_internal_tiles_per_cycle(alpha, 3, k);
+    EXPECT_DOUBLE_EQ(b2 - b1, 2 * k);  // the 2pk term
+    EXPECT_DOUBLE_EQ(b3 - b2, 2 * k);
+}
+
+TEST(Equations, GotoBandwidthGrowsWithP_CakeDoesNot)
+{
+    // The paper's central contrast (§4.1 vs §4.2 / Eq. 4).
+    const double mr = 6, nr = 16, kc = 96, nc = 4096;
+    const double goto1 = model::goto_ext_bw(1, kc, nc, mr, nr);
+    const double goto8 = model::goto_ext_bw(8, kc, nc, mr, nr);
+    EXPECT_GT(goto8, 4 * goto1);  // ~linear growth
+
+    const double cake1 = model::cake_ext_bw(1.0, mr, nr);
+    EXPECT_DOUBLE_EQ(cake1, 2 * mr * nr);
+    // Eq. 4 has no p in it at all: constant bandwidth by construction.
+}
+
+TEST(Equations, Eq5Eq6)
+{
+    EXPECT_DOUBLE_EQ(model::cake_local_mem(2, 10, 10, 1.0),
+                     2 * 10 * 10 * 2.0 + 1.0 * 4 * 100);
+    EXPECT_DOUBLE_EQ(model::cake_int_bw(4, 1.0, 6, 16), (8 + 1 + 1) * 96);
+    // Internal bandwidth grows ~linearly with p (Eq. 6).
+    const double d = model::cake_int_bw(5, 1, 6, 16)
+        - model::cake_int_bw(4, 1, 6, 16);
+    EXPECT_DOUBLE_EQ(d, 2 * 96);
+}
+
+TEST(Equations, ArithmeticIntensity)
+{
+    // Cube block: AI = n/2 for m=k=n.
+    EXPECT_DOUBLE_EQ(model::cb_arithmetic_intensity(8, 8, 8), 4.0);
+    // Stretching n raises AI toward k (Fig. 4).
+    EXPECT_GT(model::cb_arithmetic_intensity(8, 8, 32),
+              model::cb_arithmetic_intensity(8, 8, 8));
+}
+
+TEST(Traffic, CakeWalkerMatchesHandCase)
+{
+    // One CB block covering the whole problem: read A + B, write C once.
+    CbBlockParams params;
+    params.p = 1;
+    params.mr = 6;
+    params.nr = 16;
+    params.mc = params.kc = 64;
+    params.alpha = 1.0;
+    params.m_blk = 64;
+    params.k_blk = 64;
+    params.n_blk = 64;
+    const GemmShape shape{64, 64, 64};
+    const auto t = model::cake_traffic(shape, params);
+    EXPECT_EQ(t.a_packs, 1);
+    EXPECT_EQ(t.b_packs, 1);
+    EXPECT_EQ(t.c_flushes, 1);
+    EXPECT_EQ(t.dram_read_bytes, 2u * 64 * 64 * sizeof(float));
+    EXPECT_EQ(t.dram_write_bytes, 1u * 64 * 64 * sizeof(float));
+}
+
+TEST(Traffic, CakeWritesCExactlyOnce)
+{
+    CbBlockParams params;
+    params.p = 2;
+    params.mr = 6;
+    params.nr = 16;
+    params.mc = params.kc = 32;
+    params.alpha = 1.0;
+    params.m_blk = 64;
+    params.k_blk = 32;
+    params.n_blk = 64;
+    const GemmShape shape{200, 300, 150};
+    const auto t = model::cake_traffic(shape, params);
+    EXPECT_EQ(t.dram_write_bytes,
+              static_cast<std::uint64_t>(200) * 300 * sizeof(float));
+}
+
+TEST(Traffic, GotoCTrafficScalesWithKPasses)
+{
+    const GemmShape shape{512, 512, 512};
+    const auto few = model::goto_traffic(shape, 256, 512);
+    const auto many = model::goto_traffic(shape, 64, 512);
+    EXPECT_EQ(few.dram_write_bytes,
+              static_cast<std::uint64_t>(512) * 512 * 2 * sizeof(float));
+    EXPECT_EQ(many.dram_write_bytes,
+              static_cast<std::uint64_t>(512) * 512 * 8 * sizeof(float));
+    EXPECT_GT(many.dram_read_bytes, few.dram_read_bytes);
+}
+
+TEST(Traffic, CakeBeatsGotoOnDramBytes)
+{
+    // The headline: for a large square MM, CAKE moves far less external
+    // data than GOTO at the same kernel shape.
+    const MachineSpec intel = intel_i9_10900k();
+    const GemmShape shape{4608, 4608, 4608};
+    const auto params = compute_cb_block(intel, 10, 6, 16);
+    const auto cake = model::cake_traffic(shape, params);
+    const GotoBlocking blocking = goto_default_blocking(intel, 6, 16);
+    const auto gto = model::goto_traffic(shape, blocking.mc, blocking.nc);
+    EXPECT_LT(cake.total_bytes(), gto.total_bytes());
+}
+
+TEST(Predict, CakeDramBandwidthConstantInP)
+{
+    // Fig. 10a / 12a shape: CAKE's average DRAM bandwidth stays flat as
+    // cores increase, while GOTO's rises.
+    const MachineSpec amd = amd_ryzen_5950x();
+    const GemmShape shape{4608, 4608, 4608};
+    const double bw2 = model::predict_cake(amd, 2, shape).avg_dram_bw_gbs;
+    const double bw16 = model::predict_cake(amd, 16, shape).avg_dram_bw_gbs;
+    EXPECT_LT(bw16, 3.0 * bw2) << "CAKE DRAM BW must stay near-constant";
+
+    const double gbw2 = model::predict_goto(amd, 2, shape).avg_dram_bw_gbs;
+    const double gbw16 = model::predict_goto(amd, 16, shape).avg_dram_bw_gbs;
+    EXPECT_GT(gbw16, 3.0 * gbw2) << "GOTO DRAM BW must grow with cores";
+}
+
+TEST(Predict, ArmGotoIsDramBound)
+{
+    // Fig. 11: on the A53's 2 GB/s DRAM, GOTO saturates external
+    // bandwidth and stops scaling; CAKE keeps scaling.
+    const MachineSpec arm = arm_cortex_a53();
+    const GemmShape shape{3000, 3000, 3000};
+    const auto goto4 = model::predict_goto(arm, 4, shape);
+    EXPECT_EQ(goto4.bound, "dram");
+    const auto cake4 = model::predict_cake(arm, 4, shape);
+    EXPECT_GT(cake4.gflops, goto4.gflops);
+}
+
+TEST(Predict, CakeThroughputScalesWithCores)
+{
+    const MachineSpec amd = amd_ryzen_5950x();
+    const GemmShape shape{4608, 4608, 4608};
+    const double g1 = model::predict_cake(amd, 1, shape).gflops;
+    const double g8 = model::predict_cake(amd, 8, shape).gflops;
+    EXPECT_GT(g8, 6.0 * g1);  // near-linear scaling on the rich machine
+}
+
+TEST(Predict, SmallProblemsFavourCake)
+{
+    // Fig. 8: low arithmetic intensity (small K) makes GOTO DRAM-bound;
+    // CAKE's relative advantage grows.
+    const MachineSpec intel = intel_i9_10900k();
+    const GemmShape small{2000, 2000, 250};
+    const GemmShape large{8000, 8000, 8000};
+    const double ratio_small =
+        model::predict_cake(intel, 10, small).gflops
+        / model::predict_goto(intel, 10, small).gflops;
+    const double ratio_large =
+        model::predict_cake(intel, 10, large).gflops
+        / model::predict_goto(intel, 10, large).gflops;
+    EXPECT_GE(ratio_small, ratio_large);
+    EXPECT_GE(ratio_small, 1.0);
+}
+
+TEST(Extrapolate, PreservesMeasuredPrefix)
+{
+    const std::vector<double> measured = {10, 20, 30};
+    const auto out = model::extrapolate_series(measured, 6);
+    ASSERT_EQ(out.size(), 6u);
+    EXPECT_DOUBLE_EQ(out[0], 10);
+    EXPECT_DOUBLE_EQ(out[2], 30);
+    EXPECT_DOUBLE_EQ(out[5], 60);  // line through (2,20),(3,30)
+}
+
+TEST(Extrapolate, TruncatesWhenTargetSmaller)
+{
+    const auto out = model::extrapolate_series({1, 2, 3, 4}, 2);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[1], 2);
+}
+
+TEST(Extrapolate, MachineScalesLlcQuadratically)
+{
+    const MachineSpec base = intel_i9_10900k();
+    const MachineSpec big = model::extrapolated_machine(base, 20);
+    EXPECT_EQ(big.cores, 20);
+    EXPECT_EQ(big.llc_bytes(), base.llc_bytes() * 4);
+    EXPECT_DOUBLE_EQ(big.dram_bw_gbs, base.dram_bw_gbs) << "DRAM fixed";
+    EXPECT_GT(big.internal_bw_at(20), base.internal_bw_at(10));
+    // Private caches unchanged.
+    EXPECT_EQ(big.caches.level(2)->size_bytes,
+              base.caches.level(2)->size_bytes);
+}
+
+}  // namespace
+}  // namespace cake

@@ -1,0 +1,148 @@
+// Packing tests: layout invariants, zero padding, round trips, and the
+// pack -> micro-kernel -> unpack path against a naive oracle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "pack/pack.hpp"
+
+namespace cake {
+namespace {
+
+TEST(PackMath, CeilDivAndRoundUp)
+{
+    EXPECT_EQ(ceil_div(0, 4), 0);
+    EXPECT_EQ(ceil_div(1, 4), 1);
+    EXPECT_EQ(ceil_div(4, 4), 1);
+    EXPECT_EQ(ceil_div(5, 4), 2);
+    EXPECT_EQ(round_up(0, 8), 0);
+    EXPECT_EQ(round_up(1, 8), 8);
+    EXPECT_EQ(round_up(8, 8), 8);
+    EXPECT_EQ(round_up(9, 8), 16);
+}
+
+TEST(PackMath, PackedSizes)
+{
+    EXPECT_EQ(packed_a_size(10, 5, 4), 12 * 5);
+    EXPECT_EQ(packed_b_size(5, 10, 8), 5 * 16);
+}
+
+class PackParamTest
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, index_t>> {
+};
+
+TEST_P(PackParamTest, PackARoundTrip)
+{
+    const auto [m, k, mr] = GetParam();
+    Matrix a(m > 0 ? m : 1, k > 0 ? k : 1);
+    Rng rng(5);
+    a.fill_random(rng);
+
+    std::vector<float> packed(static_cast<std::size_t>(packed_a_size(m, k, mr)),
+                              -1.0f);
+    pack_a_panel(a.data(), a.cols(), m, k, mr, packed.data());
+
+    for (index_t i = 0; i < round_up(m, mr); ++i) {
+        for (index_t p = 0; p < k; ++p) {
+            const float expected = i < m ? a.at(i, p) : 0.0f;
+            EXPECT_EQ(packed_a_at(packed.data(), m, k, mr, i, p), expected)
+                << "i=" << i << " p=" << p;
+        }
+    }
+}
+
+TEST_P(PackParamTest, PackBRoundTrip)
+{
+    const auto [n, k, nr] = GetParam();
+    Matrix b(k > 0 ? k : 1, n > 0 ? n : 1);
+    Rng rng(6);
+    b.fill_random(rng);
+
+    std::vector<float> packed(static_cast<std::size_t>(packed_b_size(k, n, nr)),
+                              -1.0f);
+    pack_b_panel(b.data(), b.cols(), k, n, nr, packed.data());
+
+    for (index_t p = 0; p < k; ++p) {
+        for (index_t j = 0; j < round_up(n, nr); ++j) {
+            const float expected = j < n ? b.at(p, j) : 0.0f;
+            EXPECT_EQ(packed_b_at(packed.data(), k, n, nr, p, j), expected)
+                << "p=" << p << " j=" << j;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PackParamTest,
+    ::testing::Values(std::make_tuple<index_t, index_t, index_t>(1, 1, 6),
+                      std::make_tuple<index_t, index_t, index_t>(6, 8, 6),
+                      std::make_tuple<index_t, index_t, index_t>(7, 3, 6),
+                      std::make_tuple<index_t, index_t, index_t>(13, 17, 8),
+                      std::make_tuple<index_t, index_t, index_t>(64, 64, 16),
+                      std::make_tuple<index_t, index_t, index_t>(100, 1, 14),
+                      std::make_tuple<index_t, index_t, index_t>(1, 100, 14)));
+
+TEST(PackA, SubMatrixWithLeadingDimension)
+{
+    // Pack a 5x4 window out of a 10x12 matrix.
+    Matrix big(10, 12);
+    big.fill_with([](index_t r, index_t c) {
+        return static_cast<float>(100 * r + c);
+    });
+    const index_t mr = 4;
+    std::vector<float> packed(
+        static_cast<std::size_t>(packed_a_size(5, 4, mr)));
+    pack_a_panel(big.data() + 2 * 12 + 3, 12, 5, 4, mr, packed.data());
+    for (index_t i = 0; i < 5; ++i)
+        for (index_t p = 0; p < 4; ++p)
+            EXPECT_EQ(packed_a_at(packed.data(), 5, 4, mr, i, p),
+                      big.at(2 + i, 3 + p));
+}
+
+TEST(PackB, SubMatrixWithLeadingDimension)
+{
+    Matrix big(10, 12);
+    big.fill_with([](index_t r, index_t c) {
+        return static_cast<float>(100 * r + c);
+    });
+    const index_t nr = 4;
+    std::vector<float> packed(
+        static_cast<std::size_t>(packed_b_size(3, 6, nr)));
+    pack_b_panel(big.data() + 4 * 12 + 5, 12, 3, 6, nr, packed.data());
+    for (index_t p = 0; p < 3; ++p)
+        for (index_t j = 0; j < 6; ++j)
+            EXPECT_EQ(packed_b_at(packed.data(), 3, 6, nr, p, j),
+                      big.at(4 + p, 5 + j));
+}
+
+TEST(UnpackC, CopyAndAccumulate)
+{
+    const index_t m = 3, n = 4, ldc = 6;
+    std::vector<float> cbuf(static_cast<std::size_t>(m * n));
+    for (index_t i = 0; i < m * n; ++i)
+        cbuf[static_cast<std::size_t>(i)] = static_cast<float>(i);
+    std::vector<float> c(static_cast<std::size_t>(m * ldc), 10.0f);
+
+    unpack_c_block(cbuf.data(), m, n, c.data(), ldc, /*accumulate=*/false);
+    EXPECT_EQ(c[0], 0.0f);
+    EXPECT_EQ(c[static_cast<std::size_t>(2 * ldc + 3)], 11.0f);
+    EXPECT_EQ(c[4], 10.0f) << "columns past n must be untouched";
+
+    unpack_c_block(cbuf.data(), m, n, c.data(), ldc, /*accumulate=*/true);
+    EXPECT_EQ(c[static_cast<std::size_t>(2 * ldc + 3)], 22.0f);
+}
+
+TEST(PackZeroDims, NoWrites)
+{
+    std::vector<float> packed(8, -1.0f);
+    pack_a_panel(static_cast<const float*>(nullptr), 1, 0, 0, 4,
+                 packed.data());
+    pack_b_panel(static_cast<const float*>(nullptr), 1, 0, 0, 4,
+                 packed.data());
+    for (float v : packed) EXPECT_EQ(v, -1.0f);
+}
+
+}  // namespace
+}  // namespace cake

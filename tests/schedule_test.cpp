@@ -1,0 +1,188 @@
+// Scheduler property tests: the K-first serpentine traversal (Algorithm 2)
+// and its surface-sharing guarantees (§2.2).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <tuple>
+
+#include "core/schedule.hpp"
+
+namespace cake {
+namespace {
+
+using Grid = std::tuple<index_t, index_t, index_t>;
+
+class ScheduleGridTest : public ::testing::TestWithParam<Grid> {};
+
+TEST_P(ScheduleGridTest, SerpentineVisitsEveryBlockExactlyOnce)
+{
+    const auto [mb, nb, kb] = GetParam();
+    const auto order =
+        build_schedule(ScheduleKind::kKFirstSerpentine, mb, nb, kb);
+    EXPECT_EQ(static_cast<index_t>(order.size()), mb * nb * kb);
+    std::set<std::tuple<index_t, index_t, index_t>> seen;
+    for (const auto& c : order) {
+        EXPECT_GE(c.m, 0);
+        EXPECT_LT(c.m, mb);
+        EXPECT_GE(c.n, 0);
+        EXPECT_LT(c.n, nb);
+        EXPECT_GE(c.k, 0);
+        EXPECT_LT(c.k, kb);
+        EXPECT_TRUE(seen.insert({c.m, c.n, c.k}).second)
+            << "duplicate block (" << c.m << "," << c.n << "," << c.k << ")";
+    }
+}
+
+TEST_P(ScheduleGridTest, SerpentineConsecutiveBlocksShareASurface)
+{
+    // The load-bearing property of §2.2: every consecutive pair of blocks
+    // differs by one grid step in exactly one dimension, so at least one
+    // IO surface stays in local memory across the transition.
+    const auto [mb, nb, kb] = GetParam();
+    const auto order =
+        build_schedule(ScheduleKind::kKFirstSerpentine, mb, nb, kb);
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        const auto& a = order[i - 1];
+        const auto& b = order[i];
+        const index_t dm = std::abs(a.m - b.m);
+        const index_t dn = std::abs(a.n - b.n);
+        const index_t dk = std::abs(a.k - b.k);
+        EXPECT_EQ(dm + dn + dk, 1)
+            << "step " << i << " jumps more than one block";
+        const SurfaceSharing s = shared_surfaces(a, b);
+        EXPECT_TRUE(s.a || s.b || s.c);
+    }
+    EXPECT_EQ(count_shared_steps(order),
+              static_cast<index_t>(order.size()) - 1);
+}
+
+TEST_P(ScheduleGridTest, KRunsAreContiguousInKFirst)
+{
+    // For a fixed (m, n), all kb blocks execute consecutively: this is
+    // what lets partial results stay in local memory until complete.
+    const auto [mb, nb, kb] = GetParam();
+    const auto order =
+        build_schedule(ScheduleKind::kKFirstSerpentine, mb, nb, kb);
+    std::set<std::pair<index_t, index_t>> completed;
+    index_t run = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        ++run;
+        const bool last_of_run = i + 1 == order.size()
+            || order[i + 1].m != order[i].m || order[i + 1].n != order[i].n;
+        if (last_of_run) {
+            EXPECT_EQ(run, kb) << "(m,n)=(" << order[i].m << "," << order[i].n
+                               << ") K run interrupted";
+            EXPECT_TRUE(completed.insert({order[i].m, order[i].n}).second);
+            run = 0;
+        }
+    }
+    EXPECT_EQ(static_cast<index_t>(completed.size()), mb * nb);
+}
+
+TEST_P(ScheduleGridTest, NoFlipVisitsEveryBlockButSharesLess)
+{
+    const auto [mb, nb, kb] = GetParam();
+    const auto flip =
+        build_schedule(ScheduleKind::kKFirstSerpentine, mb, nb, kb);
+    const auto noflip =
+        build_schedule(ScheduleKind::kKFirstNoFlip, mb, nb, kb);
+    EXPECT_EQ(noflip.size(), flip.size());
+    EXPECT_LE(count_shared_steps(noflip), count_shared_steps(flip));
+    if (mb > 1 && kb > 1) {
+        // Restarting dimensions at index 0 forfeits reuse at every turn.
+        EXPECT_LT(count_shared_steps(noflip), count_shared_steps(flip));
+    }
+    (void)nb;
+}
+
+TEST_P(ScheduleGridTest, TrafficRankingMatchesPaper)
+{
+    // §2.2: K-first serpentine minimises surface traffic; the no-flip
+    // variant refetches at turns; N-innermost spills partial results.
+    const auto [mb, nb, kb] = GetParam();
+    const auto serp =
+        schedule_traffic(build_schedule(ScheduleKind::kKFirstSerpentine, mb, nb, kb));
+    const auto noflip =
+        schedule_traffic(build_schedule(ScheduleKind::kKFirstNoFlip, mb, nb, kb));
+    const auto ninner =
+        schedule_traffic(build_schedule(ScheduleKind::kNInnermost, mb, nb, kb));
+
+    EXPECT_EQ(serp.c_spills, 0) << "K-first never spills partial results";
+    EXPECT_LE(serp.a_fetches + serp.b_fetches,
+              noflip.a_fetches + noflip.b_fetches);
+    if (nb > 1 && kb > 1) {
+        EXPECT_GT(ninner.c_spills, 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, ScheduleGridTest,
+    ::testing::Values(Grid{1, 1, 1}, Grid{1, 1, 5}, Grid{1, 5, 1},
+                      Grid{5, 1, 1}, Grid{2, 2, 2}, Grid{3, 4, 5},
+                      Grid{4, 3, 2}, Grid{7, 1, 3}, Grid{1, 7, 3},
+                      Grid{6, 6, 6}),
+    [](const auto& info) {
+        return "m" + std::to_string(std::get<0>(info.param)) + "n"
+            + std::to_string(std::get<1>(info.param)) + "k"
+            + std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Schedule, MOutermostWhenRequested)
+{
+    // §2.2: when M > N, reuse A surfaces before B by making M outermost.
+    const auto order = build_schedule(ScheduleKind::kKFirstSerpentine, 3, 2,
+                                      2, /*n_outermost=*/false);
+    // With M outermost, the first 2*2 = 4 blocks all have m == 0.
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(order[i].m, 0);
+    // With N outermost instead, the first 3*2 = 6 blocks have n == 0.
+    const auto order_n = build_schedule(ScheduleKind::kKFirstSerpentine, 3, 2,
+                                        2, /*n_outermost=*/true);
+    for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(order_n[i].n, 0);
+}
+
+TEST(Schedule, FirstBlockIsOrigin)
+{
+    const auto order = build_schedule(ScheduleKind::kKFirstSerpentine, 3, 3, 3);
+    EXPECT_EQ(order.front(), (BlockCoord{0, 0, 0}));
+}
+
+TEST(Schedule, SharedSurfacesClassification)
+{
+    const BlockCoord a{1, 2, 3};
+    const SurfaceSharing sa = shared_surfaces(a, {1, 5, 3});
+    EXPECT_TRUE(sa.a);
+    EXPECT_FALSE(sa.b);
+    EXPECT_FALSE(sa.c);
+    const SurfaceSharing sb = shared_surfaces(a, {9, 2, 3});
+    EXPECT_TRUE(sb.b);
+    const SurfaceSharing sc = shared_surfaces(a, {1, 2, 9});
+    EXPECT_TRUE(sc.c);
+}
+
+TEST(Schedule, KindNames)
+{
+    EXPECT_STREQ(schedule_kind_name(ScheduleKind::kKFirstSerpentine),
+                 "k-first-serpentine");
+    EXPECT_STREQ(schedule_kind_name(ScheduleKind::kKFirstNoFlip),
+                 "k-first-no-flip");
+    EXPECT_STREQ(schedule_kind_name(ScheduleKind::kNInnermost),
+                 "n-innermost");
+}
+
+TEST(ScheduleTraffic, HandDerivedSmallCase)
+{
+    // 2x1x2 grid, serpentine: (0,0,0) (0,0,1) (1,0,1) (1,0,0).
+    const auto order =
+        build_schedule(ScheduleKind::kKFirstSerpentine, 2, 1, 2);
+    ASSERT_EQ(order.size(), 4u);
+    const auto t = schedule_traffic(order);
+    // A surfaces: (0,0),(0,1),(1,1),(1,0) all distinct -> 4 fetches.
+    EXPECT_EQ(t.a_fetches, 4);
+    // B surfaces: (k,n) = (0,0),(1,0),(1,0)->shared,(0,0) -> 3 fetches.
+    EXPECT_EQ(t.b_fetches, 3);
+    EXPECT_EQ(t.c_spills, 0);
+}
+
+}  // namespace
+}  // namespace cake

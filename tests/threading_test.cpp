@@ -1,0 +1,154 @@
+// Thread-pool and barrier tests, including exception propagation and
+// repeated-job correctness under varying widths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "threading/barrier.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace cake {
+namespace {
+
+TEST(ThreadPool, RunsEveryWorkerExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(4);
+    pool.run(4, [&](int tid) { hits[static_cast<std::size_t>(tid)]++; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WidthOneRunsInline)
+{
+    ThreadPool pool(3);
+    const auto caller = std::this_thread::get_id();
+    std::thread::id seen;
+    pool.run(1, [&](int tid) {
+        EXPECT_EQ(tid, 0);
+        seen = std::this_thread::get_id();
+    });
+    EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, PartialWidthLeavesOthersIdle)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    pool.run(2, [&](int) { count++; });
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, RepeatedJobsVaryingWidth)
+{
+    ThreadPool pool(4);
+    for (int iter = 0; iter < 200; ++iter) {
+        const int width = 1 + iter % 4;
+        std::atomic<int> count{0};
+        pool.run(width, [&](int) { count++; });
+        ASSERT_EQ(count.load(), width) << "iter=" << iter;
+    }
+}
+
+TEST(ThreadPool, ParallelForCoversRangeOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(0, 1000, 4, [&](index_t lo, index_t hi) {
+        for (index_t i = lo; i < hi; ++i)
+            hits[static_cast<std::size_t>(i)]++;
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyAndTinyRanges)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    pool.parallel_for(5, 5, 4, [&](index_t, index_t) { count++; });
+    EXPECT_EQ(count.load(), 0);
+    pool.parallel_for(0, 2, 4, [&](index_t lo, index_t hi) {
+        count += static_cast<int>(hi - lo);
+    });
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.run(4,
+                 [&](int tid) {
+                     if (tid == 2) throw Error("boom");
+                 }),
+        Error);
+    // Pool must remain usable after the exception.
+    std::atomic<int> count{0};
+    pool.run(4, [&](int) { count++; });
+    EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPool, RejectsBadWidth)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.run(0, [](int) {}), Error);
+    EXPECT_THROW(pool.run(3, [](int) {}), Error);
+}
+
+TEST(ThreadPool, ConcurrentSumMatchesSerial)
+{
+    ThreadPool pool(8);
+    std::vector<long> data(100000);
+    std::iota(data.begin(), data.end(), 0L);
+    std::atomic<long> sum{0};
+    pool.parallel_for(0, static_cast<index_t>(data.size()), 8,
+                      [&](index_t lo, index_t hi) {
+                          long local = 0;
+                          for (index_t i = lo; i < hi; ++i)
+                              local += data[static_cast<std::size_t>(i)];
+                          sum += local;
+                      });
+    EXPECT_EQ(sum.load(),
+              std::accumulate(data.begin(), data.end(), 0L));
+}
+
+TEST(Barrier, SingleParticipantNeverBlocks)
+{
+    Barrier barrier(1);
+    barrier.arrive_and_wait();
+    barrier.arrive_and_wait();
+    EXPECT_EQ(barrier.generation(), 2);
+}
+
+TEST(Barrier, PhasesSynchronise)
+{
+    constexpr int kThreads = 4;
+    constexpr int kPhases = 50;
+    Barrier barrier(kThreads);
+    std::atomic<int> in_phase{0};
+    std::atomic<bool> failed{false};
+
+    ThreadPool pool(kThreads);
+    pool.run(kThreads, [&](int) {
+        for (int phase = 0; phase < kPhases; ++phase) {
+            in_phase++;
+            barrier.arrive_and_wait();
+            // All participants must have arrived before anyone proceeds.
+            if (in_phase.load() < kThreads * (phase + 1)) failed = true;
+            barrier.arrive_and_wait();
+        }
+    });
+    EXPECT_FALSE(failed.load());
+    EXPECT_EQ(barrier.generation(), 2 * kPhases);
+}
+
+TEST(Barrier, RejectsNonPositiveParticipants)
+{
+    EXPECT_THROW(Barrier(0), Error);
+}
+
+}  // namespace
+}  // namespace cake

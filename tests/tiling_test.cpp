@@ -1,0 +1,157 @@
+// CB-block solver tests: the shape/size equations of §3 and §4.2-§4.3.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/tiling.hpp"
+#include "machine/machine.hpp"
+#include "pack/pack.hpp"
+
+namespace cake {
+namespace {
+
+TEST(CbBlock, ShapeFollowsTheory)
+{
+    // m_blk = p*mc, k_blk = kc = mc, n_blk ~= alpha*p*mc (rounded to nr).
+    const MachineSpec intel = intel_i9_10900k();
+    for (int p : {1, 2, 4, 10}) {
+        const CbBlockParams params = compute_cb_block(intel, p, 6, 16);
+        EXPECT_EQ(params.p, p);
+        EXPECT_EQ(params.m_blk, p * params.mc);
+        EXPECT_EQ(params.k_blk, params.kc);
+        EXPECT_EQ(params.kc, params.mc) << "square L2 sub-block";
+        EXPECT_EQ(params.mc % params.mr, 0);
+        EXPECT_EQ(params.n_blk % params.nr, 0);
+        EXPECT_GE(params.alpha, 1.0);
+        const double target = params.alpha * p * static_cast<double>(params.mc);
+        EXPECT_NEAR(static_cast<double>(params.n_blk), target,
+                    static_cast<double>(params.nr));
+    }
+}
+
+TEST(CbBlock, LruRuleRespected)
+{
+    // §4.3: C + 2(A+B) must fit the LLC (except when even the minimal
+    // block cannot, which these machines never hit at their own core
+    // counts).
+    for (const MachineSpec& m : table2_machines()) {
+        const CbBlockParams params = compute_cb_block(m, m.cores, 6, 16);
+        EXPECT_LE(params.lru_working_set_bytes(), m.llc_bytes())
+            << m.name << " mc=" << params.mc << " alpha=" << params.alpha;
+    }
+}
+
+TEST(CbBlock, McShrinksWhenLlcPressureRises)
+{
+    // Growing p quadratically grows the C surface; with a fixed LLC the
+    // solver must answer with smaller mc (or larger-but-fitting alpha).
+    const MachineSpec intel = intel_i9_10900k();
+    const CbBlockParams p1 = compute_cb_block(intel, 1, 6, 16);
+    const CbBlockParams p10 = compute_cb_block(intel, 10, 6, 16);
+    EXPECT_LE(p10.mc, p1.mc);
+    EXPECT_LE(p10.lru_working_set_bytes(), intel.llc_bytes());
+}
+
+TEST(CbBlock, ArithmeticIntensityGrowsWithP)
+{
+    // Fig. 4: bigger blocks at constant bandwidth have higher AI.
+    const MachineSpec amd = amd_ryzen_5950x();
+    double last_ai = 0.0;
+    for (int p : {1, 2, 4, 8}) {
+        const CbBlockParams params = compute_cb_block(amd, p, 6, 16);
+        const double ai = params.arithmetic_intensity();
+        EXPECT_GT(ai, last_ai) << "p=" << p;
+        last_ai = ai;
+    }
+}
+
+TEST(CbBlock, RequiredBandwidthConstantInP)
+{
+    // The constant-bandwidth property (Eq. 4): required DRAM bandwidth
+    // does not grow with core count.
+    const MachineSpec amd = amd_ryzen_5950x();
+    TilingOptions topts;
+    topts.mc = 96;     // pin geometry so only p varies
+    topts.alpha = 1.0;
+    const double bw1 =
+        required_dram_bw_gbs(amd, compute_cb_block(amd, 1, 6, 16, topts));
+    const double bw8 =
+        required_dram_bw_gbs(amd, compute_cb_block(amd, 8, 6, 16, topts));
+    const double bw16 =
+        required_dram_bw_gbs(amd, compute_cb_block(amd, 16, 6, 16, topts));
+    EXPECT_NEAR(bw8, bw1, 1e-9 + 0.01 * bw1);
+    EXPECT_NEAR(bw16, bw1, 1e-9 + 0.01 * bw1);
+}
+
+TEST(CbBlock, AlphaRisesWhenDramBandwidthFalls)
+{
+    // Low external bandwidth must be compensated by stretching N (§3.2).
+    MachineSpec starved = intel_i9_10900k();
+    const CbBlockParams rich = compute_cb_block(starved, 4, 6, 16);
+    starved.dram_bw_gbs = 0.25;  // far below the block's demand floor
+    const CbBlockParams poor = compute_cb_block(starved, 4, 6, 16);
+    EXPECT_GT(poor.alpha, rich.alpha);
+}
+
+TEST(CbBlock, AlphaRaisesArithmeticIntensity)
+{
+    const MachineSpec intel = intel_i9_10900k();
+    TilingOptions t1;
+    t1.mc = 96;
+    t1.alpha = 1.0;
+    TilingOptions t4 = t1;
+    t4.alpha = 4.0;
+    const CbBlockParams a1 = compute_cb_block(intel, 4, 6, 16, t1);
+    const CbBlockParams a4 = compute_cb_block(intel, 4, 6, 16, t4);
+    EXPECT_GT(a4.arithmetic_intensity(), a1.arithmetic_intensity());
+    // And lowers the required external bandwidth, Eq. 2.
+    EXPECT_LT(required_dram_bw_gbs(intel, a4),
+              required_dram_bw_gbs(intel, a1));
+}
+
+TEST(CbBlock, OverridesHonoured)
+{
+    const MachineSpec intel = intel_i9_10900k();
+    TilingOptions topts;
+    topts.mc = 48;
+    topts.alpha = 2.0;
+    const CbBlockParams params = compute_cb_block(intel, 3, 6, 16, topts);
+    EXPECT_EQ(params.mc, 48);
+    EXPECT_DOUBLE_EQ(params.alpha, 2.0);
+    EXPECT_EQ(params.m_blk, 3 * 48);
+    EXPECT_EQ(params.n_blk, round_up(static_cast<index_t>(2.0 * 3 * 48), 16));
+}
+
+TEST(CbBlock, RejectsBadOverrides)
+{
+    const MachineSpec intel = intel_i9_10900k();
+    TilingOptions bad_mc;
+    bad_mc.mc = 7;  // not a multiple of mr=6
+    EXPECT_THROW(compute_cb_block(intel, 2, 6, 16, bad_mc), Error);
+    TilingOptions bad_alpha;
+    bad_alpha.alpha = 0.5;
+    EXPECT_THROW(compute_cb_block(intel, 2, 6, 16, bad_alpha), Error);
+}
+
+TEST(CbBlock, SurfaceBytesAccounting)
+{
+    CbBlockParams params;
+    params.m_blk = 10;
+    params.k_blk = 20;
+    params.n_blk = 30;
+    // A=200, B=600, C=300 floats.
+    EXPECT_EQ(params.surface_bytes(), (200u + 600 + 300) * sizeof(float));
+    EXPECT_EQ(params.lru_working_set_bytes(),
+              (300u + 2 * (200 + 600)) * sizeof(float));
+}
+
+TEST(BandwidthRatio, ScalesWithDramBandwidth)
+{
+    MachineSpec m = intel_i9_10900k();
+    const double r1 = bandwidth_ratio(m, 4, 6, 16, 96, 96);
+    m.dram_bw_gbs *= 2;
+    const double r2 = bandwidth_ratio(m, 4, 6, 16, 96, 96);
+    EXPECT_NEAR(r2, 2 * r1, 1e-9);
+}
+
+}  // namespace
+}  // namespace cake
