@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_alpha.dir/bench_ablation_alpha.cpp.o"
+  "CMakeFiles/bench_ablation_alpha.dir/bench_ablation_alpha.cpp.o.d"
+  "bench_ablation_alpha"
+  "bench_ablation_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

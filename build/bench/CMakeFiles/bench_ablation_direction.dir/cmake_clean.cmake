@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_direction.dir/bench_ablation_direction.cpp.o"
+  "CMakeFiles/bench_ablation_direction.dir/bench_ablation_direction.cpp.o.d"
+  "bench_ablation_direction"
+  "bench_ablation_direction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_direction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lru.dir/bench_ablation_lru.cpp.o"
+  "CMakeFiles/bench_ablation_lru.dir/bench_ablation_lru.cpp.o.d"
+  "bench_ablation_lru"
+  "bench_ablation_lru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_schedule.dir/bench_ablation_schedule.cpp.o"
+  "CMakeFiles/bench_ablation_schedule.dir/bench_ablation_schedule.cpp.o.d"
+  "bench_ablation_schedule"
+  "bench_ablation_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accelerator.dir/bench_accelerator.cpp.o"
+  "CMakeFiles/bench_accelerator.dir/bench_accelerator.cpp.o.d"
+  "bench_accelerator"
+  "bench_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

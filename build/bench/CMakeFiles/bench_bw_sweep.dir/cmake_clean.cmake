@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bw_sweep.dir/bench_bw_sweep.cpp.o"
+  "CMakeFiles/bench_bw_sweep.dir/bench_bw_sweep.cpp.o.d"
+  "bench_bw_sweep"
+  "bench_bw_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bw_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_intel.dir/bench_fig10_intel.cpp.o"
+  "CMakeFiles/bench_fig10_intel.dir/bench_fig10_intel.cpp.o.d"
+  "bench_fig10_intel"
+  "bench_fig10_intel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_intel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_arm.dir/bench_fig11_arm.cpp.o"
+  "CMakeFiles/bench_fig11_arm.dir/bench_fig11_arm.cpp.o.d"
+  "bench_fig11_arm"
+  "bench_fig11_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_amd.dir/bench_fig12_amd.cpp.o"
+  "CMakeFiles/bench_fig12_amd.dir/bench_fig12_amd.cpp.o.d"
+  "bench_fig12_amd"
+  "bench_fig12_amd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_amd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

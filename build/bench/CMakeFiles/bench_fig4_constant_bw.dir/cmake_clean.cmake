@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_constant_bw.dir/bench_fig4_constant_bw.cpp.o"
+  "CMakeFiles/bench_fig4_constant_bw.dir/bench_fig4_constant_bw.cpp.o.d"
+  "bench_fig4_constant_bw"
+  "bench_fig4_constant_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_constant_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

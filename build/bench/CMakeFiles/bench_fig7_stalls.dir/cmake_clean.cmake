@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_stalls.dir/bench_fig7_stalls.cpp.o"
+  "CMakeFiles/bench_fig7_stalls.dir/bench_fig7_stalls.cpp.o.d"
+  "bench_fig7_stalls"
+  "bench_fig7_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_shapes.dir/bench_fig8_shapes.cpp.o"
+  "CMakeFiles/bench_fig8_shapes.dir/bench_fig8_shapes.cpp.o.d"
+  "bench_fig8_shapes"
+  "bench_fig8_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

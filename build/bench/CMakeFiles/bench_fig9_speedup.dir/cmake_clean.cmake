@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_speedup.dir/bench_fig9_speedup.cpp.o"
+  "CMakeFiles/bench_fig9_speedup.dir/bench_fig9_speedup.cpp.o.d"
+  "bench_fig9_speedup"
+  "bench_fig9_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_gemm.dir/bench_host_gemm.cpp.o"
+  "CMakeFiles/bench_host_gemm.dir/bench_host_gemm.cpp.o.d"
+  "bench_host_gemm"
+  "bench_host_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

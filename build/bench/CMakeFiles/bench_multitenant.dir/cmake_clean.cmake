@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multitenant.dir/bench_multitenant.cpp.o"
+  "CMakeFiles/bench_multitenant.dir/bench_multitenant.cpp.o.d"
+  "bench_multitenant"
+  "bench_multitenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multitenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_packing.dir/bench_packing.cpp.o"
+  "CMakeFiles/bench_packing.dir/bench_packing.cpp.o.d"
+  "bench_packing"
+  "bench_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_pmbw_host.cpp" "bench/CMakeFiles/bench_pmbw_host.dir/bench_pmbw_host.cpp.o" "gcc" "bench/CMakeFiles/bench_pmbw_host.dir/bench_pmbw_host.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnn/CMakeFiles/cake_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/conv/CMakeFiles/cake_conv.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cake_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cake_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/cake_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cake_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/cake_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cake_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cake_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gotoblas/CMakeFiles/cake_goto.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/cake_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pack/CMakeFiles/cake_pack.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cake_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cake_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/cake_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cake_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pmbw_host.dir/bench_pmbw_host.cpp.o"
+  "CMakeFiles/bench_pmbw_host.dir/bench_pmbw_host.cpp.o.d"
+  "bench_pmbw_host"
+  "bench_pmbw_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pmbw_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

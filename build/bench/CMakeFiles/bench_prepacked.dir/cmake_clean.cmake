@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prepacked.dir/bench_prepacked.cpp.o"
+  "CMakeFiles/bench_prepacked.dir/bench_prepacked.cpp.o.d"
+  "bench_prepacked"
+  "bench_prepacked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prepacked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_roofline.dir/bench_roofline.cpp.o"
+  "CMakeFiles/bench_roofline.dir/bench_roofline.cpp.o.d"
+  "bench_roofline"
+  "bench_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tlb.dir/bench_tlb.cpp.o"
+  "CMakeFiles/bench_tlb.dir/bench_tlb.cpp.o.d"
+  "bench_tlb"
+  "bench_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

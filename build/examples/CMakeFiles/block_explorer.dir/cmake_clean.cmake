@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_explorer.dir/block_explorer.cpp.o"
+  "CMakeFiles/block_explorer.dir/block_explorer.cpp.o.d"
+  "block_explorer"
+  "block_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

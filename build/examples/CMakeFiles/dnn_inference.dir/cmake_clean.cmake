@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_inference.dir/dnn_inference.cpp.o"
+  "CMakeFiles/dnn_inference.dir/dnn_inference.cpp.o.d"
+  "dnn_inference"
+  "dnn_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_solver.dir/linear_solver.cpp.o"
+  "CMakeFiles/linear_solver.dir/linear_solver.cpp.o.d"
+  "linear_solver"
+  "linear_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

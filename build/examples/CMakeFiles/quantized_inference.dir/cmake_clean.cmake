@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantized_inference.dir/quantized_inference.cpp.o"
+  "CMakeFiles/quantized_inference.dir/quantized_inference.cpp.o.d"
+  "quantized_inference"
+  "quantized_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantized_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_machine.dir/simulate_machine.cpp.o"
+  "CMakeFiles/simulate_machine.dir/simulate_machine.cpp.o.d"
+  "simulate_machine"
+  "simulate_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transformer_attention.dir/transformer_attention.cpp.o"
+  "CMakeFiles/transformer_attention.dir/transformer_attention.cpp.o.d"
+  "transformer_attention"
+  "transformer_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transformer_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

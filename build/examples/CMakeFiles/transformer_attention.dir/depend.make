@@ -1,0 +1,2 @@
+# Empty dependencies file for transformer_attention.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_cache.dir/topology.cpp.o"
+  "CMakeFiles/cake_cache.dir/topology.cpp.o.d"
+  "libcake_cache.a"
+  "libcake_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_common.dir/aligned.cpp.o"
+  "CMakeFiles/cake_common.dir/aligned.cpp.o.d"
+  "CMakeFiles/cake_common.dir/csv.cpp.o"
+  "CMakeFiles/cake_common.dir/csv.cpp.o.d"
+  "CMakeFiles/cake_common.dir/env.cpp.o"
+  "CMakeFiles/cake_common.dir/env.cpp.o.d"
+  "CMakeFiles/cake_common.dir/matrix.cpp.o"
+  "CMakeFiles/cake_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/cake_common.dir/rng.cpp.o"
+  "CMakeFiles/cake_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cake_common.dir/stats.cpp.o"
+  "CMakeFiles/cake_common.dir/stats.cpp.o.d"
+  "libcake_common.a"
+  "libcake_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_conv.dir/conv2d.cpp.o"
+  "CMakeFiles/cake_conv.dir/conv2d.cpp.o.d"
+  "libcake_conv.a"
+  "libcake_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batched.cpp" "src/core/CMakeFiles/cake_core.dir/batched.cpp.o" "gcc" "src/core/CMakeFiles/cake_core.dir/batched.cpp.o.d"
+  "/root/repo/src/core/blas_like.cpp" "src/core/CMakeFiles/cake_core.dir/blas_like.cpp.o" "gcc" "src/core/CMakeFiles/cake_core.dir/blas_like.cpp.o.d"
+  "/root/repo/src/core/cake_gemm.cpp" "src/core/CMakeFiles/cake_core.dir/cake_gemm.cpp.o" "gcc" "src/core/CMakeFiles/cake_core.dir/cake_gemm.cpp.o.d"
+  "/root/repo/src/core/cake_gemm_int8.cpp" "src/core/CMakeFiles/cake_core.dir/cake_gemm_int8.cpp.o" "gcc" "src/core/CMakeFiles/cake_core.dir/cake_gemm_int8.cpp.o.d"
+  "/root/repo/src/core/quant.cpp" "src/core/CMakeFiles/cake_core.dir/quant.cpp.o" "gcc" "src/core/CMakeFiles/cake_core.dir/quant.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/cake_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/cake_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/tiling.cpp" "src/core/CMakeFiles/cake_core.dir/tiling.cpp.o" "gcc" "src/core/CMakeFiles/cake_core.dir/tiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cake_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/cake_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pack/CMakeFiles/cake_pack.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cake_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cake_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/cake_threading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_core.dir/batched.cpp.o"
+  "CMakeFiles/cake_core.dir/batched.cpp.o.d"
+  "CMakeFiles/cake_core.dir/blas_like.cpp.o"
+  "CMakeFiles/cake_core.dir/blas_like.cpp.o.d"
+  "CMakeFiles/cake_core.dir/cake_gemm.cpp.o"
+  "CMakeFiles/cake_core.dir/cake_gemm.cpp.o.d"
+  "CMakeFiles/cake_core.dir/cake_gemm_int8.cpp.o"
+  "CMakeFiles/cake_core.dir/cake_gemm_int8.cpp.o.d"
+  "CMakeFiles/cake_core.dir/quant.cpp.o"
+  "CMakeFiles/cake_core.dir/quant.cpp.o.d"
+  "CMakeFiles/cake_core.dir/schedule.cpp.o"
+  "CMakeFiles/cake_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/cake_core.dir/tiling.cpp.o"
+  "CMakeFiles/cake_core.dir/tiling.cpp.o.d"
+  "libcake_core.a"
+  "libcake_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_dnn.dir/cnn_layers.cpp.o"
+  "CMakeFiles/cake_dnn.dir/cnn_layers.cpp.o.d"
+  "CMakeFiles/cake_dnn.dir/layers.cpp.o"
+  "CMakeFiles/cake_dnn.dir/layers.cpp.o.d"
+  "libcake_dnn.a"
+  "libcake_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gotoblas/goto_gemm.cpp" "src/gotoblas/CMakeFiles/cake_goto.dir/goto_gemm.cpp.o" "gcc" "src/gotoblas/CMakeFiles/cake_goto.dir/goto_gemm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cake_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/cake_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pack/CMakeFiles/cake_pack.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cake_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cake_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/cake_threading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

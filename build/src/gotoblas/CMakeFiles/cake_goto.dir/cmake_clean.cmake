@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_goto.dir/goto_gemm.cpp.o"
+  "CMakeFiles/cake_goto.dir/goto_gemm.cpp.o.d"
+  "libcake_goto.a"
+  "libcake_goto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_goto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

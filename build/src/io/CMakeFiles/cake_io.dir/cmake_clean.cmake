@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_io.dir/matrix_io.cpp.o"
+  "CMakeFiles/cake_io.dir/matrix_io.cpp.o.d"
+  "libcake_io.a"
+  "libcake_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/cpu_features.cpp" "src/kernel/CMakeFiles/cake_kernel.dir/cpu_features.cpp.o" "gcc" "src/kernel/CMakeFiles/cake_kernel.dir/cpu_features.cpp.o.d"
+  "/root/repo/src/kernel/kernel_avx2.cpp" "src/kernel/CMakeFiles/cake_kernel.dir/kernel_avx2.cpp.o" "gcc" "src/kernel/CMakeFiles/cake_kernel.dir/kernel_avx2.cpp.o.d"
+  "/root/repo/src/kernel/kernel_avx512.cpp" "src/kernel/CMakeFiles/cake_kernel.dir/kernel_avx512.cpp.o" "gcc" "src/kernel/CMakeFiles/cake_kernel.dir/kernel_avx512.cpp.o.d"
+  "/root/repo/src/kernel/kernel_int8_avx2.cpp" "src/kernel/CMakeFiles/cake_kernel.dir/kernel_int8_avx2.cpp.o" "gcc" "src/kernel/CMakeFiles/cake_kernel.dir/kernel_int8_avx2.cpp.o.d"
+  "/root/repo/src/kernel/kernel_int8_avx512.cpp" "src/kernel/CMakeFiles/cake_kernel.dir/kernel_int8_avx512.cpp.o" "gcc" "src/kernel/CMakeFiles/cake_kernel.dir/kernel_int8_avx512.cpp.o.d"
+  "/root/repo/src/kernel/kernel_int8_scalar.cpp" "src/kernel/CMakeFiles/cake_kernel.dir/kernel_int8_scalar.cpp.o" "gcc" "src/kernel/CMakeFiles/cake_kernel.dir/kernel_int8_scalar.cpp.o.d"
+  "/root/repo/src/kernel/kernel_scalar.cpp" "src/kernel/CMakeFiles/cake_kernel.dir/kernel_scalar.cpp.o" "gcc" "src/kernel/CMakeFiles/cake_kernel.dir/kernel_scalar.cpp.o.d"
+  "/root/repo/src/kernel/registry.cpp" "src/kernel/CMakeFiles/cake_kernel.dir/registry.cpp.o" "gcc" "src/kernel/CMakeFiles/cake_kernel.dir/registry.cpp.o.d"
+  "/root/repo/src/kernel/selftest.cpp" "src/kernel/CMakeFiles/cake_kernel.dir/selftest.cpp.o" "gcc" "src/kernel/CMakeFiles/cake_kernel.dir/selftest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cake_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_kernel.dir/cpu_features.cpp.o"
+  "CMakeFiles/cake_kernel.dir/cpu_features.cpp.o.d"
+  "CMakeFiles/cake_kernel.dir/kernel_avx2.cpp.o"
+  "CMakeFiles/cake_kernel.dir/kernel_avx2.cpp.o.d"
+  "CMakeFiles/cake_kernel.dir/kernel_avx512.cpp.o"
+  "CMakeFiles/cake_kernel.dir/kernel_avx512.cpp.o.d"
+  "CMakeFiles/cake_kernel.dir/kernel_int8_avx2.cpp.o"
+  "CMakeFiles/cake_kernel.dir/kernel_int8_avx2.cpp.o.d"
+  "CMakeFiles/cake_kernel.dir/kernel_int8_avx512.cpp.o"
+  "CMakeFiles/cake_kernel.dir/kernel_int8_avx512.cpp.o.d"
+  "CMakeFiles/cake_kernel.dir/kernel_int8_scalar.cpp.o"
+  "CMakeFiles/cake_kernel.dir/kernel_int8_scalar.cpp.o.d"
+  "CMakeFiles/cake_kernel.dir/kernel_scalar.cpp.o"
+  "CMakeFiles/cake_kernel.dir/kernel_scalar.cpp.o.d"
+  "CMakeFiles/cake_kernel.dir/registry.cpp.o"
+  "CMakeFiles/cake_kernel.dir/registry.cpp.o.d"
+  "CMakeFiles/cake_kernel.dir/selftest.cpp.o"
+  "CMakeFiles/cake_kernel.dir/selftest.cpp.o.d"
+  "libcake_kernel.a"
+  "libcake_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

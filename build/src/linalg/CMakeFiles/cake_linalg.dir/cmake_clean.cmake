@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/cake_linalg.dir/cholesky.cpp.o.d"
+  "libcake_linalg.a"
+  "libcake_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

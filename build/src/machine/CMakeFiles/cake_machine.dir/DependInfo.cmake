@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/bw_probe.cpp" "src/machine/CMakeFiles/cake_machine.dir/bw_probe.cpp.o" "gcc" "src/machine/CMakeFiles/cake_machine.dir/bw_probe.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/machine/CMakeFiles/cake_machine.dir/machine.cpp.o" "gcc" "src/machine/CMakeFiles/cake_machine.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cake_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cake_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/cake_threading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_machine.dir/bw_probe.cpp.o"
+  "CMakeFiles/cake_machine.dir/bw_probe.cpp.o.d"
+  "CMakeFiles/cake_machine.dir/machine.cpp.o"
+  "CMakeFiles/cake_machine.dir/machine.cpp.o.d"
+  "libcake_machine.a"
+  "libcake_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/cache_sim.cpp" "src/memsim/CMakeFiles/cake_memsim.dir/cache_sim.cpp.o" "gcc" "src/memsim/CMakeFiles/cake_memsim.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/memsim/trace.cpp" "src/memsim/CMakeFiles/cake_memsim.dir/trace.cpp.o" "gcc" "src/memsim/CMakeFiles/cake_memsim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cake_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cake_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cake_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gotoblas/CMakeFiles/cake_goto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cake_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/cake_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/cake_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pack/CMakeFiles/cake_pack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_memsim.dir/cache_sim.cpp.o"
+  "CMakeFiles/cake_memsim.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/cake_memsim.dir/trace.cpp.o"
+  "CMakeFiles/cake_memsim.dir/trace.cpp.o.d"
+  "libcake_memsim.a"
+  "libcake_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_model.dir/analysis.cpp.o"
+  "CMakeFiles/cake_model.dir/analysis.cpp.o.d"
+  "CMakeFiles/cake_model.dir/direction.cpp.o"
+  "CMakeFiles/cake_model.dir/direction.cpp.o.d"
+  "CMakeFiles/cake_model.dir/extrapolate.cpp.o"
+  "CMakeFiles/cake_model.dir/extrapolate.cpp.o.d"
+  "CMakeFiles/cake_model.dir/nested.cpp.o"
+  "CMakeFiles/cake_model.dir/nested.cpp.o.d"
+  "CMakeFiles/cake_model.dir/planner.cpp.o"
+  "CMakeFiles/cake_model.dir/planner.cpp.o.d"
+  "CMakeFiles/cake_model.dir/throughput.cpp.o"
+  "CMakeFiles/cake_model.dir/throughput.cpp.o.d"
+  "libcake_model.a"
+  "libcake_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

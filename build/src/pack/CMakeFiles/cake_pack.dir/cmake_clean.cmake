@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_pack.dir/pack.cpp.o"
+  "CMakeFiles/cake_pack.dir/pack.cpp.o.d"
+  "CMakeFiles/cake_pack.dir/pack_int8.cpp.o"
+  "CMakeFiles/cake_pack.dir/pack_int8.cpp.o.d"
+  "libcake_pack.a"
+  "libcake_pack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_ref.dir/naive_gemm.cpp.o"
+  "CMakeFiles/cake_ref.dir/naive_gemm.cpp.o.d"
+  "libcake_ref.a"
+  "libcake_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cake_ref.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/channel.cpp" "src/sim/CMakeFiles/cake_sim.dir/channel.cpp.o" "gcc" "src/sim/CMakeFiles/cake_sim.dir/channel.cpp.o.d"
+  "/root/repo/src/sim/event.cpp" "src/sim/CMakeFiles/cake_sim.dir/event.cpp.o" "gcc" "src/sim/CMakeFiles/cake_sim.dir/event.cpp.o.d"
+  "/root/repo/src/sim/machine_sim.cpp" "src/sim/CMakeFiles/cake_sim.dir/machine_sim.cpp.o" "gcc" "src/sim/CMakeFiles/cake_sim.dir/machine_sim.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/sim/CMakeFiles/cake_sim.dir/timeline.cpp.o" "gcc" "src/sim/CMakeFiles/cake_sim.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cake_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cake_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cake_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gotoblas/CMakeFiles/cake_goto.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cake_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/cake_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cake_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/cake_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/cake_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pack/CMakeFiles/cake_pack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

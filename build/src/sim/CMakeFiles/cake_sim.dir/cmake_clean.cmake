@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_sim.dir/channel.cpp.o"
+  "CMakeFiles/cake_sim.dir/channel.cpp.o.d"
+  "CMakeFiles/cake_sim.dir/event.cpp.o"
+  "CMakeFiles/cake_sim.dir/event.cpp.o.d"
+  "CMakeFiles/cake_sim.dir/machine_sim.cpp.o"
+  "CMakeFiles/cake_sim.dir/machine_sim.cpp.o.d"
+  "CMakeFiles/cake_sim.dir/timeline.cpp.o"
+  "CMakeFiles/cake_sim.dir/timeline.cpp.o.d"
+  "libcake_sim.a"
+  "libcake_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

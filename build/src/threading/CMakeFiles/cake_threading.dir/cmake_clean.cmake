@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_threading.dir/barrier.cpp.o"
+  "CMakeFiles/cake_threading.dir/barrier.cpp.o.d"
+  "CMakeFiles/cake_threading.dir/thread_pool.cpp.o"
+  "CMakeFiles/cake_threading.dir/thread_pool.cpp.o.d"
+  "libcake_threading.a"
+  "libcake_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcake_threading.a"
+)

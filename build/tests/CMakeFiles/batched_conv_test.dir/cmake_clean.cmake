@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batched_conv_test.dir/batched_conv_test.cpp.o"
+  "CMakeFiles/batched_conv_test.dir/batched_conv_test.cpp.o.d"
+  "batched_conv_test"
+  "batched_conv_test.pdb"
+  "batched_conv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batched_conv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

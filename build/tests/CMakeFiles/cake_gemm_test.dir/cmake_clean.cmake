@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_gemm_test.dir/cake_gemm_test.cpp.o"
+  "CMakeFiles/cake_gemm_test.dir/cake_gemm_test.cpp.o.d"
+  "cake_gemm_test"
+  "cake_gemm_test.pdb"
+  "cake_gemm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_gemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

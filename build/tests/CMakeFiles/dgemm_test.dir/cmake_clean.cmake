@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgemm_test.dir/dgemm_test.cpp.o"
+  "CMakeFiles/dgemm_test.dir/dgemm_test.cpp.o.d"
+  "dgemm_test"
+  "dgemm_test.pdb"
+  "dgemm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

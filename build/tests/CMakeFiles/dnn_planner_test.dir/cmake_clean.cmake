@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_planner_test.dir/dnn_planner_test.cpp.o"
+  "CMakeFiles/dnn_planner_test.dir/dnn_planner_test.cpp.o.d"
+  "dnn_planner_test"
+  "dnn_planner_test.pdb"
+  "dnn_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_ext_test.dir/gemm_ext_test.cpp.o"
+  "CMakeFiles/gemm_ext_test.dir/gemm_ext_test.cpp.o.d"
+  "gemm_ext_test"
+  "gemm_ext_test.pdb"
+  "gemm_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

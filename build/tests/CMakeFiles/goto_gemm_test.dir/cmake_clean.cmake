@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goto_gemm_test.dir/goto_gemm_test.cpp.o"
+  "CMakeFiles/goto_gemm_test.dir/goto_gemm_test.cpp.o.d"
+  "goto_gemm_test"
+  "goto_gemm_test.pdb"
+  "goto_gemm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goto_gemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/int8_test.dir/int8_test.cpp.o"
+  "CMakeFiles/int8_test.dir/int8_test.cpp.o.d"
+  "int8_test"
+  "int8_test.pdb"
+  "int8_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/int8_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_nested_test.dir/io_nested_test.cpp.o"
+  "CMakeFiles/io_nested_test.dir/io_nested_test.cpp.o.d"
+  "io_nested_test"
+  "io_nested_test.pdb"
+  "io_nested_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_nested_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

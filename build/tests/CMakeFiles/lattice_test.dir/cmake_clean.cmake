@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_test.dir/lattice_test.cpp.o"
+  "CMakeFiles/lattice_test.dir/lattice_test.cpp.o.d"
+  "lattice_test"
+  "lattice_test.pdb"
+  "lattice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsim_test.dir/memsim_test.cpp.o"
+  "CMakeFiles/memsim_test.dir/memsim_test.cpp.o.d"
+  "memsim_test"
+  "memsim_test.pdb"
+  "memsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pack_test.dir/pack_test.cpp.o"
+  "CMakeFiles/pack_test.dir/pack_test.cpp.o.d"
+  "pack_test"
+  "pack_test.pdb"
+  "pack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepacked_test.dir/prepacked_test.cpp.o"
+  "CMakeFiles/prepacked_test.dir/prepacked_test.cpp.o.d"
+  "prepacked_test"
+  "prepacked_test.pdb"
+  "prepacked_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepacked_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

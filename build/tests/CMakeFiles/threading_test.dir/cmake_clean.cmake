@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threading_test.dir/threading_test.cpp.o"
+  "CMakeFiles/threading_test.dir/threading_test.cpp.o.d"
+  "threading_test"
+  "threading_test.pdb"
+  "threading_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threading_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiling_test.dir/tiling_test.cpp.o"
+  "CMakeFiles/tiling_test.dir/tiling_test.cpp.o.d"
+  "tiling_test"
+  "tiling_test.pdb"
+  "tiling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_info.dir/cake_info.cpp.o"
+  "CMakeFiles/cake_info.dir/cake_info.cpp.o.d"
+  "cake_info"
+  "cake_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
