@@ -1,0 +1,142 @@
+// Pipelined-executor study (paper Fig. 7, measured on the real host):
+// wall-clock phase attribution of the CB-block loop with the packing IO
+// overlap turned off (serial executor: pack -> compute -> flush in strict
+// sequence) and on (pipelined executor: block i+1's non-shared surfaces
+// pack while block i computes, on a persistent spin-barrier team).
+//
+// Shapes are chosen so packing is a significant share of serial runtime
+// (§5.2.1: skewed shapes) plus a large square control where compute
+// dominates and the two executors should converge. Expected result: where
+// packing is >= 10% of the serial wall time, overlap-on beats overlap-off
+// and hides a measurable fraction of the pack time under compute
+// (overlap_efficiency > 0) — the exposed-IO stall the paper attributes to
+// non-constant-bandwidth schedules shrinks.
+//
+// Environment:
+//   CAKE_BENCH_P       worker count (default: all host cores)
+//   CAKE_BENCH_REPS    timed repetitions per config, best kept (default 3)
+//   CAKE_BENCH_CSV_DIR also write tables as CSV into this directory
+#include <algorithm>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_io.hpp"
+#include "common/csv.hpp"
+#include "common/env.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/cake_gemm.hpp"
+
+int main()
+{
+    using namespace cake;
+
+    const int host_cores = host_machine().cores;
+    const int p = std::max(
+        static_cast<int>(env_long("CAKE_BENCH_P").value_or(host_cores)), 1);
+    const int reps = std::max(
+        static_cast<int>(env_long("CAKE_BENCH_REPS").value_or(3)), 1);
+    ThreadPool pool(p);
+    Rng rng(1);
+
+    struct Case {
+        const char* label;
+        GemmShape shape;
+    };
+    const std::vector<Case> cases = {
+        {"skewed K  (2048 x 2048 x 64)", {2048, 2048, 64}},
+        {"skewed M  (64 x 2048 x 2048)", {64, 2048, 2048}},
+        {"skewed N  (2048 x 64 x 2048)", {2048, 64, 2048}},
+        {"panel     (4096 x 256 x 256)", {4096, 256, 256}},
+        {"square    (1024^3)", {1024, 1024, 1024}},
+    };
+
+    std::cout << "=== Pipelined CB-block executor: exposed vs hidden "
+                 "packing IO (Fig. 7, measured) ===\n"
+              << "p = " << p << ", best of " << reps
+              << " repetitions per configuration.\n\n";
+
+    Table phases({"case", "executor", "total (ms)", "pack (ms)",
+                  "compute (ms)", "flush (ms)", "stall (ms)",
+                  "overlap eff", "GFLOP/s"});
+    Table summary({"case", "serial (ms)", "pipelined (ms)", "speedup",
+                   "serial pack share", "overlap eff"});
+
+    int overlap_wins = 0;
+    int pack_heavy = 0;
+    for (const Case& c : cases) {
+        Matrix a(c.shape.m, c.shape.k);
+        Matrix b(c.shape.k, c.shape.n);
+        a.fill_random(rng);
+        b.fill_random(rng);
+        Matrix out(c.shape.m, c.shape.n);
+
+        auto measure = [&](CakeExec exec) {
+            CakeOptions opts;
+            opts.p = p;
+            opts.exec = exec;
+            CakeGemm gemm(pool, opts);
+            CakeStats best;
+            for (int r = 0; r <= reps; ++r) {  // rep 0 is warm-up
+                gemm.multiply(a.data(), c.shape.k, b.data(), c.shape.n,
+                              out.data(), c.shape.n, c.shape.m, c.shape.n,
+                              c.shape.k);
+                if (r == 1
+                    || (r > 1
+                        && gemm.stats().total_seconds < best.total_seconds))
+                    best = gemm.stats();
+            }
+            return best;
+        };
+        const CakeStats serial = measure(CakeExec::kSerial);
+        const CakeStats piped = measure(CakeExec::kPipelined);
+
+        auto phase_row = [&](const char* exec, const CakeStats& s) {
+            phases.add_row({c.label, exec,
+                            format_number(s.total_seconds * 1e3, 4),
+                            format_number(s.pack_seconds * 1e3, 4),
+                            format_number(s.compute_seconds * 1e3, 4),
+                            format_number(s.flush_seconds * 1e3, 4),
+                            format_number(s.stall_seconds * 1e3, 4),
+                            format_number(s.overlap_efficiency, 3),
+                            format_number(s.gflops(c.shape), 4)});
+        };
+        phase_row("overlap off", serial);
+        phase_row("overlap on", piped);
+
+        const double speedup = serial.total_seconds / piped.total_seconds;
+        const double pack_share =
+            serial.pack_seconds / serial.total_seconds;
+        summary.add_row({c.label, format_number(serial.total_seconds * 1e3, 4),
+                         format_number(piped.total_seconds * 1e3, 4),
+                         format_number(speedup, 3),
+                         format_number(pack_share, 3),
+                         format_number(piped.overlap_efficiency, 3)});
+        if (pack_share >= 0.10) {
+            ++pack_heavy;
+            if (speedup > 1.0 && piped.overlap_efficiency > 0.0)
+                ++overlap_wins;
+        }
+    }
+
+    bench::print_table(phases, "pipeline_phases");
+    std::cout << "\n";
+    bench::print_table(summary, "pipeline_summary");
+    std::cout << "\nShape check: " << overlap_wins << "/" << pack_heavy
+              << " pack-heavy shapes (serial pack share >= 10%) run faster "
+                 "with overlap on\nand report overlap_efficiency > 0 — the "
+                 "pipeline moves packing IO off the\ncritical path, which "
+                 "is the host-measured analogue of Fig. 7's stall gap.\n";
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw != 0 && static_cast<unsigned>(p) > hw) {
+        std::cout << "\nNote: this host exposes only " << hw
+                  << " hardware thread(s) for p = " << p
+                  << " workers, so the overlapped\npacking still serialises "
+                     "with compute and wall-clock speedups hover around "
+                     "1.0\n(noise-dominated); overlap_efficiency reports "
+                     "the co-issued packing share that\nbecomes a "
+                     "wall-clock win once spare hardware threads exist.\n";
+    }
+    return 0;
+}

@@ -1,6 +1,8 @@
 #include "core/cake_gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -8,6 +10,28 @@
 #include "pack/pack.hpp"
 
 namespace cake {
+
+namespace detail {
+
+/// One multiply's resolved arguments, shared by both executors.
+template <typename T>
+struct GemmCall {
+    const T* a = nullptr;
+    index_t lda = 0;
+    const T* b = nullptr;
+    index_t ldb = 0;
+    T* c = nullptr;
+    index_t ldc = 0;
+    index_t m = 0, n = 0, k = 0;
+    T alpha = T(1), beta = T(0);
+    const PackedB<T>* prepacked = nullptr;
+    bool ta = false, tb = false;
+    CbBlockParams params;
+    index_t mb = 0, nb = 0, kb = 0;
+    std::vector<BlockCoord> order;
+};
+
+}  // namespace detail
 
 template <typename T>
 CakeGemmT<T>::CakeGemmT(ThreadPool& pool, CakeOptions options)
@@ -138,23 +162,42 @@ void CakeGemmT<T>::multiply_impl(const T* a, index_t lda, const T* b,
     stats_ = CakeStats{};
     stats_.params = params;
 
-    const index_t mb = ceil_div(m, params.m_blk);
-    const index_t nb = ceil_div(n, params.n_blk);
-    const index_t kb = ceil_div(k, params.k_blk);
-    stats_.grid_mb = mb;
-    stats_.grid_nb = nb;
-    stats_.grid_kb = kb;
+    detail::GemmCall<T> call;
+    call.a = a;
+    call.lda = lda;
+    call.b = b;
+    call.ldb = ldb;
+    call.c = c;
+    call.ldc = ldc;
+    call.m = m;
+    call.n = n;
+    call.k = k;
+    call.alpha = alpha_s;
+    call.beta = beta_s;
+    call.prepacked = prepacked;
+    call.ta = ta;
+    call.tb = tb;
+    call.params = params;
+    call.mb = ceil_div(m, params.m_blk);
+    call.nb = ceil_div(n, params.n_blk);
+    call.kb = ceil_div(k, params.k_blk);
+    stats_.grid_mb = call.mb;
+    stats_.grid_nb = call.nb;
+    stats_.grid_kb = call.kb;
 
     // §2.2: when M > N the M dimension runs outermost so the larger B
     // surface is reused before A.
-    const std::vector<BlockCoord> order =
-        build_schedule(options_.schedule, mb, nb, kb, /*n_outermost=*/n >= m);
+    const bool pipelined = options_.exec != CakeExec::kSerial;
+    call.order = build_schedule(options_.schedule, call.mb, call.nb, call.kb,
+                                /*n_outermost=*/n >= m);
 
-    pack_a_.ensure(static_cast<std::size_t>(
+    pack_a_[0].ensure(static_cast<std::size_t>(
         packed_a_size(params.m_blk, params.k_blk, kernel_.mr)));
+    if (pipelined) pack_a_[1].ensure(pack_a_[0].size());
     if (prepacked == nullptr) {
-        pack_b_.ensure(static_cast<std::size_t>(
+        pack_b_[0].ensure(static_cast<std::size_t>(
             packed_b_size(params.k_blk, params.n_blk, kernel_.nr)));
+        if (pipelined) pack_b_[1].ensure(pack_b_[0].size());
     }
     c_block_.ensure(static_cast<std::size_t>(params.m_blk)
                     * static_cast<std::size_t>(params.n_blk));
@@ -165,11 +208,45 @@ void CakeGemmT<T>::multiply_impl(const T* a, index_t lda, const T* b,
         s.ensure(static_cast<std::size_t>(kernel_.mr * kernel_.nr));
     }
 
+    if (pipelined) {
+        run_pipelined(call);
+    } else {
+        run_serial(call);
+    }
+
+    stats_.total_seconds = total_timer.seconds();
+    if (!stats_.pipelined) {
+        stats_.stall_seconds =
+            std::max(0.0, stats_.total_seconds - stats_.pack_seconds
+                              - stats_.compute_seconds
+                              - stats_.flush_seconds);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serial executor: one pool dispatch per phase, pack -> compute -> flush in
+// strict sequence per block (the overlap-off baseline).
+// ---------------------------------------------------------------------------
+template <typename T>
+void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
+{
+    const CbBlockParams& params = call.params;
+    const int p = params.p;
+    const index_t m = call.m, n = call.n, k = call.k;
+    const index_t nb = call.nb, kb = call.kb;
+    const T alpha_s = call.alpha, beta_s = call.beta;
+    const T* a = call.a;
+    const T* b = call.b;
+    T* c = call.c;
+    const index_t lda = call.lda, ldb = call.ldb, ldc = call.ldc;
+    const bool ta = call.ta, tb = call.tb;
+    const PackedB<T>* prepacked = call.prepacked;
+
     // Per-(m, n) bookkeeping: how many K blocks have accumulated into the
     // local C surface, and whether the surface already visited user memory
     // (only possible under non-K-first ablation schedules).
-    std::vector<index_t> k_done(static_cast<std::size_t>(mb * nb), 0);
-    std::vector<char> flushed(static_cast<std::size_t>(mb * nb), 0);
+    std::vector<index_t> k_done(static_cast<std::size_t>(call.mb * nb), 0);
+    std::vector<char> flushed(static_cast<std::size_t>(call.mb * nb), 0);
 
     BlockCoord last{-1, -1, -1};
     bool have_last = false;
@@ -201,7 +278,7 @@ void CakeGemmT<T>::multiply_impl(const T* a, index_t lda, const T* b,
         if (k_done[slot] < kb) ++stats_.c_partial_spills;
     };
 
-    for (const BlockCoord& coord : order) {
+    for (const BlockCoord& coord : call.order) {
         const index_t mi = block_extent(coord.m, params.m_blk, m);
         const index_t ni = block_extent(coord.n, params.n_blk, n);
         const index_t ki = block_extent(coord.k, params.k_blk, k);
@@ -221,17 +298,17 @@ void CakeGemmT<T>::multiply_impl(const T* a, index_t lda, const T* b,
                 if (ta) {
                     pack_a_panel_transposed(a + k0 * lda + (m0 + r0), lda,
                                             r1 - r0, ki, kernel_.mr,
-                                            pack_a_.data() + r0 * ki);
+                                            pack_a_[0].data() + r0 * ki);
                 } else {
                     pack_a_panel(a + (m0 + r0) * lda + k0, lda, r1 - r0, ki,
-                                 kernel_.mr, pack_a_.data() + r0 * ki);
+                                 kernel_.mr, pack_a_[0].data() + r0 * ki);
                 }
             });
             ++stats_.a_packs;
             stats_.dram_read_bytes +=
                 static_cast<std::uint64_t>(mi) * ki * sizeof(T);
         }
-        const T* pb_block = pack_b_.data();
+        const T* pb_block = pack_b_[0].data();
         const bool b_shared =
             have_last && last.k == coord.k && last.n == coord.n;
         if (prepacked != nullptr) {
@@ -250,19 +327,22 @@ void CakeGemmT<T>::multiply_impl(const T* a, index_t lda, const T* b,
                 if (tb) {
                     pack_b_panel_transposed(b + (n0 + c0) * ldb + k0, ldb, ki,
                                             c1 - c0, kernel_.nr,
-                                            pack_b_.data() + c0 * ki);
+                                            pack_b_[0].data() + c0 * ki);
                 } else {
                     pack_b_panel(b + k0 * ldb + (n0 + c0), ldb, ki, c1 - c0,
-                                 kernel_.nr, pack_b_.data() + c0 * ki);
+                                 kernel_.nr, pack_b_[0].data() + c0 * ki);
                 }
             });
             ++stats_.b_packs;
             stats_.dram_read_bytes +=
                 static_cast<std::uint64_t>(ki) * ni * sizeof(T);
         }
+        stats_.pack_seconds += pack_timer.seconds();
+
         const bool c_shared =
             have_last && last.m == coord.m && last.n == coord.n;
         if (!c_shared) {
+            Timer flush_timer;
             if (have_last) flush_c(last, cur_mi, cur_ni);
             // Fresh local C surface for the new (m, n) column.
             pool_.parallel_for(0, mi, p, [&](index_t r0, index_t r1) {
@@ -280,8 +360,8 @@ void CakeGemmT<T>::multiply_impl(const T* a, index_t lda, const T* b,
             }
             cur_mi = mi;
             cur_ni = ni;
+            stats_.flush_seconds += flush_timer.seconds();
         }
-        stats_.pack_seconds += pack_timer.seconds();
 
         // --- block computation: p workers, one row band each. Full blocks
         // give each core its mc-row band (one A sub-block per core,
@@ -289,7 +369,7 @@ void CakeGemmT<T>::multiply_impl(const T* a, index_t lda, const T* b,
         // (band == mc whenever mi == p*mc). ---
         Timer compute_timer;
         const MicroKernelT<T> kernel = kernel_;
-        const T* pa = pack_a_.data();
+        const T* pa = pack_a_[0].data();
         const T* pb = pb_block;
         T* cb = c_block_.data();
         const index_t band =
@@ -318,9 +398,389 @@ void CakeGemmT<T>::multiply_impl(const T* a, index_t lda, const T* b,
         last = coord;
         have_last = true;
     }
-    if (have_last) flush_c(last, cur_mi, cur_ni);
+    if (have_last) {
+        Timer flush_timer;
+        flush_c(last, cur_mi, cur_ni);
+        stats_.flush_seconds += flush_timer.seconds();
+    }
+}
 
-    stats_.total_seconds = total_timer.seconds();
+// ---------------------------------------------------------------------------
+// Pipelined executor: one persistent team for the whole block loop. While
+// the team computes block i it also packs the surfaces of block i+1 that
+// shared_surfaces() says are not carried over, into the other half of the
+// double-buffered panel storage — so after pipeline fill, packing IO runs
+// concurrently with compute instead of on the critical path (paper §2,
+// Fig. 7). Phases inside the team are separated by spin barriers; work
+// within a phase is claimed in mr/nr-sliver items off an atomic counter so
+// edge blocks never leave cores idle.
+// ---------------------------------------------------------------------------
+template <typename T>
+void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
+{
+    const CbBlockParams& params = call.params;
+    const int p = params.p;
+    const index_t mr = kernel_.mr;
+    const index_t nr = kernel_.nr;
+    const index_t nb = call.nb, kb = call.kb;
+    const bool use_prepacked = call.prepacked != nullptr;
+
+    // ---- Step plan. Buffer slots, pack needs and flush bookkeeping are
+    // pure functions of the schedule, so they are derived up front; the
+    // team then only claims and executes work items. The modelled DRAM
+    // statistics evolve in the exact serial-executor order here, too.
+    struct Step {
+        BlockCoord coord;
+        index_t mi = 0, ni = 0, ki = 0, m0 = 0, n0 = 0, k0 = 0;
+        int a_slot = 0, b_slot = 0;  ///< double-buffer half holding A / B
+        bool pack_a = false;  ///< A not shared: pack during previous step
+        bool pack_b = false;
+        bool c_change = false;  ///< new (m, n) column starts at this step
+        // Departing-column flush, executed at entry of this step (valid
+        // when c_change && t > 0).
+        index_t flush_mi = 0, flush_ni = 0;
+        index_t flush_dst = 0;       ///< element offset into user C
+        bool flush_revisit = false;  ///< surface spilled before: beta = 1
+    };
+    const index_t steps = static_cast<index_t>(call.order.size());
+    std::vector<Step> plan(static_cast<std::size_t>(steps));
+
+    std::vector<index_t> k_done(static_cast<std::size_t>(call.mb * nb), 0);
+    std::vector<char> flushed(static_cast<std::size_t>(call.mb * nb), 0);
+
+    auto block_extent = [](index_t idx, index_t blk, index_t total) {
+        return std::min(blk, total - idx * blk);
+    };
+    auto note_flush = [&](Step& st, const BlockCoord& col, index_t mi,
+                          index_t ni) {
+        const std::size_t slot = static_cast<std::size_t>(col.m * nb + col.n);
+        st.flush_mi = mi;
+        st.flush_ni = ni;
+        st.flush_dst = col.m * params.m_blk * call.ldc
+            + col.n * params.n_blk;
+        st.flush_revisit = flushed[slot] != 0;
+        const T beta_eff = st.flush_revisit ? T(1) : call.beta;
+        flushed[slot] = 1;
+        ++stats_.c_flushes;
+        const auto bytes =
+            static_cast<std::uint64_t>(mi) * static_cast<std::uint64_t>(ni)
+            * sizeof(T);
+        stats_.dram_write_bytes += bytes;
+        if (beta_eff != T(0)) stats_.dram_read_bytes += bytes;  // RMW
+        if (k_done[slot] < kb) ++stats_.c_partial_spills;
+    };
+
+    index_t cur_mi = 0, cur_ni = 0;
+    for (index_t t = 0; t < steps; ++t) {
+        Step& st = plan[static_cast<std::size_t>(t)];
+        st.coord = call.order[static_cast<std::size_t>(t)];
+        st.mi = block_extent(st.coord.m, params.m_blk, call.m);
+        st.ni = block_extent(st.coord.n, params.n_blk, call.n);
+        st.ki = block_extent(st.coord.k, params.k_blk, call.k);
+        st.m0 = st.coord.m * params.m_blk;
+        st.n0 = st.coord.n * params.n_blk;
+        st.k0 = st.coord.k * params.k_blk;
+
+        const SurfaceSharing shared =
+            t == 0 ? SurfaceSharing{}
+                   : shared_surfaces(plan[static_cast<std::size_t>(t - 1)]
+                                         .coord,
+                                     st.coord);
+        const Step* prev =
+            t == 0 ? nullptr : &plan[static_cast<std::size_t>(t - 1)];
+
+        st.a_slot = prev != nullptr ? prev->a_slot : 0;
+        st.pack_a = !shared.a;
+        if (prev != nullptr && st.pack_a) st.a_slot = 1 - prev->a_slot;
+        if (st.pack_a) {
+            ++stats_.a_packs;
+            stats_.dram_read_bytes +=
+                static_cast<std::uint64_t>(st.mi) * st.ki * sizeof(T);
+        }
+
+        st.b_slot = prev != nullptr ? prev->b_slot : 0;
+        if (use_prepacked) {
+            st.pack_b = false;
+            if (!shared.b) {
+                stats_.dram_read_bytes +=
+                    static_cast<std::uint64_t>(st.ki) * st.ni * sizeof(T);
+            }
+        } else {
+            st.pack_b = !shared.b;
+            if (prev != nullptr && st.pack_b) st.b_slot = 1 - prev->b_slot;
+            if (st.pack_b) {
+                ++stats_.b_packs;
+                stats_.dram_read_bytes +=
+                    static_cast<std::uint64_t>(st.ki) * st.ni * sizeof(T);
+            }
+        }
+
+        st.c_change = !shared.c;
+        if (st.c_change) {
+            if (prev != nullptr) note_flush(st, prev->coord, cur_mi, cur_ni);
+            const std::size_t slot =
+                static_cast<std::size_t>(st.coord.m * nb + st.coord.n);
+            if (flushed[slot] != 0) {
+                // Revisiting a spilled surface: partials come back from
+                // external memory (non-K-first ablation schedules only).
+                stats_.dram_read_bytes += static_cast<std::uint64_t>(st.mi)
+                    * st.ni * sizeof(T);
+            }
+            cur_mi = st.mi;
+            cur_ni = st.ni;
+        }
+        ++k_done[static_cast<std::size_t>(st.coord.m * nb + st.coord.n)];
+        ++stats_.blocks_executed;
+    }
+    // Final flush of the last live column.
+    Step final_flush;
+    note_flush(final_flush,
+               plan[static_cast<std::size_t>(steps - 1)].coord, cur_mi,
+               cur_ni);
+
+    // ---- Team execution.
+    const MicroKernelT<T> kernel = kernel_;
+    T* const cb = c_block_.data();
+    T* const pa_slots[2] = {pack_a_[0].data(), pack_a_[1].data()};
+    T* const pb_slots[2] = {pack_b_[0].data(), pack_b_[1].data()};
+
+    // Work-item granularity. Compute items stay one mr band each — that is
+    // the load-balancing unit that keeps every core busy on edge blocks.
+    // IO items (pack slivers, flush/zero rows) are grouped a little
+    // coarser: they are short memcpy-like bodies, and per-item counter and
+    // clock overhead would otherwise be measurable.
+    constexpr index_t kPackAGroup = 4;   ///< mr slivers per pack-A item
+    constexpr index_t kPackBGroup = 8;   ///< nr slivers per pack-B item
+    constexpr index_t kRowGroup = 16;    ///< C rows per flush/zero item
+
+    // Phase work counters, double-buffered by phase parity: while phase q
+    // drains counters[q & 1], worker 0 resets the other one (dead since
+    // the barrier that ended phase q-1) for phase q+1.
+    std::atomic<index_t> counters[2] = {};
+    std::vector<double> worker_pack(static_cast<std::size_t>(p), 0.0);
+    std::vector<double> worker_compute(static_cast<std::size_t>(p), 0.0);
+    std::vector<double> worker_flush(static_cast<std::size_t>(p), 0.0);
+    std::vector<double> worker_hidden(static_cast<std::size_t>(p), 0.0);
+
+    Timer team_timer;
+    pool_.run_team(p, [&](TeamContext& team, int tid) {
+        using Clock = std::chrono::steady_clock;
+        double pack_s = 0, compute_s = 0, flush_s = 0, hidden_s = 0;
+        long phase = 0;
+        T* const scratch = scratch_[static_cast<std::size_t>(tid)].data();
+
+        // Claim items off the phase counter until exhausted, then cross
+        // the phase barrier. Item errors are recorded (not thrown) so
+        // every worker keeps reaching the same barriers; once an error is
+        // recorded all remaining items drain as no-ops.
+        auto run_phase = [&](index_t n_items, auto&& body) {
+            std::atomic<index_t>& counter = counters[phase & 1];
+            for (;;) {
+                const index_t item =
+                    counter.fetch_add(1, std::memory_order_relaxed);
+                if (item >= n_items) break;
+                if (team.has_error()) continue;
+                try {
+                    body(item);
+                } catch (...) {
+                    team.record_error(std::current_exception());
+                }
+            }
+            if (tid == 0) {
+                counters[(phase + 1) & 1].store(0,
+                                                std::memory_order_relaxed);
+            }
+            team.barrier();
+            ++phase;
+        };
+        auto elapsed = [](Clock::time_point t0) {
+            return std::chrono::duration<double>(Clock::now() - t0).count();
+        };
+
+        // One group of mr slivers of step st's A surface into its half.
+        auto pack_a_item = [&](const Step& st, index_t item) {
+            const index_t s_end = std::min(ceil_div(st.mi, mr),
+                                           (item + 1) * kPackAGroup);
+            for (index_t s = item * kPackAGroup; s < s_end; ++s) {
+                const index_t r0 = s * mr;
+                const index_t rows = std::min(mr, st.mi - r0);
+                T* dst = pa_slots[st.a_slot] + r0 * st.ki;
+                if (call.ta) {
+                    pack_a_panel_transposed(call.a + st.k0 * call.lda
+                                                + (st.m0 + r0),
+                                            call.lda, rows, st.ki, mr, dst);
+                } else {
+                    pack_a_panel(call.a + (st.m0 + r0) * call.lda + st.k0,
+                                 call.lda, rows, st.ki, mr, dst);
+                }
+            }
+        };
+        // One group of nr slivers of step st's B surface into its half.
+        auto pack_b_item = [&](const Step& st, index_t item) {
+            const index_t s_end = std::min(ceil_div(st.ni, nr),
+                                           (item + 1) * kPackBGroup);
+            for (index_t s = item * kPackBGroup; s < s_end; ++s) {
+                const index_t c0 = s * nr;
+                const index_t cols = std::min(nr, st.ni - c0);
+                T* dst = pb_slots[st.b_slot] + c0 * st.ki;
+                if (call.tb) {
+                    pack_b_panel_transposed(call.b + (st.n0 + c0) * call.ldb
+                                                + st.k0,
+                                            call.ldb, st.ki, cols, nr, dst);
+                } else {
+                    pack_b_panel(call.b + st.k0 * call.ldb + (st.n0 + c0),
+                                 call.ldb, st.ki, cols, nr, dst);
+                }
+            }
+        };
+        // One mr row band of step st's block computation.
+        auto compute_item = [&](const Step& st, const T* pb, index_t band) {
+            const index_t r = band * mr;
+            const index_t mrows = std::min(mr, st.mi - r);
+            const T* a_sliver = pa_slots[st.a_slot] + r * st.ki;
+            for (index_t j = 0; j < st.ni; j += nr) {
+                const index_t ncols = std::min(nr, st.ni - j);
+                const T* b_sliver = pb + (j / nr) * nr * st.ki;
+                run_microkernel_tile(kernel, st.ki, a_sliver, b_sliver,
+                                     cb + r * st.ni + j, st.ni, mrows, ncols,
+                                     /*accumulate=*/true, scratch);
+            }
+        };
+        // One group of rows of a departing column's writeback to user C.
+        auto flush_item = [&](const Step& st, index_t item) {
+            const T beta_eff = st.flush_revisit ? T(1) : call.beta;
+            const index_t r0 = item * kRowGroup;
+            const index_t r1 = std::min(st.flush_mi, r0 + kRowGroup);
+            unpack_c_block_scaled(cb + r0 * st.flush_ni, r1 - r0,
+                                  st.flush_ni,
+                                  call.c + st.flush_dst + r0 * call.ldc,
+                                  call.ldc, call.alpha, beta_eff);
+        };
+        // One group of rows of the fresh local C surface zeroed for a new
+        // column.
+        auto zero_item = [&](const Step& st, index_t item) {
+            const index_t r0 = item * kRowGroup;
+            const index_t r1 = std::min(st.mi, r0 + kRowGroup);
+            std::memset(cb + r0 * st.ni, 0,
+                        static_cast<std::size_t>((r1 - r0) * st.ni)
+                            * sizeof(T));
+        };
+
+        auto pack_items_of = [&](const Step* st) {
+            const index_t na = st != nullptr && st->pack_a
+                ? ceil_div(ceil_div(st->mi, mr), kPackAGroup)
+                : 0;
+            const index_t nbv = st != nullptr && st->pack_b
+                ? ceil_div(ceil_div(st->ni, nr), kPackBGroup)
+                : 0;
+            return std::pair<index_t, index_t>{na, nbv};
+        };
+        // `co_issued`: the item runs in a phase that also carries compute
+        // items, i.e. the pipeline kept this fetch off the critical path
+        // (it overlaps with compute whenever spare hardware threads exist).
+        auto do_pack_item = [&](const Step& st, index_t na, index_t item,
+                                bool co_issued) {
+            const auto t0 = Clock::now();
+            if (item < na) {
+                pack_a_item(st, item);
+            } else {
+                pack_b_item(st, item - na);
+            }
+            const double d = elapsed(t0);
+            pack_s += d;
+            if (co_issued) hidden_s += d;
+        };
+
+        // Pipeline fill: pack block 0's surfaces and zero the first local
+        // C surface.
+        {
+            const Step& s0 = plan[0];
+            const auto [na, nbv] = pack_items_of(&s0);
+            const index_t nzero = ceil_div(s0.mi, kRowGroup);
+            run_phase(na + nbv + nzero, [&](index_t item) {
+                if (item < na + nbv) {
+                    do_pack_item(s0, na, item, /*co_issued=*/false);
+                } else {
+                    const auto t0 = Clock::now();
+                    zero_item(s0, item - na - nbv);
+                    flush_s += elapsed(t0);
+                }
+            });
+        }
+
+        for (index_t t = 0; t < steps; ++t) {
+            const Step& st = plan[static_cast<std::size_t>(t)];
+            if (st.c_change && t > 0) {
+                // Column boundary: write the departing surface back, then
+                // reset the local surface for the new column. Two phases —
+                // the flush must read the buffer before the zero scrubs it.
+                run_phase(ceil_div(st.flush_mi, kRowGroup),
+                          [&](index_t item) {
+                    const auto t0 = Clock::now();
+                    flush_item(st, item);
+                    flush_s += elapsed(t0);
+                });
+                run_phase(ceil_div(st.mi, kRowGroup), [&](index_t item) {
+                    const auto t0 = Clock::now();
+                    zero_item(st, item);
+                    flush_s += elapsed(t0);
+                });
+            }
+            // Main phase: compute block t while packing block t+1's
+            // non-shared surfaces into the other buffer halves. Pack items
+            // come first in the index space so the next block's DRAM fetch
+            // starts immediately and spreads over the block's compute time
+            // (the constant-bandwidth property, §3).
+            const Step* next = t + 1 < steps
+                ? &plan[static_cast<std::size_t>(t + 1)]
+                : nullptr;
+            const auto [na, nbv] = pack_items_of(next);
+            const index_t bands = ceil_div(st.mi, mr);
+            const T* pb = use_prepacked
+                ? call.prepacked->panel(st.coord.k, st.coord.n)
+                : pb_slots[st.b_slot];
+            run_phase(na + nbv + bands, [&](index_t item) {
+                if (item < na + nbv) {
+                    do_pack_item(*next, na, item, /*co_issued=*/true);
+                } else {
+                    const auto t0 = Clock::now();
+                    compute_item(st, pb, item - na - nbv);
+                    compute_s += elapsed(t0);
+                }
+            });
+        }
+
+        // Pipeline drain: flush the last live column.
+        run_phase(ceil_div(final_flush.flush_mi, kRowGroup),
+                  [&](index_t item) {
+            const auto t0 = Clock::now();
+            flush_item(final_flush, item);
+            flush_s += elapsed(t0);
+        });
+
+        worker_pack[static_cast<std::size_t>(tid)] = pack_s;
+        worker_compute[static_cast<std::size_t>(tid)] = compute_s;
+        worker_flush[static_cast<std::size_t>(tid)] = flush_s;
+        worker_hidden[static_cast<std::size_t>(tid)] = hidden_s;
+    });
+    const double team_wall = team_timer.seconds();
+
+    double pack_total = 0, compute_total = 0, flush_total = 0,
+           hidden_total = 0;
+    for (int i = 0; i < p; ++i) {
+        pack_total += worker_pack[static_cast<std::size_t>(i)];
+        compute_total += worker_compute[static_cast<std::size_t>(i)];
+        flush_total += worker_flush[static_cast<std::size_t>(i)];
+        hidden_total += worker_hidden[static_cast<std::size_t>(i)];
+    }
+    stats_.pack_seconds = pack_total / p;
+    stats_.compute_seconds = compute_total / p;
+    stats_.flush_seconds = flush_total / p;
+    stats_.stall_seconds = std::max(
+        0.0, team_wall - (pack_total + compute_total + flush_total) / p);
+    stats_.overlap_efficiency =
+        pack_total > 0 ? hidden_total / pack_total : 0.0;
+    stats_.pipelined = true;
 }
 
 template class CakeGemmT<float>;

@@ -36,6 +36,28 @@ enum class Op {
     kTranspose,  ///< use its transpose
 };
 
+/// Block-loop executor selection.
+enum class CakeExec {
+    /// Pick the pipelined executor (it is bit-exact with the serial one
+    /// and strictly cheaper in synchronisation).
+    kAuto,
+    /// One pool dispatch per phase: pack -> compute -> flush strictly in
+    /// sequence per block, every DRAM fetch exposed on the critical path.
+    /// Kept as the overlap-off baseline for benches and bit-exactness
+    /// tests.
+    kSerial,
+    /// Software-pipelined: a persistent worker team stays resident across
+    /// the whole block loop (spin barriers between phases, no condvar
+    /// wakeups) and packs block i+1's non-shared surfaces while block i
+    /// computes, double-buffering the packed-A/packed-B panels.
+    kPipelined,
+};
+
+namespace detail {
+template <typename T>
+struct GemmCall;  // bundled multiply arguments (defined in cake_gemm.cpp)
+}  // namespace detail
+
 /// Tuning and behaviour knobs. Defaults reproduce the paper's analytically
 /// derived configuration; overrides exist for the ablation benches.
 struct CakeOptions {
@@ -48,6 +70,7 @@ struct CakeOptions {
     std::optional<Isa> isa;   ///< force micro-kernel ISA
     Op op_a = Op::kNone;      ///< A is stored transposed (K x M)
     Op op_b = Op::kNone;      ///< B is stored transposed (N x K)
+    CakeExec exec = CakeExec::kAuto;  ///< block-loop executor
 };
 
 /// Measured + modelled execution statistics of one multiply.
@@ -61,9 +84,28 @@ struct CakeStats {
     index_t c_partial_spills = 0;  ///< writebacks of *incomplete* surfaces
     std::uint64_t dram_read_bytes = 0;
     std::uint64_t dram_write_bytes = 0;
-    double pack_seconds = 0;
-    double compute_seconds = 0;
+
+    // Wall-clock phase attribution. The four components decompose the
+    // block-loop wall time of one (average) core, so
+    //   pack + compute + flush + stall ~= total_seconds.
+    // Serial executor: pack/compute/flush are phase wall times. Pipelined
+    // executor: phases overlap, so each is aggregate per-worker busy time
+    // divided by p (summing phase timers around overlapped parallel
+    // sections would double-count wall time).
+    double pack_seconds = 0;     ///< A/B panel packing (DRAM fetch)
+    double compute_seconds = 0;  ///< micro-kernel macro-loop
+    double flush_seconds = 0;    ///< C-surface writeback + local C reset
+    double stall_seconds = 0;    ///< barrier waits / idle / dispatch cost
     double total_seconds = 0;
+
+    /// Fraction of packing time the pipeline co-issued with block compute
+    /// (packing of block i+1 claimed from the same work queue as block i's
+    /// compute items), i.e. the share of the paper's Fig. 7 IO cost taken
+    /// off the critical path — it overlaps with compute whenever spare
+    /// hardware threads exist. The pipeline-fill pack of the first block
+    /// is always exposed. 0 for the serial executor.
+    double overlap_efficiency = 0;
+    bool pipelined = false;  ///< which executor ran
 
     /// Achieved throughput for `shape` in GFLOP/s.
     [[nodiscard]] double gflops(const GemmShape& shape) const
@@ -123,6 +165,8 @@ private:
     void multiply_impl(const T* a, index_t lda, const T* b, index_t ldb,
                        T* c, index_t ldc, index_t m, index_t n, index_t k,
                        T alpha_s, T beta_s, const PackedB<T>* prepacked);
+    void run_serial(const detail::GemmCall<T>& call);
+    void run_pipelined(const detail::GemmCall<T>& call);
 
     ThreadPool& pool_;
     CakeOptions options_;
@@ -130,8 +174,8 @@ private:
     MicroKernelT<T> kernel_;
     CakeStats stats_;
 
-    AlignedBuffer<T> pack_a_;
-    AlignedBuffer<T> pack_b_;
+    AlignedBuffer<T> pack_a_[2];  ///< double-buffered packed-A panels
+    AlignedBuffer<T> pack_b_[2];  ///< double-buffered packed-B panels
     AlignedBuffer<T> c_block_;
     std::vector<AlignedBuffer<T>> scratch_;
 };

@@ -176,6 +176,9 @@ void GotoGemmT<T>::multiply(const T* a, index_t lda, const T* b, index_t ldb,
     }
 
     stats_.total_seconds = total_timer.seconds();
+    stats_.stall_seconds =
+        std::max(0.0, stats_.total_seconds - stats_.pack_seconds
+                          - stats_.compute_seconds);
 }
 
 template class GotoGemmT<float>;

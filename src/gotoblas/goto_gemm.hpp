@@ -55,9 +55,18 @@ struct GotoStats {
     index_t c_passes = 0;  ///< C panel read+write rounds (K/kc per panel)
     std::uint64_t dram_read_bytes = 0;
     std::uint64_t dram_write_bytes = 0;
-    double pack_seconds = 0;
-    double compute_seconds = 0;
+    // Wall-clock phase attribution (same decomposition as CakeStats, so
+    // benches can put the two algorithms in one table):
+    //   pack + compute + stall ~= total_seconds.
+    // GOTO streams C tiles straight to user memory inside the macro-kernel
+    // and packs each worker's A block inside the compute pass, so there is
+    // no separate flush phase, pack_seconds covers the shared B panel only,
+    // and nothing overlaps (overlap_efficiency stays 0).
+    double pack_seconds = 0;     ///< shared B-panel packing (DRAM fetch)
+    double compute_seconds = 0;  ///< per-worker A pack + macro-kernel
+    double stall_seconds = 0;    ///< dispatch / residual outside the phases
     double total_seconds = 0;
+    double overlap_efficiency = 0;  ///< always 0: GOTO exposes all IO
 
     [[nodiscard]] double gflops(const GemmShape& shape) const
     {

@@ -1,5 +1,7 @@
 #include "threading/barrier.hpp"
 
+#include <thread>
+
 #include "common/error.hpp"
 
 namespace cake {
@@ -27,6 +29,94 @@ long Barrier::generation() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return generation_;
+}
+
+namespace {
+
+/// Pause briefly inside a spin loop without giving up the time slice.
+inline void cpu_relax() noexcept
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Spin iterations before falling back to yield. Kept small: when the
+/// machine is oversubscribed (more workers than hardware threads) the
+/// missing participant cannot arrive until we yield the core to it.
+constexpr int kSpinIters = 256;
+
+/// Yields tolerated after the spin budget before blocking on the condvar.
+/// Covers ordinary scheduling jitter; a participant still missing after
+/// this many yields is not going to arrive within a time slice, so
+/// continuing to yield would only steal CPU from it.
+constexpr int kYieldIters = 32;
+
+}  // namespace
+
+SpinBarrier::SpinBarrier(int participants) : participants_(participants)
+{
+    CAKE_CHECK(participants >= 1);
+}
+
+void SpinBarrier::arrive_and_wait()
+{
+    if (broken_.load(std::memory_order_acquire)) return;
+    if (participants_ == 1) {
+        generation_.fetch_add(1, std::memory_order_acq_rel);
+        return;
+    }
+    const long gen = generation_.load(std::memory_order_acquire);
+    // Arrivals form a release sequence on arrived_: the last arriver's RMW
+    // acquires every earlier arrival's writes, and its store to generation_
+    // publishes them to all waiters. seq_cst on the generation bump and the
+    // sleepers_ check below pairs with the seq_cst in the waiter's slow
+    // path: either the waiter observes the new generation before sleeping
+    // or the releaser observes the registered sleeper and notifies.
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1
+        == participants_) {
+        arrived_.store(0, std::memory_order_relaxed);
+        generation_.fetch_add(1, std::memory_order_seq_cst);
+        if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+            { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+            sleep_cv_.notify_all();
+        }
+        return;
+    }
+    int spins = 0;
+    while (generation_.load(std::memory_order_acquire) == gen
+           && !broken_.load(std::memory_order_acquire)) {
+        ++spins;
+        if (spins < kSpinIters) {
+            cpu_relax();
+        } else if (spins < kSpinIters + kYieldIters) {
+            std::this_thread::yield();
+        } else {
+            sleepers_.fetch_add(1, std::memory_order_seq_cst);
+            {
+                std::unique_lock<std::mutex> lock(sleep_mutex_);
+                sleep_cv_.wait(lock, [&] {
+                    return generation_.load(std::memory_order_seq_cst) != gen
+                        || broken_.load(std::memory_order_acquire);
+                });
+            }
+            sleepers_.fetch_sub(1, std::memory_order_relaxed);
+            return;
+        }
+    }
+}
+
+void SpinBarrier::break_barrier() noexcept
+{
+    broken_.store(true, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+        { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+        sleep_cv_.notify_all();
+    }
 }
 
 }  // namespace cake

@@ -1,5 +1,7 @@
-// Sense-reversing centralized barrier for synchronising the worker "cores"
-// between CB-block phases.
+// Barriers for synchronising the worker "cores" between CB-block phases:
+// a classic mutex/condvar Barrier (sleeps, cheap when phases are long) and
+// a sense-reversing SpinBarrier (spin-then-yield, low latency when phases
+// are short — the per-block phases of the pipelined executor).
 #pragma once
 
 #include <atomic>
@@ -32,6 +34,63 @@ private:
     long generation_ = 0;
     mutable std::mutex mutex_;
     std::condition_variable cv_;
+};
+
+/// Sense-reversing centralized barrier whose waiters escalate
+/// spin -> yield -> block: a short pause-spin catches teammates that are
+/// only an item apart (no system call at all), a few yields cover normal
+/// scheduling jitter, and only then does a waiter sleep on a condition
+/// variable — so on a dedicated machine crossing costs no syscall, while
+/// on an oversubscribed one (fewer hardware threads than participants) it
+/// degrades to condvar cost instead of burning time slices the missing
+/// participant needs. Suitable for the many short per-block phases of the
+/// pipelined executor where condvar wakeup latency would dominate.
+///
+/// A barrier can be permanently *broken* (break_barrier): current and
+/// future waiters return immediately without synchronising. This is the
+/// escape hatch for error propagation — a worker that fails must not leave
+/// its teammates spinning forever.
+class SpinBarrier {
+public:
+    explicit SpinBarrier(int participants);
+
+    SpinBarrier(const SpinBarrier&) = delete;
+    SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+    /// Spin (then yield, then block) until all participants have arrived,
+    /// then reset for the next phase. Returns immediately if the barrier
+    /// is broken.
+    void arrive_and_wait();
+
+    /// Permanently release current and future waiters. After this call the
+    /// barrier no longer synchronises anything; callers are expected to
+    /// notice the error out of band and unwind.
+    void break_barrier() noexcept;
+
+    [[nodiscard]] bool broken() const noexcept
+    {
+        return broken_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] int participants() const { return participants_; }
+
+    /// Number of completed phases.
+    [[nodiscard]] long generation() const noexcept
+    {
+        return generation_.load(std::memory_order_acquire);
+    }
+
+private:
+    const int participants_;
+    std::atomic<int> arrived_{0};
+    std::atomic<long> generation_{0};
+    std::atomic<bool> broken_{false};
+
+    // Blocking slow path: waiters that exhausted their spin/yield budget
+    // sleep here until the releasing arrival (or break_barrier) wakes them.
+    std::atomic<int> sleepers_{0};
+    std::mutex sleep_mutex_;
+    std::condition_variable sleep_cv_;
 };
 
 }  // namespace cake

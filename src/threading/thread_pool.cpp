@@ -6,6 +6,31 @@
 
 namespace cake {
 
+namespace {
+
+/// Pool whose job the current thread is executing (nullptr outside jobs).
+/// Lets run()/run_team() detect re-entrant dispatch, which would deadlock:
+/// the nested job waits on workers that are waiting for the outer job.
+thread_local const ThreadPool* tls_active_pool = nullptr;
+
+}  // namespace
+
+void TeamContext::record_error(std::exception_ptr error) noexcept
+{
+    {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!error_) error_ = error;
+    }
+    has_error_.store(true, std::memory_order_release);
+    barrier_.break_barrier();
+}
+
+std::exception_ptr TeamContext::first_error() const
+{
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    return error_;
+}
+
 ThreadPool::ThreadPool(int size) : size_(size)
 {
     CAKE_CHECK(size >= 1);
@@ -32,12 +57,15 @@ void ThreadPool::execute_slot(int tid)
         std::lock_guard<std::mutex> lock(mutex_);
         fn = job_fn_;
     }
+    const ThreadPool* prev_pool = tls_active_pool;
+    tls_active_pool = this;
     try {
         (*fn)(tid);
     } catch (...) {
         std::lock_guard<std::mutex> lock(mutex_);
         if (!first_error_) first_error_ = std::current_exception();
     }
+    tls_active_pool = prev_pool;
     bool last = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -70,6 +98,10 @@ void ThreadPool::run(int width, const std::function<void(int)>& fn)
         fn(0);
         return;
     }
+    CAKE_CHECK_MSG(tls_active_pool != this,
+                   "re-entrant ThreadPool::run from inside one of this "
+                   "pool's own jobs would deadlock; restructure as a single "
+                   "job or use run_team with team barriers");
     {
         std::lock_guard<std::mutex> lock(mutex_);
         job_fn_ = &fn;
@@ -89,6 +121,31 @@ void ThreadPool::run(int width, const std::function<void(int)>& fn)
         job_width_ = 0;
     }
     if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::run_team(int width,
+                          const std::function<void(TeamContext&, int)>& fn)
+{
+    CAKE_CHECK_MSG(width >= 1 && width <= size_,
+                   "team width " << width << " outside [1, " << size_
+                                 << "]");
+    TeamContext ctx(width);
+    auto member = [&](int tid) {
+        try {
+            fn(ctx, tid);
+        } catch (...) {
+            ctx.record_error(std::current_exception());
+        }
+    };
+    if (width == 1) {
+        member(0);
+    } else {
+        CAKE_CHECK_MSG(tls_active_pool != this,
+                       "re-entrant ThreadPool::run_team from inside one of "
+                       "this pool's own jobs would deadlock");
+        run(width, member);
+    }
+    if (auto err = ctx.first_error()) std::rethrow_exception(err);
 }
 
 void ThreadPool::parallel_for(index_t begin, index_t end, int width,

@@ -11,8 +11,58 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "threading/barrier.hpp"
 
 namespace cake {
+
+/// Shared state of one persistent team launched with ThreadPool::run_team:
+/// a low-latency spin barrier sized to the team plus first-error capture.
+/// Team code synchronises its internal phases with barrier() instead of
+/// returning to the pool between phases, so a phase transition costs a
+/// barrier crossing rather than a condvar sleep/wakeup round trip.
+///
+/// Error protocol: record_error() stores the first exception and *breaks*
+/// the barrier, releasing every current and future waiter — after that,
+/// barrier() no longer synchronises and team code is expected to poll
+/// has_error() and drain its remaining work. run_team rethrows the
+/// recorded exception once every member has returned.
+class TeamContext {
+public:
+    explicit TeamContext(int width) : width_(width), barrier_(width) {}
+
+    TeamContext(const TeamContext&) = delete;
+    TeamContext& operator=(const TeamContext&) = delete;
+
+    [[nodiscard]] int width() const { return width_; }
+
+    /// Phase barrier for all team members (spin-then-yield; no-op once an
+    /// error has been recorded).
+    void barrier() { barrier_.arrive_and_wait(); }
+
+    /// Completed barrier phases (for tests).
+    [[nodiscard]] long barrier_generation() const
+    {
+        return barrier_.generation();
+    }
+
+    /// Record the first error raised by any member and break the barrier
+    /// so no teammate is left waiting. Later calls are ignored.
+    void record_error(std::exception_ptr error) noexcept;
+
+    [[nodiscard]] bool has_error() const noexcept
+    {
+        return has_error_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] std::exception_ptr first_error() const;
+
+private:
+    const int width_;
+    SpinBarrier barrier_;
+    std::atomic<bool> has_error_{false};
+    mutable std::mutex error_mutex_;
+    std::exception_ptr error_;
+};
 
 /// Fixed-size pool executing "team jobs": a job runs the same callable on
 /// worker ids 0..n-1 in parallel and returns when all have finished.
@@ -33,7 +83,23 @@ public:
     /// every invocation returns. `width` must be in [1, size()].
     /// If any invocation throws, the first exception is rethrown here after
     /// all workers finish.
+    ///
+    /// Must not be called with width > 1 from inside one of this pool's
+    /// own jobs: the nested job would wait on workers that are themselves
+    /// waiting for it. Such calls throw cake::Error instead of
+    /// deadlocking. width == 1 runs inline and is always safe.
     void run(int width, const std::function<void(int)>& fn);
+
+    /// Persistent-team mode: run `fn(team, tid)` for tid in [0, width) and
+    /// keep every worker resident inside `fn` until it returns — the team
+    /// synchronises its own internal phases with team.barrier() instead of
+    /// paying a condvar dispatch per phase. Exceptions escaping `fn` are
+    /// recorded in the TeamContext (breaking the barrier so no teammate
+    /// hangs) and the first one is rethrown after all members return.
+    /// After an error, team barriers stop synchronising: long-lived team
+    /// code should poll team.has_error() and bail out.
+    void run_team(int width,
+                  const std::function<void(TeamContext&, int)>& fn);
 
     /// Parallel loop: split [begin, end) into `width` contiguous chunks and
     /// run `fn(chunk_begin, chunk_end)` on each (empty chunks are skipped).

@@ -3,7 +3,10 @@
 // worker-count variants, and stats invariants.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
@@ -252,6 +255,200 @@ TEST(CakeGemm, ReusedContextIsConsistent)
                       size, size);
         EXPECT_LE(max_abs_diff(c, oracle_gemm(a, b)), gemm_tolerance(size))
             << "size=" << size;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined executor: must be BIT-exact with the serial executor (identical
+// per-sliver / per-band floating-point operation sequences, only claimed by
+// different workers), and its precomputed counting stats must match the
+// serial executor's incremental bookkeeping.
+// ---------------------------------------------------------------------------
+
+/// Run the same multiply through both executors and require bit equality
+/// of C plus identical modelled stats.
+void expect_pipelined_bit_exact(CakeOptions base, index_t m, index_t n,
+                                index_t k, float alpha, float beta,
+                                std::uint64_t seed)
+{
+    Rng rng(seed);
+    const bool ta = base.op_a == Op::kTranspose;
+    const bool tb = base.op_b == Op::kTranspose;
+    Matrix a(ta ? k : m, ta ? m : k);
+    Matrix b(tb ? n : k, tb ? k : n);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    Matrix c_serial(m, n);
+    c_serial.fill_random(rng);  // beta != 0 must read identical inputs
+    Matrix c_piped(m, n);
+    std::memcpy(c_piped.data(), c_serial.data(),
+                static_cast<std::size_t>(m) * n * sizeof(float));
+
+    base.exec = CakeExec::kSerial;
+    CakeGemm serial(test_pool(), base);
+    serial.multiply_scaled(a.data(), a.cols(), b.data(), b.cols(),
+                           c_serial.data(), n, m, n, k, alpha, beta);
+    base.exec = CakeExec::kPipelined;
+    CakeGemm piped(test_pool(), base);
+    piped.multiply_scaled(a.data(), a.cols(), b.data(), b.cols(),
+                          c_piped.data(), n, m, n, k, alpha, beta);
+
+    EXPECT_EQ(std::memcmp(c_serial.data(), c_piped.data(),
+                          static_cast<std::size_t>(m) * n * sizeof(float)),
+              0)
+        << "m=" << m << " n=" << n << " k=" << k << " alpha=" << alpha
+        << " beta=" << beta << " ta=" << ta << " tb=" << tb
+        << " schedule=" << schedule_kind_name(base.schedule);
+
+    const CakeStats& s0 = serial.stats();
+    const CakeStats& s1 = piped.stats();
+    EXPECT_FALSE(s0.pipelined);
+    EXPECT_TRUE(s1.pipelined);
+    EXPECT_EQ(s0.blocks_executed, s1.blocks_executed);
+    EXPECT_EQ(s0.a_packs, s1.a_packs);
+    EXPECT_EQ(s0.b_packs, s1.b_packs);
+    EXPECT_EQ(s0.c_flushes, s1.c_flushes);
+    EXPECT_EQ(s0.c_partial_spills, s1.c_partial_spills);
+    EXPECT_EQ(s0.dram_read_bytes, s1.dram_read_bytes);
+    EXPECT_EQ(s0.dram_write_bytes, s1.dram_write_bytes);
+}
+
+class PipelinedScheduleTest
+    : public ::testing::TestWithParam<ScheduleKind> {};
+
+TEST_P(PipelinedScheduleTest, BitExactVsSerial)
+{
+    CakeOptions options = tiny_block_options();
+    options.schedule = GetParam();
+    // Mid-size with all grid dimensions > 1 plus ragged edges.
+    expect_pipelined_bit_exact(options, 70, 90, 60, 1.0f, 0.0f, 101);
+    expect_pipelined_bit_exact(options, 64, 80, 48, 1.0f, 1.0f, 102);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedules, PipelinedScheduleTest,
+                         ::testing::Values(ScheduleKind::kKFirstSerpentine,
+                                           ScheduleKind::kKFirstNoFlip,
+                                           ScheduleKind::kNInnermost),
+                         [](const auto& info) {
+                             std::string name =
+                                 schedule_kind_name(info.param);
+                             for (char& ch : name)
+                                 if (ch == '-') ch = '_';
+                             return name;
+                         });
+
+TEST(CakePipelined, BitExactOnEdgeShapes)
+{
+    // m, n, k deliberately not multiples of the block sizes (nor of mr/nr),
+    // plus single-block and single-row/column extremes.
+    const CakeOptions options = tiny_block_options();
+    const std::vector<std::tuple<index_t, index_t, index_t>> shapes = {
+        {1, 1, 1},   {1, 97, 13},  {97, 1, 13},  {13, 17, 1},
+        {5, 7, 3},   {97, 89, 83}, {101, 53, 67}};
+    std::uint64_t seed = 200;
+    for (const auto& [m, n, k] : shapes) {
+        expect_pipelined_bit_exact(options, m, n, k, 1.0f, 0.0f, ++seed);
+    }
+}
+
+TEST(CakePipelined, BitExactWithTransposedOperands)
+{
+    for (const bool ta : {false, true}) {
+        for (const bool tb : {false, true}) {
+            CakeOptions options = tiny_block_options();
+            options.op_a = ta ? Op::kTranspose : Op::kNone;
+            options.op_b = tb ? Op::kTranspose : Op::kNone;
+            expect_pipelined_bit_exact(options, 61, 74, 53, 1.0f, 0.0f,
+                                       300 + (ta ? 2 : 0) + (tb ? 1 : 0));
+        }
+    }
+}
+
+TEST(CakePipelined, BitExactWithScaledEpilogue)
+{
+    const CakeOptions options = tiny_block_options();
+    expect_pipelined_bit_exact(options, 45, 58, 37, 0.5f, 0.25f, 400);
+    expect_pipelined_bit_exact(options, 45, 58, 37, -1.5f, 1.0f, 401);
+    expect_pipelined_bit_exact(options, 45, 58, 37, 2.0f, 0.0f, 402);
+}
+
+TEST(CakePipelined, BitExactAcrossWorkerCounts)
+{
+    for (int p = 1; p <= 4; ++p) {
+        CakeOptions options = tiny_block_options();
+        options.p = p;
+        expect_pipelined_bit_exact(options, 66, 87, 49, 1.0f, 0.0f,
+                                   500 + static_cast<std::uint64_t>(p));
+    }
+}
+
+TEST(CakePipelined, BitExactWithPrepackedWeights)
+{
+    Rng rng(600);
+    const index_t m = 77, n = 91, k = 58;
+    Matrix a(m, k);
+    Matrix b(k, n);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    Matrix c_serial(m, n);
+    Matrix c_piped(m, n);
+
+    CakeOptions options = tiny_block_options();
+    options.exec = CakeExec::kSerial;
+    CakeGemm serial(test_pool(), options);
+    const PackedB<float> packed_s = serial.pack_weights(b.data(), n, k, n);
+    serial.multiply_prepacked(a.data(), k, packed_s, c_serial.data(), n, m);
+
+    options.exec = CakeExec::kPipelined;
+    CakeGemm piped(test_pool(), options);
+    const PackedB<float> packed_p = piped.pack_weights(b.data(), n, k, n);
+    piped.multiply_prepacked(a.data(), k, packed_p, c_piped.data(), n, m);
+
+    EXPECT_EQ(std::memcmp(c_serial.data(), c_piped.data(),
+                          static_cast<std::size_t>(m) * n * sizeof(float)),
+              0);
+    EXPECT_EQ(serial.stats().b_packs, 0);
+    EXPECT_EQ(piped.stats().b_packs, 0);
+    EXPECT_EQ(serial.stats().dram_read_bytes,
+              piped.stats().dram_read_bytes);
+}
+
+TEST(CakePipelined, PhaseAttributionDecomposesTotal)
+{
+    Rng rng(700);
+    const index_t m = 96, n = 128, k = 72;
+    Matrix a(m, k);
+    Matrix b(k, n);
+    a.fill_random(rng);
+    b.fill_random(rng);
+
+    for (const CakeExec exec : {CakeExec::kSerial, CakeExec::kPipelined}) {
+        CakeOptions options = tiny_block_options();
+        options.exec = exec;
+        CakeStats stats;
+        cake_sgemm(a.data(), b.data(), Matrix(m, n).data(), m, n, k,
+                   test_pool(), options, &stats);
+        EXPECT_EQ(stats.pipelined, exec == CakeExec::kPipelined);
+        EXPECT_GT(stats.total_seconds, 0.0);
+        EXPECT_GE(stats.pack_seconds, 0.0);
+        EXPECT_GE(stats.compute_seconds, 0.0);
+        EXPECT_GE(stats.flush_seconds, 0.0);
+        EXPECT_GE(stats.stall_seconds, 0.0);
+        // The four phase components never exceed the measured wall time
+        // (they are per-average-core attributions of it).
+        const double sum = stats.pack_seconds + stats.compute_seconds
+            + stats.flush_seconds + stats.stall_seconds;
+        EXPECT_LE(sum, stats.total_seconds * 1.10 + 1e-4);
+        EXPECT_GE(stats.overlap_efficiency, 0.0);
+        EXPECT_LE(stats.overlap_efficiency, 1.0);
+        if (exec == CakeExec::kSerial) {
+            EXPECT_EQ(stats.overlap_efficiency, 0.0);
+        } else {
+            // The pipeline co-issues every pack after the first block's:
+            // with more than one K block per column, some packing must
+            // have been taken off the critical path.
+            EXPECT_GT(stats.overlap_efficiency, 0.0);
+        }
     }
 }
 

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -149,6 +151,190 @@ TEST(Barrier, RejectsNonPositiveParticipants)
 {
     EXPECT_THROW(Barrier(0), Error);
 }
+
+TEST(ThreadPool, NestedRunThrowsInsteadOfDeadlocking)
+{
+    ThreadPool pool(4);
+    std::atomic<int> nested_errors{0};
+    pool.run(4, [&](int) {
+        try {
+            pool.run(2, [](int) {});
+        } catch (const Error&) {
+            nested_errors++;
+        }
+    });
+    // Every worker's nested dispatch must be rejected, not deadlock.
+    EXPECT_EQ(nested_errors.load(), 4);
+    // ... and the same guard covers run_team and parallel_for (both built
+    // on run).
+    EXPECT_THROW(
+        pool.run(2, [&](int) { pool.run_team(2, [](TeamContext&, int) {}); }),
+        Error);
+    // The pool stays usable afterwards.
+    std::atomic<int> count{0};
+    pool.run(4, [&](int) { count++; });
+    EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPool, NestedWidthOneRunIsAllowed)
+{
+    ThreadPool pool(2);
+    std::atomic<int> inner_runs{0};
+    pool.run(2, [&](int) {
+        pool.run(1, [&](int tid) {
+            EXPECT_EQ(tid, 0);
+            inner_runs++;
+        });
+    });
+    EXPECT_EQ(inner_runs.load(), 2);
+}
+
+TEST(ThreadPool, NestedRunFromAnotherPoolIsAllowed)
+{
+    ThreadPool outer(2);
+    ThreadPool inner(2);
+    std::atomic<int> count{0};
+    outer.run(2, [&](int tid) {
+        if (tid == 0) inner.run(2, [&](int) { count++; });
+    });
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(SpinBarrier, SingleParticipantNeverBlocks)
+{
+    SpinBarrier barrier(1);
+    barrier.arrive_and_wait();
+    barrier.arrive_and_wait();
+    EXPECT_EQ(barrier.generation(), 2);
+    EXPECT_FALSE(barrier.broken());
+}
+
+TEST(SpinBarrier, RejectsNonPositiveParticipants)
+{
+    EXPECT_THROW(SpinBarrier(0), Error);
+}
+
+TEST(SpinBarrier, PhasesSynchronise)
+{
+    constexpr int kThreads = 4;
+    constexpr int kPhases = 200;
+    SpinBarrier barrier(kThreads);
+    std::atomic<int> in_phase{0};
+    std::atomic<bool> failed{false};
+
+    ThreadPool pool(kThreads);
+    pool.run(kThreads, [&](int) {
+        for (int phase = 0; phase < kPhases; ++phase) {
+            in_phase++;
+            barrier.arrive_and_wait();
+            if (in_phase.load() < kThreads * (phase + 1)) failed = true;
+            barrier.arrive_and_wait();
+        }
+    });
+    EXPECT_FALSE(failed.load());
+    EXPECT_EQ(barrier.generation(), 2 * kPhases);
+}
+
+TEST(SpinBarrier, BreakReleasesCurrentAndFutureWaiters)
+{
+    constexpr int kThreads = 4;
+    SpinBarrier barrier(kThreads);
+    ThreadPool pool(kThreads);
+    // Worker 0 never arrives; it breaks the barrier instead. Everyone else
+    // must return (some from the blocking slow path) rather than hang.
+    pool.run(kThreads, [&](int tid) {
+        if (tid == 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            barrier.break_barrier();
+        } else {
+            barrier.arrive_and_wait();
+        }
+    });
+    EXPECT_TRUE(barrier.broken());
+    barrier.arrive_and_wait();  // future waits are no-ops
+}
+
+TEST(TeamContext, RunTeamSumsAcrossMembers)
+{
+    ThreadPool pool(4);
+    std::atomic<long> sum{0};
+    pool.run_team(4, [&](TeamContext& team, int tid) {
+        EXPECT_EQ(team.width(), 4);
+        sum += tid + 1;
+        team.barrier();
+        sum += 10;
+    });
+    EXPECT_EQ(sum.load(), 1 + 2 + 3 + 4 + 40);
+}
+
+TEST(TeamContext, RunTeamWidthOneRunsInline)
+{
+    ThreadPool pool(2);
+    const auto caller = std::this_thread::get_id();
+    pool.run_team(1, [&](TeamContext& team, int tid) {
+        EXPECT_EQ(tid, 0);
+        EXPECT_EQ(team.width(), 1);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        team.barrier();  // single-member barrier must not block
+    });
+}
+
+TEST(TeamContext, RepeatedTeamLaunchesWithPhases)
+{
+    // Stress the persistent-team path: many launches, each with several
+    // barrier-separated phases, checking the lock-step invariant.
+    ThreadPool pool(4);
+    for (int iter = 0; iter < 50; ++iter) {
+        const int width = 2 + iter % 3;
+        constexpr int kPhases = 8;
+        std::atomic<int> in_phase{0};
+        std::atomic<bool> failed{false};
+        pool.run_team(width, [&](TeamContext& team, int) {
+            for (int phase = 0; phase < kPhases; ++phase) {
+                in_phase++;
+                team.barrier();
+                if (in_phase.load() < width * (phase + 1)) failed = true;
+                team.barrier();
+            }
+        });
+        ASSERT_FALSE(failed.load()) << "iter=" << iter;
+    }
+}
+
+class TeamErrorTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TeamErrorTest, ExceptionFromAnyMemberPropagates)
+{
+    const int thrower = GetParam();
+    ThreadPool pool(4);
+    std::atomic<int> drained{0};
+    try {
+        pool.run_team(4, [&](TeamContext& team, int tid) {
+            team.barrier();
+            if (tid == thrower) throw Error("boom from worker");
+            // Teammates keep hitting barriers; once the error breaks the
+            // barrier they must fall through and observe it.
+            for (int i = 0; i < 1000 && !team.has_error(); ++i) {
+                team.barrier();
+            }
+            if (team.has_error()) drained++;
+        });
+        FAIL() << "expected the member exception to be rethrown";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    }
+    EXPECT_EQ(drained.load(), 3);
+    // The pool (and a fresh team) must remain usable afterwards.
+    std::atomic<int> count{0};
+    pool.run_team(4, [&](TeamContext& team, int) {
+        count++;
+        team.barrier();
+    });
+    EXPECT_EQ(count.load(), 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkerIds, TeamErrorTest,
+                         ::testing::Values(0, 1, 2, 3));
 
 }  // namespace
 }  // namespace cake

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Build the threading-sensitive tests under ThreadSanitizer and run them.
+#
+# The pipelined CB-block executor synchronises through atomics (spin
+# barrier, phase work counters) whose correctness depends on subtle memory
+# ordering — TSan is the cheapest way to catch a regression there. Uses a
+# dedicated build directory so the ordinary build stays untouched.
+#
+# Usage: tools/run_tsan.sh [build-dir]        (default: build-tsan)
+#        CAKE_SANITIZE=address tools/run_tsan.sh   for ASan+UBSan instead
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-tsan}"
+sanitizer="${CAKE_SANITIZE:-thread}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCAKE_SANITIZE="${sanitizer}" \
+  -DCAKE_BUILD_BENCH=OFF \
+  -DCAKE_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" -j --target threading_test cake_gemm_test
+
+# halt_on_error: fail fast in CI instead of drowning in repeated reports.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+
+"${build_dir}/tests/threading_test"
+"${build_dir}/tests/cake_gemm_test"
+
+echo "${sanitizer} sanitizer run passed."
