@@ -1,9 +1,18 @@
 // RAII aligned buffers for packed panels and matrices.
+//
+// In CAKE_CHECKED builds every AlignedBuffer is fenced and poisoned: a
+// 64-byte canary guard precedes and follows the payload, and the payload
+// itself is filled with signaling NaNs (byte poison for integral elements)
+// at allocation. verify_canaries() traps if either guard was overwritten —
+// the flush points of the GEMM drivers call it so a strided pack overrun
+// is caught at the multiply that caused it, not crashes later. Release
+// builds allocate exactly the payload and all of this compiles away.
 #pragma once
 
 #include <cstddef>
 #include <utility>
 
+#include "common/checked.hpp"
 #include "common/types.hpp"
 
 namespace cake {
@@ -26,7 +35,19 @@ public:
         : size_(count)
     {
         if (count == 0) return;
+#if CAKE_CHECKED_ENABLED
+        // Layout: [front guard | payload | back guard]. kGuardBytes is a
+        // multiple of kPanelAlignment, so the payload stays 64-byte aligned.
+        raw_ = static_cast<unsigned char*>(
+            aligned_malloc(count * sizeof(T) + 2 * checked::kGuardBytes));
+        data_ = reinterpret_cast<T*>(raw_ + checked::kGuardBytes);
+        checked::write_guard(raw_);
+        checked::write_guard(raw_ + checked::kGuardBytes
+                             + count * sizeof(T));
+        checked::poison_fill(data_, count);
+#else
         data_ = static_cast<T*>(aligned_malloc(count * sizeof(T)));
+#endif
         if (zero) {
             for (std::size_t i = 0; i < count; ++i) data_[i] = T{};
         }
@@ -38,20 +59,27 @@ public:
     AlignedBuffer(AlignedBuffer&& other) noexcept
         : data_(std::exchange(other.data_, nullptr)),
           size_(std::exchange(other.size_, 0))
+#if CAKE_CHECKED_ENABLED
+          ,
+          raw_(std::exchange(other.raw_, nullptr))
+#endif
     {
     }
 
     AlignedBuffer& operator=(AlignedBuffer&& other) noexcept
     {
         if (this != &other) {
-            aligned_free(data_);
+            release();
             data_ = std::exchange(other.data_, nullptr);
             size_ = std::exchange(other.size_, 0);
+#if CAKE_CHECKED_ENABLED
+            raw_ = std::exchange(other.raw_, nullptr);
+#endif
         }
         return *this;
     }
 
-    ~AlignedBuffer() { aligned_free(data_); }
+    ~AlignedBuffer() { release(); }
 
     [[nodiscard]] T* data() noexcept { return data_; }
     [[nodiscard]] const T* data() const noexcept { return data_; }
@@ -69,9 +97,45 @@ public:
         *this = AlignedBuffer(count);
     }
 
+    /// Trap (CAKE_CHECKED builds) if either canary guard was overwritten;
+    /// `what` names the buffer in the diagnostic. No-op in release builds.
+    void verify_canaries([[maybe_unused]] const char* what) const
+    {
+#if CAKE_CHECKED_ENABLED
+        if (raw_ == nullptr) return;
+        if (!checked::guard_intact(raw_)) {
+            checked::fail("canary",
+                          std::string(what)
+                              + ": front guard overwritten (buffer "
+                                "underrun)");
+        }
+        if (!checked::guard_intact(raw_ + checked::kGuardBytes
+                                   + size_ * sizeof(T))) {
+            checked::fail("canary",
+                          std::string(what)
+                              + ": back guard overwritten (buffer overrun)");
+        }
+#endif
+    }
+
 private:
+    void release() noexcept
+    {
+#if CAKE_CHECKED_ENABLED
+        aligned_free(raw_);
+        raw_ = nullptr;
+#else
+        aligned_free(data_);
+#endif
+        data_ = nullptr;
+        size_ = 0;
+    }
+
     T* data_ = nullptr;
     std::size_t size_ = 0;
+#if CAKE_CHECKED_ENABLED
+    unsigned char* raw_ = nullptr;  ///< allocation base (front guard)
+#endif
 };
 
 }  // namespace cake

@@ -1,0 +1,370 @@
+// Checked-access instrumentation for the CAKE hot paths.
+//
+// The packing and micro-kernel layers are raw pointer arithmetic over
+// mr/nr/kc strides; the compiler never sees the tiling invariants that make
+// that arithmetic safe. This header provides a debug-mode subsystem that
+// makes every such access checkable:
+//
+//   * CheckedSpan<T>  — a pointer + extent (+ a name for diagnostics) whose
+//     indexing and slicing trap on out-of-bounds access.
+//   * TileView<T>     — a 2-D rows x cols view with a leading dimension and
+//     a required base alignment, for kernel dispatch boundaries.
+//   * poisoning       — freshly allocated pack buffers are filled with
+//     signaling NaNs (byte patterns for integral elements) and fenced with
+//     front/back canary guards, verified when the buffers are flushed.
+//
+// Build modes:
+//   * CAKE_CHECKED builds (cmake -DCAKE_CHECKED=ON) define CAKE_CHECKED=1
+//     and enable every check. A violated check calls checked::fail(),
+//     which invokes the installed trap handler (tests install a throwing
+//     one) and otherwise prints a precise diagnostic and aborts.
+//   * Release builds compile the same call sites to raw pointers: Span<T>
+//     IS T*, slicing is pointer addition, and the poison/canary/alignment
+//     helpers are empty inline functions. No CheckedSpan symbol exists in
+//     release objects — the class is not even declared.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <type_traits>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+#if defined(CAKE_CHECKED) && CAKE_CHECKED
+#define CAKE_CHECKED_ENABLED 1
+#else
+#define CAKE_CHECKED_ENABLED 0
+#endif
+
+namespace cake {
+
+/// Thrown by a test-installed trap handler; production checked builds
+/// abort instead so a corrupted address space is never unwound through.
+class CheckedError : public Error {
+public:
+    explicit CheckedError(const std::string& what) : Error(what) {}
+};
+
+namespace checked {
+
+/// Handler invoked on a failed check before the default abort. A handler
+/// that throws (tests) prevents the abort; a handler that returns does not.
+using TrapHandler = void (*)(const char* kind, const std::string& message);
+
+inline TrapHandler& trap_handler_slot()
+{
+    static TrapHandler handler = nullptr;
+    return handler;
+}
+
+/// Install (or with nullptr, remove) the process-wide trap handler.
+/// Returns the previous handler so scoped installers can restore it.
+inline TrapHandler set_trap_handler(TrapHandler handler)
+{
+    TrapHandler previous = trap_handler_slot();
+    trap_handler_slot() = handler;
+    return previous;
+}
+
+/// Report a violated checked-access invariant: run the trap handler (which
+/// may throw), then print and abort. Never returns normally.
+[[noreturn]] inline void fail(const char* kind, const std::string& message)
+{
+    if (TrapHandler handler = trap_handler_slot(); handler != nullptr) {
+        handler(kind, message);
+    }
+    std::fprintf(stderr, "CAKE_CHECKED trap [%s]: %s\n", kind,
+                 message.c_str());
+    std::abort();
+}
+
+/// True iff `p` is aligned to `alignment` (a power of two).
+inline bool is_aligned(const void* p, std::size_t alignment)
+{
+    return (reinterpret_cast<std::uintptr_t>(p) & (alignment - 1)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Poison and canary patterns.
+// ---------------------------------------------------------------------------
+
+/// Byte value the front/back buffer guards are filled with.
+inline constexpr unsigned char kCanaryByte = 0xC5;
+/// Guard region size on each side of a poisoned buffer, bytes. One cache
+/// line keeps the payload's 64-byte alignment intact.
+inline constexpr std::size_t kGuardBytes = 64;
+/// Byte value non-float payloads are poisoned with.
+inline constexpr unsigned char kPoisonByte = 0xAB;
+/// Signaling-NaN bit patterns used to poison float/double payloads: any
+/// arithmetic read of an unpacked element raises FE_INVALID and propagates
+/// a NaN straight into the result, where tests catch it.
+inline constexpr std::uint32_t kPoisonF32 = 0x7FA00001u;
+inline constexpr std::uint64_t kPoisonF64 = 0x7FF4000000000001ull;
+
+template <typename T>
+inline void poison_fill(T* data, std::size_t count)
+{
+    if (data == nullptr || count == 0) return;
+    if constexpr (std::is_floating_point_v<T> && sizeof(T) == 4) {
+        for (std::size_t i = 0; i < count; ++i) {
+            std::memcpy(data + i, &kPoisonF32, sizeof(std::uint32_t));
+        }
+    } else if constexpr (std::is_floating_point_v<T> && sizeof(T) == 8) {
+        for (std::size_t i = 0; i < count; ++i) {
+            std::memcpy(data + i, &kPoisonF64, sizeof(std::uint64_t));
+        }
+    } else {
+        std::memset(data, kPoisonByte, count * sizeof(T));
+    }
+}
+
+/// True iff `v` still holds the poison pattern written by poison_fill.
+template <typename T>
+inline bool is_poison(const T& v)
+{
+    if constexpr (std::is_floating_point_v<T> && sizeof(T) == 4) {
+        std::uint32_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        return bits == kPoisonF32;
+    } else if constexpr (std::is_floating_point_v<T> && sizeof(T) == 8) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        return bits == kPoisonF64;
+    } else {
+        const unsigned char* bytes =
+            reinterpret_cast<const unsigned char*>(&v);
+        for (std::size_t i = 0; i < sizeof(T); ++i) {
+            if (bytes[i] != kPoisonByte) return false;
+        }
+        return true;
+    }
+}
+
+inline void write_guard(unsigned char* guard)
+{
+    std::memset(guard, kCanaryByte, kGuardBytes);
+}
+
+inline bool guard_intact(const unsigned char* guard)
+{
+    for (std::size_t i = 0; i < kGuardBytes; ++i) {
+        if (guard[i] != kCanaryByte) return false;
+    }
+    return true;
+}
+
+}  // namespace checked
+
+#if CAKE_CHECKED_ENABLED
+
+// ---------------------------------------------------------------------------
+// Checked build: spans and views carry extents and trap on misuse.
+// ---------------------------------------------------------------------------
+
+/// Pointer + extent + diagnostic name. Indexing and slicing trap on any
+/// access outside [0, size). Exists only in CAKE_CHECKED builds; release
+/// builds use a raw pointer in its place (see Span<T> below).
+template <typename T>
+class CheckedSpan {
+public:
+    CheckedSpan() = default;
+    CheckedSpan(T* data, std::size_t size, const char* what = "span")
+        : data_(data), size_(size), what_(what)
+    {
+        if (data == nullptr && size != 0) {
+            checked::fail("null-span",
+                          std::string(what) + ": null data with size "
+                              + std::to_string(size));
+        }
+    }
+
+    [[nodiscard]] T* data() const { return data_; }
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] const char* what() const { return what_; }
+
+    T& operator[](index_t i) const
+    {
+        if (i < 0 || static_cast<std::size_t>(i) >= size_) {
+            std::ostringstream os;
+            os << what_ << ": index " << i << " outside extent " << size_;
+            checked::fail("out-of-bounds", os.str());
+        }
+        return data_[i];
+    }
+
+    /// Checked sub-range [offset, offset + count).
+    [[nodiscard]] CheckedSpan subspan(index_t offset, index_t count) const
+    {
+        if (offset < 0 || count < 0
+            || static_cast<std::size_t>(offset) + static_cast<std::size_t>(count)
+                > size_) {
+            std::ostringstream os;
+            os << what_ << ": slice [" << offset << ", " << offset + count
+               << ") outside extent " << size_;
+            checked::fail("out-of-bounds", os.str());
+        }
+        return CheckedSpan(data_ + offset, static_cast<std::size_t>(count),
+                           what_);
+    }
+
+private:
+    T* data_ = nullptr;
+    std::size_t size_ = 0;
+    const char* what_ = "span";
+};
+
+/// 2-D rows x cols view with a leading dimension and a required base
+/// alignment — the shape of every operand crossing a kernel dispatch
+/// boundary. at() traps on out-of-range element access; construction traps
+/// on a misaligned base or an ld that cannot hold a row.
+template <typename T>
+class TileView {
+public:
+    TileView(T* data, index_t rows, index_t cols, index_t ld,
+             std::size_t alignment, const char* what = "tile")
+        : data_(data), rows_(rows), cols_(cols), ld_(ld), what_(what)
+    {
+        if (rows < 0 || cols < 0 || ld < cols) {
+            std::ostringstream os;
+            os << what << ": invalid geometry rows=" << rows
+               << " cols=" << cols << " ld=" << ld;
+            checked::fail("bad-tile", os.str());
+        }
+        if (rows > 0 && cols > 0 && data == nullptr) {
+            checked::fail("null-tile", std::string(what) + ": null base");
+        }
+        if (alignment > 1 && !checked::is_aligned(data, alignment)) {
+            std::ostringstream os;
+            os << what << ": base " << static_cast<const void*>(data)
+               << " not aligned to " << alignment << " bytes";
+            checked::fail("misaligned", os.str());
+        }
+    }
+
+    [[nodiscard]] T* data() const { return data_; }
+    [[nodiscard]] index_t rows() const { return rows_; }
+    [[nodiscard]] index_t cols() const { return cols_; }
+    [[nodiscard]] index_t ld() const { return ld_; }
+
+    T& at(index_t r, index_t c) const
+    {
+        if (r < 0 || r >= rows_ || c < 0 || c >= cols_) {
+            std::ostringstream os;
+            os << what_ << ": element (" << r << ", " << c
+               << ") outside " << rows_ << " x " << cols_ << " tile";
+            checked::fail("out-of-bounds", os.str());
+        }
+        return data_[r * ld_ + c];
+    }
+
+private:
+    T* data_ = nullptr;
+    index_t rows_ = 0;
+    index_t cols_ = 0;
+    index_t ld_ = 0;
+    const char* what_ = "tile";
+};
+
+/// The span type hot-path code is written against: checked here, a raw
+/// pointer in release builds.
+template <typename T>
+using Span = CheckedSpan<T>;
+
+template <typename T>
+[[nodiscard]] inline Span<T> make_span(T* data, std::size_t size,
+                                       const char* what)
+{
+    return CheckedSpan<T>(data, size, what);
+}
+
+/// Checked sub-range of a span; compiles to `s + offset` in release.
+template <typename T>
+[[nodiscard]] inline Span<T> span_slice(const Span<T>& s, index_t offset,
+                                        index_t count)
+{
+    return s.subspan(offset, count);
+}
+
+/// Raw pointer of a span (for memcpy/memset bodies after a validating
+/// slice); identity in release.
+template <typename T>
+[[nodiscard]] inline T* span_data(const Span<T>& s)
+{
+    return s.data();
+}
+
+/// Trap unless `p` is aligned to `alignment` bytes; no-op in release.
+inline void require_aligned(const void* p, std::size_t alignment,
+                            const char* what)
+{
+    if (!checked::is_aligned(p, alignment)) {
+        std::ostringstream os;
+        os << what << ": pointer " << p << " not aligned to " << alignment
+           << " bytes";
+        checked::fail("misaligned", os.str());
+    }
+}
+
+/// Trap unless offset+count fits the stated capacity; no-op in release.
+inline void require_extent(index_t offset, index_t count,
+                           std::size_t capacity, const char* what)
+{
+    if (offset < 0 || count < 0
+        || static_cast<std::size_t>(offset) + static_cast<std::size_t>(count)
+            > capacity) {
+        std::ostringstream os;
+        os << what << ": range [" << offset << ", " << offset + count
+           << ") outside capacity " << capacity;
+        checked::fail("out-of-bounds", os.str());
+    }
+}
+
+#else  // !CAKE_CHECKED_ENABLED
+
+// ---------------------------------------------------------------------------
+// Release build: spans ARE raw pointers, every helper is an inline no-op.
+// CheckedSpan/TileView are intentionally not declared so no symbol of
+// either can appear in release objects.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+using Span = T*;
+
+template <typename T>
+[[nodiscard]] constexpr T* make_span(T* data, std::size_t /*size*/,
+                                     const char* /*what*/)
+{
+    return data;
+}
+
+template <typename T>
+[[nodiscard]] constexpr T* span_slice(T* s, index_t offset,
+                                      index_t /*count*/)
+{
+    return s + offset;
+}
+
+template <typename T>
+[[nodiscard]] constexpr T* span_data(T* s)
+{
+    return s;
+}
+
+constexpr void require_aligned(const void* /*p*/, std::size_t /*alignment*/,
+                               const char* /*what*/)
+{
+}
+
+constexpr void require_extent(index_t /*offset*/, index_t /*count*/,
+                              std::size_t /*capacity*/, const char* /*what*/)
+{
+}
+
+#endif  // CAKE_CHECKED_ENABLED
+
+}  // namespace cake

@@ -16,8 +16,10 @@ BatchStrategy resolve_strategy(const std::vector<GemmBatchItem<T>>& items,
     if (items.size() < 2 || pool_size < 2) return BatchStrategy::kSequential;
     double max_flops = 0;
     for (const auto& item : items) {
-        max_flops = std::max(
-            max_flops, 2.0 * static_cast<double>(item.m) * item.n * item.k);
+        max_flops = std::max(max_flops,
+                             2.0 * static_cast<double>(item.m)
+                                 * static_cast<double>(item.n)
+                                 * static_cast<double>(item.k));
     }
     return max_flops < kBatchSmallProblemFlops
         ? BatchStrategy::kParallelProblems

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/checked.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "pack/pack.hpp"
@@ -106,6 +107,7 @@ PackedB<T> CakeGemmT<T>::pack_weights(const T* b, index_t ldb, index_t k,
             }
         }
     });
+    packed.verify_canaries();
     return packed;
 }
 
@@ -214,6 +216,17 @@ void CakeGemmT<T>::multiply_impl(const T* a, index_t lda, const T* b,
         run_serial(call);
     }
 
+    // CAKE_CHECKED: the multiply is flushed — every packed surface's
+    // front/back canaries must still be intact, or some strided write ran
+    // outside its panel. No-ops in release builds.
+    pack_a_[0].verify_canaries("packed-A buffer[0]");
+    pack_a_[1].verify_canaries("packed-A buffer[1]");
+    pack_b_[0].verify_canaries("packed-B buffer[0]");
+    pack_b_[1].verify_canaries("packed-B buffer[1]");
+    c_block_.verify_canaries("local C surface");
+    for (const auto& s : scratch_) s.verify_canaries("kernel scratch tile");
+    if (prepacked != nullptr) prepacked->verify_canaries();
+
     stats_.total_seconds = total_timer.seconds();
     if (!stats_.pipelined) {
         stats_.stall_seconds =
@@ -263,8 +276,15 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
         // First visit applies the caller's beta; revisits (spilled partial
         // surfaces under ablation schedules) must accumulate.
         const T beta_eff = flushed[slot] != 0 ? T(1) : beta_s;
-        T* dst = c + coord.m * params.m_blk * ldc + coord.n * params.n_blk;
+        const index_t dst0 =
+            coord.m * params.m_blk * ldc + coord.n * params.n_blk;
+        require_extent(dst0, (mi - 1) * ldc + ni,
+                       static_cast<std::size_t>((m - 1) * ldc + n),
+                       "user C surface flush");
+        T* dst = c + dst0;
         pool_.parallel_for(0, mi, p, [&](index_t r0, index_t r1) {
+            require_extent(r0 * ni, (r1 - r0) * ni, c_block_.size(),
+                           "local C flush rows");
             unpack_c_block_scaled(c_block_.data() + r0 * ni, r1 - r0, ni,
                                   dst + r0 * ldc, ldc, alpha_s, beta_eff);
         });
@@ -369,9 +389,19 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
         // (band == mc whenever mi == p*mc). ---
         Timer compute_timer;
         const MicroKernelT<T> kernel = kernel_;
-        const T* pa = pack_a_[0].data();
-        const T* pb = pb_block;
-        T* cb = c_block_.data();
+        // Span the packed panels and the local C surface: in CAKE_CHECKED
+        // builds every sliver slice below is validated against the panel
+        // capacity; in release builds these are the raw pointers.
+        const T* pb_raw = pb_block;
+        const std::size_t pb_cap = prepacked != nullptr
+            ? prepacked->panel_stride()
+            : pack_b_[0].size();
+        Span<const T> pa =
+            make_span(static_cast<const T*>(pack_a_[0].data()),
+                      pack_a_[0].size(), "packed-A panel");
+        Span<const T> pb = make_span(pb_raw, pb_cap, "packed-B panel");
+        Span<T> cb =
+            make_span(c_block_.data(), c_block_.size(), "local C surface");
         const index_t band =
             round_up(ceil_div(mi, static_cast<index_t>(p)), kernel_.mr);
         pool_.run(p, [&, kernel, pa, pb, cb, mi, ni, ki, band](int tid) {
@@ -380,13 +410,18 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
             T* scratch = scratch_[static_cast<std::size_t>(tid)].data();
             for (index_t r = r_begin; r < r_end; r += kernel.mr) {
                 const index_t mrows = std::min(kernel.mr, r_end - r);
-                const T* a_sliver = pa + (r / kernel.mr) * kernel.mr * ki;
+                Span<const T> a_sliver = span_slice(
+                    pa, (r / kernel.mr) * kernel.mr * ki, kernel.mr * ki);
                 for (index_t j = 0; j < ni; j += kernel.nr) {
                     const index_t ncols = std::min(kernel.nr, ni - j);
-                    const T* b_sliver =
-                        pb + (j / kernel.nr) * kernel.nr * ki;
-                    run_microkernel_tile(kernel, ki, a_sliver, b_sliver,
-                                         cb + r * ni + j, ni, mrows, ncols,
+                    Span<const T> b_sliver = span_slice(
+                        pb, (j / kernel.nr) * kernel.nr * ki,
+                        kernel.nr * ki);
+                    Span<T> c_tile = span_slice(
+                        cb, r * ni + j, (mrows - 1) * ni + ncols);
+                    run_microkernel_tile(kernel, ki, span_data(a_sliver),
+                                         span_data(b_sliver),
+                                         span_data(c_tile), ni, mrows, ncols,
                                          /*accumulate=*/true, scratch);
                 }
             }
@@ -543,6 +578,15 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
     T* const cb = c_block_.data();
     T* const pa_slots[2] = {pack_a_[0].data(), pack_a_[1].data()};
     T* const pb_slots[2] = {pack_b_[0].data(), pack_b_[1].data()};
+    // Capacities for the CAKE_CHECKED extent checks in the work items
+    // below (both halves of each double buffer are allocated equal).
+    const std::size_t pa_cap = pack_a_[0].size();
+    const std::size_t pb_cap = use_prepacked
+        ? call.prepacked->panel_stride()
+        : pack_b_[0].size();
+    const std::size_t cb_cap = c_block_.size();
+    const std::size_t user_c_cap =
+        static_cast<std::size_t>((call.m - 1) * call.ldc + call.n);
 
     // Work-item granularity. Compute items stay one mr band each — that is
     // the load-balancing unit that keeps every core busy on edge blocks.
@@ -604,6 +648,8 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
             for (index_t s = item * kPackAGroup; s < s_end; ++s) {
                 const index_t r0 = s * mr;
                 const index_t rows = std::min(mr, st.mi - r0);
+                require_extent(r0 * st.ki, mr * st.ki, pa_cap,
+                               "pipelined packed-A sliver");
                 T* dst = pa_slots[st.a_slot] + r0 * st.ki;
                 if (call.ta) {
                     pack_a_panel_transposed(call.a + st.k0 * call.lda
@@ -622,6 +668,8 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
             for (index_t s = item * kPackBGroup; s < s_end; ++s) {
                 const index_t c0 = s * nr;
                 const index_t cols = std::min(nr, st.ni - c0);
+                require_extent(c0 * st.ki, nr * st.ki, pb_cap,
+                               "pipelined packed-B sliver");
                 T* dst = pb_slots[st.b_slot] + c0 * st.ki;
                 if (call.tb) {
                     pack_b_panel_transposed(call.b + (st.n0 + c0) * call.ldb
@@ -637,10 +685,16 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
         auto compute_item = [&](const Step& st, const T* pb, index_t band) {
             const index_t r = band * mr;
             const index_t mrows = std::min(mr, st.mi - r);
+            require_extent(r * st.ki, mr * st.ki, pa_cap,
+                           "pipelined compute A sliver");
             const T* a_sliver = pa_slots[st.a_slot] + r * st.ki;
             for (index_t j = 0; j < st.ni; j += nr) {
                 const index_t ncols = std::min(nr, st.ni - j);
+                require_extent((j / nr) * nr * st.ki, nr * st.ki, pb_cap,
+                               "pipelined compute B sliver");
                 const T* b_sliver = pb + (j / nr) * nr * st.ki;
+                require_extent(r * st.ni + j, (mrows - 1) * st.ni + ncols,
+                               cb_cap, "pipelined compute C tile");
                 run_microkernel_tile(kernel, st.ki, a_sliver, b_sliver,
                                      cb + r * st.ni + j, st.ni, mrows, ncols,
                                      /*accumulate=*/true, scratch);
@@ -651,6 +705,11 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
             const T beta_eff = st.flush_revisit ? T(1) : call.beta;
             const index_t r0 = item * kRowGroup;
             const index_t r1 = std::min(st.flush_mi, r0 + kRowGroup);
+            require_extent(r0 * st.flush_ni, (r1 - r0) * st.flush_ni,
+                           cb_cap, "pipelined flush source rows");
+            require_extent(st.flush_dst + r0 * call.ldc,
+                           (r1 - r0 - 1) * call.ldc + st.flush_ni,
+                           user_c_cap, "pipelined flush into user C");
             unpack_c_block_scaled(cb + r0 * st.flush_ni, r1 - r0,
                                   st.flush_ni,
                                   call.c + st.flush_dst + r0 * call.ldc,
@@ -661,6 +720,8 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
         auto zero_item = [&](const Step& st, index_t item) {
             const index_t r0 = item * kRowGroup;
             const index_t r1 = std::min(st.mi, r0 + kRowGroup);
+            require_extent(r0 * st.ni, (r1 - r0) * st.ni, cb_cap,
+                           "pipelined zero rows");
             std::memset(cb + r0 * st.ni, 0,
                         static_cast<std::size_t>((r1 - r0) * st.ni)
                             * sizeof(T));

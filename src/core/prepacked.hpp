@@ -30,8 +30,20 @@ public:
     /// Packed panel for grid block (k_idx, n_idx).
     [[nodiscard]] const T* panel(index_t k_idx, index_t n_idx) const
     {
-        return data_.data()
-            + static_cast<std::size_t>(k_idx * nb_ + n_idx) * stride_;
+        const index_t slot = k_idx * nb_ + n_idx;
+        require_extent(slot * static_cast<index_t>(stride_),
+                       static_cast<index_t>(stride_), data_.size(),
+                       "pre-packed B panel");
+        return data_.data() + static_cast<std::size_t>(slot) * stride_;
+    }
+
+    /// Elements per panel slot (max panel size).
+    [[nodiscard]] std::size_t panel_stride() const { return stride_; }
+
+    /// CAKE_CHECKED: trap if the packed storage's guards were overwritten.
+    void verify_canaries() const
+    {
+        data_.verify_canaries("pre-packed B storage");
     }
 
     [[nodiscard]] bool empty() const { return data_.empty(); }

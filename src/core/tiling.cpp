@@ -28,7 +28,8 @@ const CacheLevel& private_cache(const MachineSpec& machine)
 double tile_seconds(const MachineSpec& machine, index_t mr, index_t nr,
                     index_t kc)
 {
-    const double flops = 2.0 * static_cast<double>(mr) * nr * kc;
+    const double flops = 2.0 * static_cast<double>(mr)
+        * static_cast<double>(nr) * static_cast<double>(kc);
     return flops / (machine.core_gflops * 1e9);
 }
 
@@ -40,14 +41,22 @@ double max_alpha_for_llc(const MachineSpec& machine, int p, index_t mc,
     const double s_floats = llc_fraction
         * static_cast<double>(machine.llc_bytes())
         / static_cast<double>(elem_bytes);
-    const double a = static_cast<double>(p) * mc * kc;        // A surface
-    const double c_per_alpha = static_cast<double>(p) * p * mc * mc;
-    const double b_per_alpha = static_cast<double>(p) * mc * kc;
+    const double dp = static_cast<double>(p);
+    const double dmc = static_cast<double>(mc);
+    const double dkc = static_cast<double>(kc);
+    const double a = dp * dmc * dkc;                          // A surface
+    const double c_per_alpha = dp * dp * dmc * dmc;
+    const double b_per_alpha = dp * dmc * dkc;
     // alpha*(C' + 2B') + 2A <= S  =>  alpha <= (S - 2A) / (C' + 2B')
     return (s_floats - 2.0 * a) / (c_per_alpha + 2.0 * b_per_alpha);
 }
 
 }  // namespace
+
+std::size_t private_cache_bytes(const MachineSpec& machine)
+{
+    return private_cache(machine).size_bytes;
+}
 
 std::size_t CbBlockParams::surface_bytes() const
 {
@@ -67,9 +76,11 @@ std::size_t CbBlockParams::lru_working_set_bytes() const
 
 double CbBlockParams::arithmetic_intensity() const
 {
-    const double macs = static_cast<double>(m_blk) * n_blk * k_blk;
+    const double macs = static_cast<double>(m_blk)
+        * static_cast<double>(n_blk) * static_cast<double>(k_blk);
     const double io_bytes =
-        (static_cast<double>(m_blk) * k_blk + static_cast<double>(k_blk) * n_blk)
+        (static_cast<double>(m_blk) * static_cast<double>(k_blk)
+         + static_cast<double>(k_blk) * static_cast<double>(n_blk))
         * static_cast<double>(elem_bytes);
     return 2.0 * macs / io_bytes;
 }
@@ -82,8 +93,8 @@ double bandwidth_ratio(const MachineSpec& machine, int p, index_t mr,
     //   IO/T -> elem_bytes/2 * core_gflops * 1e9 / mc bytes/s.
     const double t_tile = tile_seconds(machine, mr, nr, kc);
     const double bw_floor = static_cast<double>(elem_bytes)
-        * static_cast<double>(kc) * mr * nr
-        / (static_cast<double>(mc) * t_tile);
+        * static_cast<double>(kc) * static_cast<double>(mr)
+        * static_cast<double>(nr) / (static_cast<double>(mc) * t_tile);
     return machine.dram_bw_gbs * 1e9 / bw_floor;
 }
 
@@ -91,8 +102,9 @@ double required_dram_bw_gbs(const MachineSpec& machine,
                             const CbBlockParams& params)
 {
     const double io_bytes =
-        (static_cast<double>(params.m_blk) * params.k_blk
-         + static_cast<double>(params.k_blk) * params.n_blk)
+        (static_cast<double>(params.m_blk) * static_cast<double>(params.k_blk)
+         + static_cast<double>(params.k_blk)
+             * static_cast<double>(params.n_blk))
         * static_cast<double>(params.elem_bytes);
     const double tiles_per_core = static_cast<double>(
         ceil_div(params.mc, params.mr) * ceil_div(params.n_blk, params.nr));

@@ -82,4 +82,10 @@ double bandwidth_ratio(const MachineSpec& machine, int p, index_t mr,
 double required_dram_bw_gbs(const MachineSpec& machine,
                             const CbBlockParams& params);
 
+/// Size in bytes of the cache level the solver treats as each core's
+/// private memory — the deepest per-core level below the LLC, where the
+/// square mc x kc A sub-block must reside (§4.2). Exposed so the invariant
+/// auditor (src/core/audit) can re-derive the residency inequality.
+std::size_t private_cache_bytes(const MachineSpec& machine);
+
 }  // namespace cake

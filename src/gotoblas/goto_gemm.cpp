@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/checked.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "pack/pack.hpp"
@@ -131,26 +132,38 @@ void GotoGemmT<T>::multiply(const T* a, index_t lda, const T* b, index_t ldb,
             // private-L2 stand-in and runs the macro-kernel, streaming
             // partial C tiles directly to user (external) memory.
             Timer compute_timer;
-            const T* pb = pack_b_.data();
+            // Spanned panels: CAKE_CHECKED builds validate every sliver
+            // slice against the pack-buffer capacities; release builds
+            // compile these to the raw pointers.
+            Span<const T> pb =
+                make_span(static_cast<const T*>(pack_b_.data()),
+                          pack_b_.size(), "GOTO packed-B panel");
             pool_.run(p, [&, kernel, pb, acc](int tid) {
-                T* pa = pack_a_[static_cast<std::size_t>(tid)].data();
+                AlignedBuffer<T>& pa_buf =
+                    pack_a_[static_cast<std::size_t>(tid)];
+                Span<const T> pa =
+                    make_span(static_cast<const T*>(pa_buf.data()),
+                              pa_buf.size(), "GOTO packed-A panel");
                 T* scratch = scratch_[static_cast<std::size_t>(tid)].data();
                 for (index_t ic = tid * mc; ic < m;
                      ic += static_cast<index_t>(p) * mc) {
                     const index_t mcur = std::min(mc, m - ic);
                     pack_a_panel(a + ic * lda + pc, lda, mcur, kcur,
-                                 kernel.mr, pa);
+                                 kernel.mr, pa_buf.data());
                     for (index_t ir = 0; ir < mcur; ir += kernel.mr) {
                         const index_t mrows = std::min(kernel.mr, mcur - ir);
-                        const T* a_sliver =
-                            pa + (ir / kernel.mr) * kernel.mr * kcur;
+                        Span<const T> a_sliver = span_slice(
+                            pa, (ir / kernel.mr) * kernel.mr * kcur,
+                            kernel.mr * kcur);
                         for (index_t jr = 0; jr < ncur; jr += kernel.nr) {
                             const index_t ncols =
                                 std::min(kernel.nr, ncur - jr);
-                            const T* b_sliver =
-                                pb + (jr / kernel.nr) * kernel.nr * kcur;
+                            Span<const T> b_sliver = span_slice(
+                                pb, (jr / kernel.nr) * kernel.nr * kcur,
+                                kernel.nr * kcur);
                             run_microkernel_tile(
-                                kernel, kcur, a_sliver, b_sliver,
+                                kernel, kcur, span_data(a_sliver),
+                                span_data(b_sliver),
                                 c + (ic + ir) * ldc + jc + jr, ldc, mrows,
                                 ncols, acc, scratch);
                         }
@@ -173,6 +186,15 @@ void GotoGemmT<T>::multiply(const T* a, index_t lda, const T* b, index_t ldb,
             stats_.dram_write_bytes += c_bytes;  // partial results stream out
             if (acc) stats_.dram_read_bytes += c_bytes;  // ... and back in
         }
+    }
+
+    // CAKE_CHECKED: all panels flushed — verify no pack overran a guard.
+    pack_b_.verify_canaries("GOTO packed-B buffer");
+    for (const auto& buf : pack_a_) {
+        buf.verify_canaries("GOTO packed-A buffer");
+    }
+    for (const auto& s : scratch_) {
+        s.verify_canaries("GOTO kernel scratch tile");
     }
 
     stats_.total_seconds = total_timer.seconds();

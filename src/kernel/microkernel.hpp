@@ -11,6 +11,7 @@
 // exist for float (sgemm) and double (dgemm) at every ISA level.
 #pragma once
 
+#include "common/checked.hpp"
 #include "common/types.hpp"
 #include "kernel/cpu_features.hpp"
 
@@ -59,6 +60,30 @@ void run_microkernel_tile(const MicroKernelT<T>& k, index_t kc, const T* a,
                           const T* b, T* c, index_t ldc, index_t m, index_t n,
                           bool accumulate, T* scratch)
 {
+#if CAKE_CHECKED_ENABLED
+    // Kernel dispatch boundary: validate the operand contract the SIMD
+    // kernels silently rely on before handing them raw pointers. The
+    // packed a/b slivers only guarantee element alignment (slivers start
+    // at mr*kc / nr*kc element offsets); the scratch tile must carry full
+    // vector-store alignment because edge tiles are computed there with
+    // aligned stores.
+    if (m > 0 && n > 0) {
+        if (a == nullptr || b == nullptr) {
+            checked::fail("null-operand", "micro-kernel a/b panel is null");
+        }
+        require_aligned(a, alignof(T), "micro-kernel packed-A sliver");
+        require_aligned(b, alignof(T), "micro-kernel packed-B sliver");
+        require_aligned(scratch, kPanelAlignment,
+                        "micro-kernel scratch tile");
+        // The C tile is an m x n window of a row-major buffer with leading
+        // dimension ldc; TileView traps on inconsistent geometry
+        // (ld < cols, null base, misaligned base).
+        (void)TileView<T>(c, m, n, ldc, alignof(T), "micro-kernel C tile");
+        if (kc <= 0) {
+            checked::fail("bad-tile", "micro-kernel kc must be positive");
+        }
+    }
+#endif
     if (m == k.mr && n == k.nr) {
         k.fn(kc, a, b, c, ldc, accumulate);
         return;

@@ -4,9 +4,29 @@
 #include <cstdint>
 #include <cstring>
 
+#include "common/checked.hpp"
 #include "common/error.hpp"
 
+// Every routine below is written against cake::Span: in CAKE_CHECKED
+// builds each sliver/column slice and element store is bounds-checked
+// against the packed-panel capacity contract (and source reads against the
+// extent the lda/ldb contract implies); in release builds Span<T> is T*
+// and the code compiles to exactly the raw pointer arithmetic it always
+// was.
+
 namespace cake {
+namespace {
+
+/// Extent in elements of a row-major block argument whose accesses reach
+/// at most index (rows - 1) * ld + cols - 1 (zero when the block is empty).
+constexpr std::size_t strided_extent(index_t rows, index_t cols, index_t ld)
+{
+    return rows > 0 && cols > 0
+        ? static_cast<std::size_t>((rows - 1) * ld + cols)
+        : 0;
+}
+
+}  // namespace
 
 template <typename T>
 void pack_a_panel(const T* a, index_t lda, index_t m, index_t k, index_t mr,
@@ -14,13 +34,18 @@ void pack_a_panel(const T* a, index_t lda, index_t m, index_t k, index_t mr,
 {
     CAKE_CHECK(m >= 0 && k >= 0 && mr > 0 && lda >= k);
     const index_t slivers = ceil_div(m, mr);
+    Span<T> out_sp = make_span(
+        out, static_cast<std::size_t>(packed_a_size(m, k, mr)),
+        "packed-A panel");
+    Span<const T> a_sp = make_span(a, strided_extent(m, k, lda), "A block");
     for (index_t s = 0; s < slivers; ++s) {
-        T* dst = out + s * mr * k;
+        Span<T> dst = span_slice(out_sp, s * mr * k, mr * k);
         const index_t row0 = s * mr;
         const index_t live = std::min(mr, m - row0);
         for (index_t p = 0; p < k; ++p) {
-            T* col = dst + p * mr;
-            const T* src = a + row0 * lda + p;
+            Span<T> col = span_slice(dst, p * mr, mr);
+            Span<const T> src = span_slice(
+                a_sp, row0 * lda + p, (live - 1) * lda + 1);
             index_t i = 0;
             for (; i < live; ++i) col[i] = src[i * lda];
             for (; i < mr; ++i) col[i] = T(0);
@@ -37,15 +62,21 @@ void pack_a_panel_transposed(const T* a, index_t lda, index_t m, index_t k,
     // transposed pack is actually the cheap direction for A.
     CAKE_CHECK(m >= 0 && k >= 0 && mr > 0 && lda >= m);
     const index_t slivers = ceil_div(m, mr);
+    Span<T> out_sp = make_span(
+        out, static_cast<std::size_t>(packed_a_size(m, k, mr)),
+        "packed-A panel (transposed source)");
+    Span<const T> a_sp =
+        make_span(a, strided_extent(k, m, lda), "A^T block");
     for (index_t s = 0; s < slivers; ++s) {
-        T* dst = out + s * mr * k;
+        Span<T> dst = span_slice(out_sp, s * mr * k, mr * k);
         const index_t row0 = s * mr;
         const index_t live = std::min(mr, m - row0);
         for (index_t p = 0; p < k; ++p) {
-            T* col = dst + p * mr;
-            const T* src = a + p * lda + row0;
-            std::memcpy(col, src, static_cast<std::size_t>(live) * sizeof(T));
-            std::fill(col + live, col + mr, T(0));
+            Span<T> col = span_slice(dst, p * mr, mr);
+            Span<const T> src = span_slice(a_sp, p * lda + row0, live);
+            std::memcpy(span_data(col), span_data(src),
+                        static_cast<std::size_t>(live) * sizeof(T));
+            std::fill(span_data(col) + live, span_data(col) + mr, T(0));
         }
     }
 }
@@ -56,20 +87,24 @@ void pack_b_panel(const T* b, index_t ldb, index_t k, index_t n, index_t nr,
 {
     CAKE_CHECK(k >= 0 && n >= 0 && nr > 0 && ldb >= n);
     const index_t slivers = ceil_div(n, nr);
+    Span<T> out_sp = make_span(
+        out, static_cast<std::size_t>(packed_b_size(k, n, nr)),
+        "packed-B panel");
+    Span<const T> b_sp = make_span(b, strided_extent(k, n, ldb), "B block");
     for (index_t t = 0; t < slivers; ++t) {
-        T* dst = out + t * nr * k;
+        Span<T> dst = span_slice(out_sp, t * nr * k, nr * k);
         const index_t col0 = t * nr;
         const index_t live = std::min(nr, n - col0);
         for (index_t p = 0; p < k; ++p) {
-            T* row = dst + p * nr;
-            const T* src = b + p * ldb + col0;
+            Span<T> row = span_slice(dst, p * nr, nr);
+            Span<const T> src = span_slice(b_sp, p * ldb + col0, live);
             if (live == nr) {
-                std::memcpy(row, src,
+                std::memcpy(span_data(row), span_data(src),
                             static_cast<std::size_t>(nr) * sizeof(T));
             } else {
-                std::memcpy(row, src,
+                std::memcpy(span_data(row), span_data(src),
                             static_cast<std::size_t>(live) * sizeof(T));
-                std::fill(row + live, row + nr, T(0));
+                std::fill(span_data(row) + live, span_data(row) + nr, T(0));
             }
         }
     }
@@ -83,13 +118,19 @@ void pack_b_panel_transposed(const T* b, index_t ldb, index_t k, index_t n,
     // B block reads b[j * ldb + p] — strided in j, the expensive direction.
     CAKE_CHECK(k >= 0 && n >= 0 && nr > 0 && ldb >= k);
     const index_t slivers = ceil_div(n, nr);
+    Span<T> out_sp = make_span(
+        out, static_cast<std::size_t>(packed_b_size(k, n, nr)),
+        "packed-B panel (transposed source)");
+    Span<const T> b_sp =
+        make_span(b, strided_extent(n, k, ldb), "B^T block");
     for (index_t t = 0; t < slivers; ++t) {
-        T* dst = out + t * nr * k;
+        Span<T> dst = span_slice(out_sp, t * nr * k, nr * k);
         const index_t col0 = t * nr;
         const index_t live = std::min(nr, n - col0);
         for (index_t p = 0; p < k; ++p) {
-            T* row = dst + p * nr;
-            const T* src = b + col0 * ldb + p;
+            Span<T> row = span_slice(dst, p * nr, nr);
+            Span<const T> src = span_slice(
+                b_sp, col0 * ldb + p, live > 0 ? (live - 1) * ldb + 1 : 0);
             index_t j = 0;
             for (; j < live; ++j) row[j] = src[j * ldb];
             for (; j < nr; ++j) row[j] = T(0);
@@ -102,15 +143,21 @@ void unpack_c_block(const T* cbuf, index_t m, index_t n, T* c, index_t ldc,
                     bool accumulate)
 {
     CAKE_CHECK(m >= 0 && n >= 0 && ldc >= n);
+    Span<const T> src_sp = make_span(
+        cbuf, static_cast<std::size_t>(m) * static_cast<std::size_t>(n),
+        "C block buffer");
+    Span<T> dst_sp = make_span(c, strided_extent(m, n, ldc), "user C");
     if (accumulate) {
         for (index_t i = 0; i < m; ++i) {
-            const T* src = cbuf + i * n;
-            T* dst = c + i * ldc;
+            Span<const T> src = span_slice(src_sp, i * n, n);
+            Span<T> dst = span_slice(dst_sp, i * ldc, n);
             for (index_t j = 0; j < n; ++j) dst[j] += src[j];
         }
     } else {
         for (index_t i = 0; i < m; ++i) {
-            std::memcpy(c + i * ldc, cbuf + i * n,
+            Span<const T> src = span_slice(src_sp, i * n, n);
+            Span<T> dst = span_slice(dst_sp, i * ldc, n);
+            std::memcpy(span_data(dst), span_data(src),
                         static_cast<std::size_t>(n) * sizeof(T));
         }
     }
@@ -121,17 +168,21 @@ void unpack_c_block_scaled(const T* cbuf, index_t m, index_t n, T* c,
                            index_t ldc, T alpha, T beta)
 {
     CAKE_CHECK(m >= 0 && n >= 0 && ldc >= n);
+    Span<const T> src_sp = make_span(
+        cbuf, static_cast<std::size_t>(m) * static_cast<std::size_t>(n),
+        "C block buffer");
+    Span<T> dst_sp = make_span(c, strided_extent(m, n, ldc), "user C");
     if (beta == T(0)) {
         // Overwrite: never read c (it may hold garbage or NaN).
         for (index_t i = 0; i < m; ++i) {
-            const T* src = cbuf + i * n;
-            T* dst = c + i * ldc;
+            Span<const T> src = span_slice(src_sp, i * n, n);
+            Span<T> dst = span_slice(dst_sp, i * ldc, n);
             for (index_t j = 0; j < n; ++j) dst[j] = alpha * src[j];
         }
     } else {
         for (index_t i = 0; i < m; ++i) {
-            const T* src = cbuf + i * n;
-            T* dst = c + i * ldc;
+            Span<const T> src = span_slice(src_sp, i * n, n);
+            Span<T> dst = span_slice(dst_sp, i * ldc, n);
             for (index_t j = 0; j < n; ++j)
                 dst[j] = alpha * src[j] + beta * dst[j];
         }
@@ -143,9 +194,12 @@ T packed_a_at(const T* packed, index_t m, index_t k, index_t mr, index_t i,
               index_t p)
 {
     CAKE_CHECK(i >= 0 && p >= 0 && p < k && i < round_up(m, mr));
+    Span<const T> sp = make_span(
+        packed, static_cast<std::size_t>(packed_a_size(m, k, mr)),
+        "packed-A panel");
     const index_t s = i / mr;
     const index_t ii = i % mr;
-    return packed[s * mr * k + p * mr + ii];
+    return sp[s * mr * k + p * mr + ii];
 }
 
 template <typename T>
@@ -153,9 +207,12 @@ T packed_b_at(const T* packed, index_t k, index_t n, index_t nr, index_t p,
               index_t j)
 {
     CAKE_CHECK(p >= 0 && p < k && j >= 0 && j < round_up(n, nr));
+    Span<const T> sp = make_span(
+        packed, static_cast<std::size_t>(packed_b_size(k, n, nr)),
+        "packed-B panel");
     const index_t t = j / nr;
     const index_t jj = j % nr;
-    return packed[t * nr * k + p * nr + jj];
+    return sp[t * nr * k + p * nr + jj];
 }
 
 template void pack_a_panel<float>(const float*, index_t, index_t, index_t,

@@ -1,0 +1,193 @@
+// cake_audit: static invariant checker for CAKE schedule/tiling plans.
+//
+// Re-derives the paper's cache-capacity and bandwidth inequalities
+// (§4.2 residency, §4.3 LRU rule, Eq. 2 alpha balance) plus the
+// structural invariants the runtime relies on (pack-buffer capacity,
+// schedule coverage) for a given machine x core-count x kernel x shape
+// plan — without allocating panels or running a kernel. Exit code 0 iff
+// every audited plan is clean; each violation prints one line with a
+// stable code and both sides of the violated inequality.
+//
+// Usage:
+//   cake_audit --machine intel --shape 2000x2000x2000
+//   cake_audit --machine arm --p 4 --mr 6 --nr 16 --f64
+//   cake_audit --machine intel --mc 600 --shape 2000x2000x2000   (corrupt)
+//   cake_audit --sweep            (all Table-2 presets x shape classes)
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/audit.hpp"
+#include "machine/machine.hpp"
+
+namespace {
+
+using cake::index_t;
+
+struct Options {
+    std::string machine = "intel";
+    int p = 0;  // 0 = all preset cores
+    index_t mr = 6;
+    index_t nr = 16;
+    cake::GemmShape shape{2000, 2000, 2000};
+    bool f64 = false;
+    std::optional<index_t> mc;
+    std::optional<double> alpha;
+    bool sweep = false;
+};
+
+[[noreturn]] void usage_error(const std::string& msg)
+{
+    std::cerr << "cake_audit: " << msg << "\n"
+              << "usage: cake_audit [--machine intel|amd|arm|host] [--p N]\n"
+              << "                  [--mr N] [--nr N] [--shape MxNxK]\n"
+              << "                  [--f64] [--mc N] [--alpha X] [--sweep]\n";
+    std::exit(2);
+}
+
+index_t parse_index(const std::string& value, const char* flag)
+{
+    try {
+        std::size_t pos = 0;
+        const long long v = std::stoll(value, &pos);
+        if (pos != value.size() || v < 1) throw std::invalid_argument(value);
+        return static_cast<index_t>(v);
+    } catch (const std::exception&) {
+        usage_error(std::string(flag) + " expects a positive integer, got '"
+                    + value + "'");
+    }
+}
+
+cake::GemmShape parse_shape(const std::string& value)
+{
+    const std::size_t x1 = value.find('x');
+    const std::size_t x2 = value.find('x', x1 + 1);
+    if (x1 == std::string::npos || x2 == std::string::npos) {
+        usage_error("--shape expects MxNxK, got '" + value + "'");
+    }
+    cake::GemmShape s;
+    s.m = parse_index(value.substr(0, x1), "--shape");
+    s.n = parse_index(value.substr(x1 + 1, x2 - x1 - 1), "--shape");
+    s.k = parse_index(value.substr(x2 + 1), "--shape");
+    return s;
+}
+
+Options parse_args(int argc, char** argv)
+{
+    Options opt;
+    auto next = [&](int& i, const char* flag) -> std::string {
+        if (i + 1 >= argc) {
+            usage_error(std::string(flag) + " requires a value");
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--machine") {
+            opt.machine = next(i, "--machine");
+        } else if (arg == "--p") {
+            opt.p = static_cast<int>(parse_index(next(i, "--p"), "--p"));
+        } else if (arg == "--mr") {
+            opt.mr = parse_index(next(i, "--mr"), "--mr");
+        } else if (arg == "--nr") {
+            opt.nr = parse_index(next(i, "--nr"), "--nr");
+        } else if (arg == "--shape") {
+            opt.shape = parse_shape(next(i, "--shape"));
+        } else if (arg == "--f64") {
+            opt.f64 = true;
+        } else if (arg == "--mc") {
+            opt.mc = parse_index(next(i, "--mc"), "--mc");
+        } else if (arg == "--alpha") {
+            opt.alpha = std::stod(next(i, "--alpha"));
+        } else if (arg == "--sweep") {
+            opt.sweep = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage_error("help requested");
+        } else {
+            usage_error("unknown argument '" + arg + "'");
+        }
+    }
+    return opt;
+}
+
+/// Audit one plan; print PASS/FAIL plus per-issue diagnostics.
+bool audit_one(const cake::MachineSpec& machine, int p, index_t mr,
+               index_t nr, const cake::GemmShape& shape,
+               const cake::TilingOptions& topts)
+{
+    const cake::AuditReport report =
+        cake::audit_cb_plan(machine, p, mr, nr, shape, topts);
+    std::cout << (report.ok() ? "PASS" : "FAIL") << "  " << machine.name
+              << "  p=" << p << "  " << mr << "x" << nr << "  "
+              << (topts.elem_bytes == 8 ? "f64" : "f32") << "  " << shape.m
+              << "x" << shape.n << "x" << shape.k;
+    if (report.solver_ok) {
+        std::cout << "  block=" << report.params.m_blk << "x"
+                  << report.params.n_blk << "x" << report.params.k_blk
+                  << " (mc=" << report.params.mc
+                  << ", alpha=" << report.params.alpha << ")"
+                  << "  grid=" << report.grid_mb << "x" << report.grid_nb
+                  << "x" << report.grid_kb;
+    }
+    std::cout << "\n";
+    for (const cake::AuditIssue& issue : report.issues) {
+        std::cout << "  [" << issue.code << "] " << issue.message << "\n";
+    }
+    return report.ok();
+}
+
+/// Audit all Table-2 presets across the shape classes the paper evaluates
+/// (square, K-skewed, N-panel) in both precisions. The kernel shapes are
+/// the repo's AVX2 register tiles; fixed (not host-dispatched) so the
+/// sweep is deterministic in CI.
+bool run_sweep()
+{
+    const std::vector<cake::GemmShape> shapes = {
+        {2000, 2000, 2000},  // square (Fig. 10 protocol)
+        {8000, 256, 2048},   // M-heavy / narrow-N skewed
+        {3000, 3000, 96},    // shallow-K panel (DNN-style)
+    };
+    bool all_ok = true;
+    for (const cake::MachineSpec& machine : cake::table2_machines()) {
+        for (const bool f64 : {false, true}) {
+            cake::TilingOptions topts;
+            topts.elem_bytes = f64 ? 8 : 4;
+            const index_t mr = 6;
+            const index_t nr = f64 ? 8 : 16;
+            for (const cake::GemmShape& shape : shapes) {
+                all_ok &= audit_one(machine, machine.cores, mr, nr, shape,
+                                    topts);
+            }
+        }
+    }
+    return all_ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    const Options opt = parse_args(argc, argv);
+
+    bool ok = false;
+    try {
+        if (opt.sweep) {
+            ok = run_sweep();
+        } else {
+            const cake::MachineSpec machine =
+                cake::machine_by_name(opt.machine);
+            cake::TilingOptions topts;
+            topts.elem_bytes = opt.f64 ? 8 : 4;
+            topts.mc = opt.mc;
+            topts.alpha = opt.alpha;
+            const int p = opt.p > 0 ? opt.p : machine.cores;
+            ok = audit_one(machine, p, opt.mr, opt.nr, opt.shape, topts);
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "cake_audit: " << e.what() << "\n";
+        return 2;
+    }
+    return ok ? 0 : 1;
+}

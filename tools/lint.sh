@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Repo lint: ban the pointer-level constructs the checked-access layer
+# exists to replace, outside the files that legitimately need them.
+#
+#   * reinterpret_cast — allowed only in the SIMD kernels (src/kernel),
+#     the checked/aligned instrumentation itself (which implements the
+#     byte-level canary/poison machinery), binary matrix IO, and the test
+#     that validates that IO. Everywhere else, hot-path code must use
+#     Span<T>/make_span so checked builds can see the extent.
+#   * naked `new` / `delete` — all buffers go through AlignedBuffer or a
+#     standard container; owning raw pointers defeat the canary fencing.
+#   * C-style pointer casts — same rationale as reinterpret_cast, with no
+#     grep-visible marker of intent.
+#
+# Exit 0 iff clean; prints every violation as file:line:text.
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+
+# Scanned trees: everything we compile.
+mapfile -t files < <(find src tests tools bench examples \
+  \( -name '*.cpp' -o -name '*.hpp' \) 2>/dev/null | sort)
+
+# Files allowed to use reinterpret_cast (kept deliberately short; adding
+# an entry is a review decision, not a convenience).
+reinterpret_allow='^src/kernel/|^src/common/checked\.hpp$|^src/common/aligned\.hpp$|^src/io/matrix_io\.cpp$|^tests/common_test\.cpp$'
+
+# scan PATTERN FILE...: grep with line numbers, after stripping //
+# comments and string literals so prose never trips a code rule.
+scan() {
+  local pattern="$1"
+  shift
+  local f
+  for f in "$@"; do
+    awk -v fname="${f}" -v pat="${pattern}" '
+      {
+        line = $0
+        gsub(/"([^"\\]|\\.)*"/, "\"\"", line)  # drop string contents
+        sub(/\/\/.*/, "", line)                 # drop // comments
+        if (line ~ pat) printf "%s:%d:%s\n", fname, FNR, $0
+      }' "${f}"
+  done
+}
+
+failures=0
+fail_rule() {
+  echo "lint: $1:"
+  echo "$2" | sed 's/^/  /'
+  failures=1
+}
+
+# 1. reinterpret_cast outside the allowlist.
+plain_files=()
+for f in "${files[@]}"; do
+  [[ "${f}" =~ ${reinterpret_allow} ]] || plain_files+=("${f}")
+done
+out="$(scan 'reinterpret_cast' "${plain_files[@]}")"
+[[ -z "${out}" ]] \
+  || fail_rule "reinterpret_cast outside src/kernel and the byte-level allowlist" "${out}"
+
+# 2. Naked new / delete expressions.
+out="$(scan '(^|[^_[:alnum:]])new[[:space:]]+[A-Za-z_:<(]' "${files[@]}")
+$(scan '(^|[^_[:alnum:]])delete([[:space:]]*\[\]|[[:space:]]+[A-Za-z_*(])' "${files[@]}")"
+out="$(echo "${out}" | sed '/^$/d')"
+[[ -z "${out}" ]] \
+  || fail_rule "naked new/delete (use AlignedBuffer or std containers)" "${out}"
+
+# 3. C-style pointer casts of the arithmetic element types.
+out="$(scan '\(\s*(const[[:space:]]+)?(float|double|int8_t|int32_t|char|void)[[:space:]]*\*+[[:space:]]*\)[[:space:]]*[A-Za-z_&]' "${files[@]}")"
+[[ -z "${out}" ]] \
+  || fail_rule "C-style pointer cast (use static_cast, or reinterpret_cast in an allowlisted file)" "${out}"
+
+if [[ ${failures} -ne 0 ]]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+echo "lint: OK (${#files[@]} files scanned)"
