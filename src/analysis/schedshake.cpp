@@ -1,0 +1,124 @@
+#include "analysis/schedshake.hpp"
+
+#if CAKE_SCHEDSHAKE_ENABLED
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "analysis/racecheck.hpp"
+
+namespace cake {
+namespace schedshake {
+
+namespace {
+
+// Armed configuration. The epoch bumps on every configure() so threads
+// notice and re-derive their stream from (seed, team tid); seed and
+// intensity are written before the epoch (release) and read after it
+// (acquire), so a thread that observes the new epoch observes the new
+// configuration too.
+std::atomic<bool> g_active{false};
+std::atomic<std::uint64_t> g_epoch{0};
+std::atomic<std::uint64_t> g_seed{0};
+std::atomic<int> g_intensity{0};
+std::atomic<std::uint64_t> g_injected{0};
+
+/// splitmix64: tiny, well-mixed, and trivially reproducible across
+/// platforms — exactly what seed replay needs.
+std::uint64_t splitmix64(std::uint64_t& state)
+{
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+void pause_spin(std::uint64_t iters)
+{
+    for (std::uint64_t i = 0; i < iters; ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#elif defined(__aarch64__)
+        asm volatile("yield" ::: "memory");
+#else
+        std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+    }
+}
+
+}  // namespace
+
+void configure(std::uint64_t seed, int intensity_percent)
+{
+    g_seed.store(seed, std::memory_order_relaxed);
+    g_intensity.store(intensity_percent, std::memory_order_relaxed);
+    g_injected.store(0, std::memory_order_relaxed);
+    g_epoch.fetch_add(1, std::memory_order_release);
+    g_active.store(true, std::memory_order_release);
+}
+
+void disable()
+{
+    g_active.store(false, std::memory_order_release);
+}
+
+bool active() noexcept
+{
+    return g_active.load(std::memory_order_acquire);
+}
+
+std::uint64_t injected_count() noexcept
+{
+    return g_injected.load(std::memory_order_acquire);
+}
+
+void interleave_point(Point point)
+{
+    if (!g_active.load(std::memory_order_acquire)) return;
+
+    thread_local std::uint64_t rng_state = 0;
+    thread_local std::uint64_t seen_epoch = ~std::uint64_t{0};
+    const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+    if (epoch != seen_epoch) {
+        seen_epoch = epoch;
+        // Stream identity: (seed, team tid). Keyed by tid rather than an
+        // OS thread id so a replay with the same seed gives each team slot
+        // the same decision sequence regardless of which pool thread runs
+        // it.
+        const auto tid = static_cast<std::uint64_t>(racecheck::current_tid());
+        rng_state = g_seed.load(std::memory_order_acquire)
+            ^ (0x51ED2701A42F9E6Dull * (tid + 2));
+    }
+
+    std::uint64_t roll = splitmix64(rng_state);
+    roll ^= static_cast<std::uint64_t>(point) * 0x2545F4914F6CDD1Dull;
+    const auto intensity =
+        static_cast<std::uint64_t>(g_intensity.load(std::memory_order_relaxed));
+    if (roll % 100 >= intensity) return;
+
+    g_injected.fetch_add(1, std::memory_order_relaxed);
+    switch ((roll >> 32) % 8) {
+        case 0:
+        case 1:
+        case 2:
+        case 3:
+            std::this_thread::yield();
+            break;
+        case 4:
+        case 5:
+        case 6:
+            pause_spin(((roll >> 35) % 2048) + 64);
+            break;
+        default:
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(((roll >> 40) % 32) + 1));
+            break;
+    }
+}
+
+}  // namespace schedshake
+}  // namespace cake
+
+#endif  // CAKE_SCHEDSHAKE_ENABLED

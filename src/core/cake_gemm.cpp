@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "analysis/racecheck.hpp"
+#include "analysis/schedshake.hpp"
 #include "common/checked.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -30,6 +32,18 @@ struct GemmCall {
     CbBlockParams params;
     index_t mb = 0, nb = 0, kb = 0;
     std::vector<BlockCoord> order;
+};
+
+/// CAKE_RACECHECK: retire a shadow-ownership region when the executor
+/// scope exits, including through an exception unwinding out of the team.
+/// Compiles away entirely in non-racecheck builds.
+struct ScopedRegion {
+    racecheck::RegionId id;
+
+    explicit ScopedRegion(racecheck::RegionId region) : id(region) {}
+    ScopedRegion(const ScopedRegion&) = delete;
+    ScopedRegion& operator=(const ScopedRegion&) = delete;
+    ~ScopedRegion() { racecheck::region_retire(id); }
 };
 
 }  // namespace detail
@@ -261,6 +275,20 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
     std::vector<index_t> k_done(static_cast<std::size_t>(call.mb * nb), 0);
     std::vector<char> flushed(static_cast<std::size_t>(call.mb * nb), 0);
 
+    // CAKE_RACECHECK shadow regions: the packed panels at mr/nr-sliver
+    // granularity and the local C surface at row x nr-sliver granularity
+    // (flush/zero row chunks are not mr-aligned, so full mr x nr C tiles
+    // would alias across legitimate chunk boundaries). No-ops in other
+    // builds.
+    const index_t c_cols = ceil_div(params.n_blk, kernel_.nr);
+    detail::ScopedRegion rc_pa(racecheck::region_register(
+        "packed-A panel", ceil_div(params.m_blk, kernel_.mr)));
+    detail::ScopedRegion rc_pb(racecheck::region_register(
+        "packed-B panel", ceil_div(params.n_blk, kernel_.nr)));
+    detail::ScopedRegion rc_c(racecheck::region_register(
+        "local C surface", params.m_blk * c_cols, c_cols));
+    index_t step_idx = 0;  ///< schedule position, for access diagnostics
+
     BlockCoord last{-1, -1, -1};
     bool have_last = false;
     index_t cur_mi = 0, cur_ni = 0;  // extents of the live C surface
@@ -283,6 +311,11 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
                        "user C surface flush");
         T* dst = c + dst0;
         pool_.parallel_for(0, mi, p, [&](index_t r0, index_t r1) {
+            racecheck::region_access_block(
+                rc_c.id, r0, r1, 0, ceil_div(ni, kernel_.nr),
+                racecheck::AccessKind::kRead,
+                {step_idx, coord.m, coord.n, coord.k,
+                 racecheck::Phase::kFlush});
             require_extent(r0 * ni, (r1 - r0) * ni, c_block_.size(),
                            "local C flush rows");
             unpack_c_block_scaled(c_block_.data() + r0 * ni, r1 - r0, ni,
@@ -313,6 +346,10 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
         if (!a_shared) {
             pool_.parallel_for(0, ceil_div(mi, kernel_.mr), p,
                                [&](index_t s0, index_t s1) {
+                racecheck::region_access_range(
+                    rc_pa.id, s0, s1, racecheck::AccessKind::kWrite,
+                    {step_idx, coord.m, coord.n, coord.k,
+                     racecheck::Phase::kPack});
                 const index_t r0 = s0 * kernel_.mr;
                 const index_t r1 = std::min(mi, s1 * kernel_.mr);
                 if (ta) {
@@ -342,6 +379,10 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
         } else if (!b_shared) {
             pool_.parallel_for(0, ceil_div(ni, kernel_.nr), p,
                                [&](index_t s0, index_t s1) {
+                racecheck::region_access_range(
+                    rc_pb.id, s0, s1, racecheck::AccessKind::kWrite,
+                    {step_idx, coord.m, coord.n, coord.k,
+                     racecheck::Phase::kPack});
                 const index_t c0 = s0 * kernel_.nr;
                 const index_t c1 = std::min(ni, s1 * kernel_.nr);
                 if (tb) {
@@ -366,6 +407,11 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
             if (have_last) flush_c(last, cur_mi, cur_ni);
             // Fresh local C surface for the new (m, n) column.
             pool_.parallel_for(0, mi, p, [&](index_t r0, index_t r1) {
+                racecheck::region_access_block(
+                    rc_c.id, r0, r1, 0, ceil_div(ni, kernel_.nr),
+                    racecheck::AccessKind::kWrite,
+                    {step_idx, coord.m, coord.n, coord.k,
+                     racecheck::Phase::kFlush});
                 std::memset(c_block_.data() + r0 * ni, 0,
                             static_cast<std::size_t>((r1 - r0) * ni)
                                 * sizeof(T));
@@ -407,6 +453,23 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
         pool_.run(p, [&, kernel, pa, pb, cb, mi, ni, ki, band](int tid) {
             const index_t r_begin = std::min<index_t>(tid * band, mi);
             const index_t r_end = std::min<index_t>((tid + 1) * band, mi);
+            if (r_begin < r_end) {
+                const racecheck::AccessSite site{step_idx, coord.m, coord.n,
+                                                 coord.k,
+                                                 racecheck::Phase::kCompute};
+                racecheck::region_access_range(
+                    rc_pa.id, r_begin / kernel.mr,
+                    ceil_div(r_end, kernel.mr), racecheck::AccessKind::kRead,
+                    site);
+                if (prepacked == nullptr) {
+                    racecheck::region_access_range(
+                        rc_pb.id, 0, ceil_div(ni, kernel.nr),
+                        racecheck::AccessKind::kRead, site);
+                }
+                racecheck::region_access_block(
+                    rc_c.id, r_begin, r_end, 0, ceil_div(ni, kernel.nr),
+                    racecheck::AccessKind::kWrite, site);
+            }
             T* scratch = scratch_[static_cast<std::size_t>(tid)].data();
             for (index_t r = r_begin; r < r_end; r += kernel.mr) {
                 const index_t mrows = std::min(kernel.mr, r_end - r);
@@ -432,6 +495,7 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
         ++stats_.blocks_executed;
         last = coord;
         have_last = true;
+        ++step_idx;
     }
     if (have_last) {
         Timer flush_timer;
@@ -466,6 +530,7 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
     // statistics evolve in the exact serial-executor order here, too.
     struct Step {
         BlockCoord coord;
+        index_t step = 0;  ///< schedule position (for racecheck sites)
         index_t mi = 0, ni = 0, ki = 0, m0 = 0, n0 = 0, k0 = 0;
         int a_slot = 0, b_slot = 0;  ///< double-buffer half holding A / B
         bool pack_a = false;  ///< A not shared: pack during previous step
@@ -509,6 +574,7 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
     for (index_t t = 0; t < steps; ++t) {
         Step& st = plan[static_cast<std::size_t>(t)];
         st.coord = call.order[static_cast<std::size_t>(t)];
+        st.step = t;
         st.mi = block_extent(st.coord.m, params.m_blk, call.m);
         st.ni = block_extent(st.coord.n, params.n_blk, call.n);
         st.ki = block_extent(st.coord.k, params.k_blk, call.k);
@@ -569,9 +635,9 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
     }
     // Final flush of the last live column.
     Step final_flush;
-    note_flush(final_flush,
-               plan[static_cast<std::size_t>(steps - 1)].coord, cur_mi,
-               cur_ni);
+    final_flush.coord = plan[static_cast<std::size_t>(steps - 1)].coord;
+    final_flush.step = steps;
+    note_flush(final_flush, final_flush.coord, cur_mi, cur_ni);
 
     // ---- Team execution.
     const MicroKernelT<T> kernel = kernel_;
@@ -587,6 +653,27 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
     const std::size_t cb_cap = c_block_.size();
     const std::size_t user_c_cap =
         static_cast<std::size_t>((call.m - 1) * call.ldc + call.n);
+
+    // CAKE_RACECHECK shadow regions. Each double-buffer half is its own
+    // region, so the intended pack(i+1)/compute(i) overlap on *opposite*
+    // halves stays silent while any same-half access pair without a
+    // barrier edge between its phases traps. The local C surface is tiled
+    // at row x nr-sliver granularity because flush/zero row groups
+    // (kRowGroup) are not mr-aligned. All of this compiles to nothing in
+    // non-racecheck builds.
+    const index_t c_cols = ceil_div(params.n_blk, nr);
+    detail::ScopedRegion rc_pa0(racecheck::region_register(
+        "packed-A half 0", ceil_div(params.m_blk, mr)));
+    detail::ScopedRegion rc_pa1(racecheck::region_register(
+        "packed-A half 1", ceil_div(params.m_blk, mr)));
+    detail::ScopedRegion rc_pb0(racecheck::region_register(
+        "packed-B half 0", ceil_div(params.n_blk, nr)));
+    detail::ScopedRegion rc_pb1(racecheck::region_register(
+        "packed-B half 1", ceil_div(params.n_blk, nr)));
+    detail::ScopedRegion rc_c(racecheck::region_register(
+        "local C surface", params.m_blk * c_cols, c_cols));
+    const racecheck::RegionId rc_pa_ids[2] = {rc_pa0.id, rc_pa1.id};
+    const racecheck::RegionId rc_pb_ids[2] = {rc_pb0.id, rc_pb1.id};
 
     // Work-item granularity. Compute items stay one mr band each — that is
     // the load-balancing unit that keeps every core busy on edge blocks.
@@ -620,6 +707,8 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
         auto run_phase = [&](index_t n_items, auto&& body) {
             std::atomic<index_t>& counter = counters[phase & 1];
             for (;;) {
+                schedshake::interleave_point(
+                    schedshake::Point::kPhaseClaim);
                 const index_t item =
                     counter.fetch_add(1, std::memory_order_relaxed);
                 if (item >= n_items) break;
@@ -643,8 +732,14 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
 
         // One group of mr slivers of step st's A surface into its half.
         auto pack_a_item = [&](const Step& st, index_t item) {
+            schedshake::interleave_point(schedshake::Point::kPackItem);
             const index_t s_end = std::min(ceil_div(st.mi, mr),
                                            (item + 1) * kPackAGroup);
+            racecheck::region_access_range(
+                rc_pa_ids[st.a_slot], item * kPackAGroup, s_end,
+                racecheck::AccessKind::kWrite,
+                {st.step, st.coord.m, st.coord.n, st.coord.k,
+                 racecheck::Phase::kPack});
             for (index_t s = item * kPackAGroup; s < s_end; ++s) {
                 const index_t r0 = s * mr;
                 const index_t rows = std::min(mr, st.mi - r0);
@@ -663,8 +758,14 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
         };
         // One group of nr slivers of step st's B surface into its half.
         auto pack_b_item = [&](const Step& st, index_t item) {
+            schedshake::interleave_point(schedshake::Point::kPackItem);
             const index_t s_end = std::min(ceil_div(st.ni, nr),
                                            (item + 1) * kPackBGroup);
+            racecheck::region_access_range(
+                rc_pb_ids[st.b_slot], item * kPackBGroup, s_end,
+                racecheck::AccessKind::kWrite,
+                {st.step, st.coord.m, st.coord.n, st.coord.k,
+                 racecheck::Phase::kPack});
             for (index_t s = item * kPackBGroup; s < s_end; ++s) {
                 const index_t c0 = s * nr;
                 const index_t cols = std::min(nr, st.ni - c0);
@@ -683,8 +784,24 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
         };
         // One mr row band of step st's block computation.
         auto compute_item = [&](const Step& st, const T* pb, index_t band) {
+            schedshake::interleave_point(schedshake::Point::kComputeItem);
             const index_t r = band * mr;
             const index_t mrows = std::min(mr, st.mi - r);
+            {
+                const racecheck::AccessSite site{st.step, st.coord.m,
+                                                 st.coord.n, st.coord.k,
+                                                 racecheck::Phase::kCompute};
+                racecheck::region_access(rc_pa_ids[st.a_slot], band,
+                                         racecheck::AccessKind::kRead, site);
+                if (!use_prepacked) {
+                    racecheck::region_access_range(
+                        rc_pb_ids[st.b_slot], 0, ceil_div(st.ni, nr),
+                        racecheck::AccessKind::kRead, site);
+                }
+                racecheck::region_access_block(
+                    rc_c.id, r, r + mrows, 0, ceil_div(st.ni, nr),
+                    racecheck::AccessKind::kWrite, site);
+            }
             require_extent(r * st.ki, mr * st.ki, pa_cap,
                            "pipelined compute A sliver");
             const T* a_sliver = pa_slots[st.a_slot] + r * st.ki;
@@ -702,9 +819,15 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
         };
         // One group of rows of a departing column's writeback to user C.
         auto flush_item = [&](const Step& st, index_t item) {
+            schedshake::interleave_point(schedshake::Point::kFlushItem);
             const T beta_eff = st.flush_revisit ? T(1) : call.beta;
             const index_t r0 = item * kRowGroup;
             const index_t r1 = std::min(st.flush_mi, r0 + kRowGroup);
+            racecheck::region_access_block(
+                rc_c.id, r0, r1, 0, ceil_div(st.flush_ni, nr),
+                racecheck::AccessKind::kRead,
+                {st.step, st.coord.m, st.coord.n, st.coord.k,
+                 racecheck::Phase::kFlush});
             require_extent(r0 * st.flush_ni, (r1 - r0) * st.flush_ni,
                            cb_cap, "pipelined flush source rows");
             require_extent(st.flush_dst + r0 * call.ldc,
@@ -718,8 +841,14 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
         // One group of rows of the fresh local C surface zeroed for a new
         // column.
         auto zero_item = [&](const Step& st, index_t item) {
+            schedshake::interleave_point(schedshake::Point::kFlushItem);
             const index_t r0 = item * kRowGroup;
             const index_t r1 = std::min(st.mi, r0 + kRowGroup);
+            racecheck::region_access_block(
+                rc_c.id, r0, r1, 0, ceil_div(st.ni, nr),
+                racecheck::AccessKind::kWrite,
+                {st.step, st.coord.m, st.coord.n, st.coord.k,
+                 racecheck::Phase::kFlush});
             require_extent(r0 * st.ni, (r1 - r0) * st.ni, cb_cap,
                            "pipelined zero rows");
             std::memset(cb + r0 * st.ni, 0,

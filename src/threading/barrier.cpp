@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "analysis/racecheck.hpp"
+#include "analysis/schedshake.hpp"
 #include "common/error.hpp"
 
 namespace cake {
@@ -61,16 +63,28 @@ constexpr int kYieldIters = 32;
 SpinBarrier::SpinBarrier(int participants) : participants_(participants)
 {
     CAKE_CHECK(participants >= 1);
+    // CAKE_RACECHECK: barriers live on run_team stack frames, so a new
+    // barrier may reuse the address of a dead one; drop any stale clocks.
+    racecheck::on_barrier_create(this);
 }
 
 void SpinBarrier::arrive_and_wait()
 {
     if (broken_.load(std::memory_order_acquire)) return;
+    schedshake::interleave_point(schedshake::Point::kBarrierArrive);
     if (participants_ == 1) {
+        const long gen = generation_.load(std::memory_order_relaxed);
+        racecheck::on_barrier_arrive(this, gen, participants_);
         generation_.fetch_add(1, std::memory_order_acq_rel);
+        racecheck::on_barrier_depart(this, gen);
         return;
     }
     const long gen = generation_.load(std::memory_order_acquire);
+    // CAKE_RACECHECK: the arrive hook merges this thread's clock into the
+    // generation's gather and must run *before* the fetch_add below — once
+    // the last arriver bumps generation_, any teammate may depart and has
+    // to observe every arrival's contribution.
+    racecheck::on_barrier_arrive(this, gen, participants_);
     // Arrivals form a release sequence on arrived_: the last arriver's RMW
     // acquires every earlier arrival's writes, and its store to generation_
     // publishes them to all waiters. seq_cst on the generation bump and the
@@ -85,6 +99,8 @@ void SpinBarrier::arrive_and_wait()
             { std::lock_guard<std::mutex> lock(sleep_mutex_); }
             sleep_cv_.notify_all();
         }
+        racecheck::on_barrier_depart(this, gen);
+        schedshake::interleave_point(schedshake::Point::kBarrierDepart);
         return;
     }
     int spins = 0;
@@ -105,9 +121,21 @@ void SpinBarrier::arrive_and_wait()
                 });
             }
             sleepers_.fetch_sub(1, std::memory_order_relaxed);
+            // CAKE_RACECHECK: only a real generation crossing is a
+            // happens-before edge — a waiter released by break_barrier()
+            // did not synchronise with anyone and must not merge clocks.
+            if (generation_.load(std::memory_order_acquire) != gen) {
+                racecheck::on_barrier_depart(this, gen);
+            }
+            schedshake::interleave_point(
+                schedshake::Point::kBarrierDepart);
             return;
         }
     }
+    if (generation_.load(std::memory_order_acquire) != gen) {
+        racecheck::on_barrier_depart(this, gen);
+    }
+    schedshake::interleave_point(schedshake::Point::kBarrierDepart);
 }
 
 void SpinBarrier::break_barrier() noexcept

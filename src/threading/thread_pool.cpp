@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/racecheck.hpp"
 #include "common/error.hpp"
 
 namespace cake {
@@ -34,6 +35,9 @@ std::exception_ptr TeamContext::first_error() const
 ThreadPool::ThreadPool(int size) : size_(size)
 {
     CAKE_CHECK(size >= 1);
+    // CAKE_RACECHECK: a pool constructed at a recycled address must not
+    // inherit a dead pool's fork/join clocks.
+    racecheck::on_pool_create(this);
     workers_.reserve(static_cast<std::size_t>(size - 1));
     for (int i = 1; i < size; ++i) {
         workers_.emplace_back([this, i] { worker_loop(i); });
@@ -59,6 +63,11 @@ void ThreadPool::execute_slot(int tid)
     }
     const ThreadPool* prev_pool = tls_active_pool;
     tls_active_pool = this;
+    // CAKE_RACECHECK fork edge: everything the dispatching thread did
+    // before run() happened-before this member's work. The matching exit
+    // hook folds this member's clock into the pool's join clock *before*
+    // the remaining_ decrement that releases the caller.
+    racecheck::on_worker_enter(this, tid);
     try {
         (*fn)(tid);
     } catch (...) {
@@ -66,6 +75,7 @@ void ThreadPool::execute_slot(int tid)
         if (!first_error_) first_error_ = std::current_exception();
     }
     tls_active_pool = prev_pool;
+    racecheck::on_worker_exit(this);
     bool last = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -102,6 +112,7 @@ void ThreadPool::run(int width, const std::function<void(int)>& fn)
                    "re-entrant ThreadPool::run from inside one of this "
                    "pool's own jobs would deadlock; restructure as a single "
                    "job or use run_team with team barriers");
+    racecheck::on_fork(this);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         job_fn_ = &fn;
@@ -120,6 +131,9 @@ void ThreadPool::run(int width, const std::function<void(int)>& fn)
         job_fn_ = nullptr;
         job_width_ = 0;
     }
+    // CAKE_RACECHECK join edge: every member's work happened-before the
+    // code after run() returns (or rethrows).
+    racecheck::on_join(this);
     if (err) std::rethrow_exception(err);
 }
 

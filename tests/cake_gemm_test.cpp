@@ -452,6 +452,43 @@ TEST(CakePipelined, PhaseAttributionDecomposesTotal)
     }
 }
 
+TEST(CakePipelined, RunTeamReuseTorture)
+{
+    // One CakeGemm context issuing many back-to-back pipelined multiplies:
+    // every iteration is a fresh run_team dispatch over the same pool and a
+    // fresh SpinBarrier at a (likely recycled) stack address. Under
+    // CAKE_RACECHECK this stresses fork/join/barrier clock reuse; under
+    // TSan (tools/run_tsan.sh runs this test) it tortures the real
+    // synchronisation. Results must stay bit-exact with the serial
+    // executor on every iteration.
+    constexpr int kIters = 30;
+    Rng rng(700);
+    const index_t m = 66, n = 54, k = 42;
+    Matrix a(m, k);
+    Matrix b(k, n);
+    a.fill_random(rng);
+    b.fill_random(rng);
+
+    CakeOptions options = tiny_block_options();
+    options.exec = CakeExec::kSerial;
+    Matrix c_ref(m, n);
+    CakeGemm serial(test_pool(), options);
+    serial.multiply(a.data(), k, b.data(), n, c_ref.data(), n, m, n, k);
+
+    options.exec = CakeExec::kPipelined;
+    CakeGemm piped(test_pool(), options);
+    Matrix c(m, n);
+    for (int iter = 0; iter < kIters; ++iter) {
+        c.fill(0.0F);
+        piped.multiply(a.data(), k, b.data(), n, c.data(), n, m, n, k);
+        ASSERT_EQ(std::memcmp(c.data(), c_ref.data(),
+                              static_cast<std::size_t>(m) * n
+                                  * sizeof(float)),
+                  0)
+            << "iteration " << iter;
+    }
+}
+
 TEST(CakeGemm, ForcedScalarIsaMatches)
 {
     Rng rng(16);

@@ -254,6 +254,40 @@ TEST(SpinBarrier, BreakReleasesCurrentAndFutureWaiters)
     barrier.arrive_and_wait();  // future waits are no-ops
 }
 
+TEST(SpinBarrier, GenerationRolloverTorture)
+{
+    // Thousands of generations over one barrier object: the generation
+    // counter, the arrived_ reset, and the released-generation pruning in
+    // the CAKE_RACECHECK auditor must all stay consistent under reuse.
+    // Periodically one member stalls long enough to push the others past
+    // the spin and yield budgets into the blocking slow path, so every
+    // wait path (spin / yield / condvar sleep) is crossed repeatedly.
+    constexpr int kThreads = 3;
+    constexpr int kGenerations = 4096;
+    SpinBarrier barrier(kThreads);
+    std::atomic<long> lockstep_violations{0};
+    std::atomic<long> phase_counter{0};
+
+    ThreadPool pool(kThreads);
+    pool.run(kThreads, [&](int tid) {
+        for (int gen = 0; gen < kGenerations; ++gen) {
+            if (tid == 0 && (gen & 511) == 0) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            }
+            phase_counter.fetch_add(1);
+            barrier.arrive_and_wait();
+            if (phase_counter.load() < static_cast<long>(kThreads)
+                                           * (gen + 1)) {
+                lockstep_violations.fetch_add(1);
+            }
+            barrier.arrive_and_wait();
+        }
+    });
+    EXPECT_EQ(lockstep_violations.load(), 0);
+    EXPECT_EQ(barrier.generation(), 2L * kGenerations);
+    EXPECT_FALSE(barrier.broken());
+}
+
 TEST(TeamContext, RunTeamSumsAcrossMembers)
 {
     ThreadPool pool(4);

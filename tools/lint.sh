@@ -11,6 +11,11 @@
 #     standard container; owning raw pointers defeat the canary fencing.
 #   * C-style pointer casts — same rationale as reinterpret_cast, with no
 #     grep-visible marker of intent.
+#   * raw std::atomic / std::thread / volatile-as-synchronisation — all
+#     cross-thread coordination goes through src/threading (ThreadPool,
+#     SpinBarrier, TeamContext) so the CAKE_RACECHECK happens-before
+#     auditor can see every edge. An ad-hoc atomic elsewhere is invisible
+#     to the auditor and unverifiable by the schedule fuzzer.
 #
 # Exit 0 iff clean; prints every violation as file:line:text.
 set -uo pipefail
@@ -70,6 +75,22 @@ out="$(echo "${out}" | sed '/^$/d')"
 out="$(scan '\(\s*(const[[:space:]]+)?(float|double|int8_t|int32_t|char|void)[[:space:]]*\*+[[:space:]]*\)[[:space:]]*[A-Za-z_&]' "${files[@]}")"
 [[ -z "${out}" ]] \
   || fail_rule "C-style pointer cast (use static_cast, or reinterpret_cast in an allowlisted file)" "${out}"
+
+# 4. Raw synchronisation primitives outside src/threading (and the
+# analysis layer that instruments it). The allowlist names every existing
+# legitimate use — executors' phase counters, the bandwidth probe's timing
+# loops, benches and threading tests; extending it is a review decision.
+# (std::this_thread is fine anywhere: yield/sleep are not synchronisation.)
+sync_allow='^src/threading/|^src/analysis/|^src/machine/machine\.cpp$|^src/machine/bw_probe\.cpp$|^src/conv/conv2d\.cpp$|^src/core/batched\.cpp$|^src/core/cake_gemm\.cpp$|^tests/threading_test\.cpp$|^tests/misc_test\.cpp$|^bench/bench_pipeline\.cpp$'
+sync_files=()
+for f in "${files[@]}"; do
+  [[ "${f}" =~ ${sync_allow} ]] || sync_files+=("${f}")
+done
+out="$(scan 'std::(atomic(_ref|_flag|_thread_fence|_signal_fence)?|jthread|thread)([^_[:alnum:]]|$)' "${sync_files[@]}")
+$(scan '(^|[^_[:alnum:]])volatile([^_[:alnum:]]|$)' "${sync_files[@]}" | grep -vE 'asm[[:space:]]+volatile')"
+out="$(echo "${out}" | sed '/^$/d')"
+[[ -z "${out}" ]] \
+  || fail_rule "raw synchronisation primitive outside src/threading (route it through ThreadPool/SpinBarrier so the race auditor can see it)" "${out}"
 
 if [[ ${failures} -ne 0 ]]; then
   echo "lint: FAILED"
