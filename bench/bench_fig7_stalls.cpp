@@ -17,6 +17,11 @@
 // reported by CakeStats and GotoStats, with CAKE's packing overlap off and
 // on — the stall column is the time the block loop spent neither fetching
 // nor computing, i.e. the host-visible analogue of the memory stalls above.
+//
+// Flags:
+//   --trace-dir DIR  re-run each section (d) engine once under the src/obs
+//                    tracer, write DIR/fig7d_<engine>.trace.json and add
+//                    barrier-stall / trace columns ("-" when off)
 #include <iostream>
 
 #include "common/csv.hpp"
@@ -30,9 +35,10 @@
 #include "gotoblas/goto_gemm.hpp"
 #include "memsim/trace.hpp"
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace cake;
+    bench::TraceCapture capture = bench::TraceCapture::from_args(argc, argv);
 
     {
         std::cout << "=== Figure 7a: memory request stalls on Intel i9 "
@@ -166,8 +172,17 @@ int main()
                   << shape.k << ", p = " << p << ".\n\n";
 
         Table table({"engine", "pack (ms)", "compute (ms)", "flush (ms)",
-                     "stall (ms)", "total (ms)", "overlap eff"});
-        auto run_cake = [&](const char* label, CakeExec exec) {
+                     "stall (ms)", "total (ms)", "overlap eff",
+                     "barrier/p (ms)", "trace"});
+        // The measured run stays untraced; --trace-dir adds one traced
+        // re-run per engine for the stall-attribution columns.
+        auto trace_cols = [&](const bench::TraceResult& trace)
+            -> std::pair<std::string, std::string> {
+            if (!trace.captured) return {"-", "-"};
+            return {format_number(trace.barrier_s / p * 1e3, 4), trace.path};
+        };
+        auto run_cake = [&](const char* label, const char* key,
+                            CakeExec exec) {
             CakeOptions opts;
             opts.exec = exec;
             CakeGemm gemm(pool, opts);
@@ -175,29 +190,49 @@ int main()
                           shape.n, shape.m, shape.n, shape.k);  // warm-up
             gemm.multiply(a.data(), shape.k, b.data(), shape.n, out.data(),
                           shape.n, shape.m, shape.n, shape.k);
-            const CakeStats& s = gemm.stats();
+            const CakeStats s = gemm.stats();
+            bench::TraceResult trace;
+            if (capture.on()) {
+                capture.begin();
+                gemm.multiply(a.data(), shape.k, b.data(), shape.n,
+                              out.data(), shape.n, shape.m, shape.n,
+                              shape.k);
+                trace = capture.end(std::string("fig7d_") + key);
+            }
+            const auto [barrier, path] = trace_cols(trace);
             table.add_row({label, format_number(s.pack_seconds * 1e3, 4),
                            format_number(s.compute_seconds * 1e3, 4),
                            format_number(s.flush_seconds * 1e3, 4),
                            format_number(s.stall_seconds * 1e3, 4),
                            format_number(s.total_seconds * 1e3, 4),
-                           format_number(s.overlap_efficiency, 3)});
+                           format_number(s.overlap_efficiency, 3), barrier,
+                           path});
         };
-        run_cake("CAKE overlap off", CakeExec::kSerial);
-        run_cake("CAKE overlap on", CakeExec::kPipelined);
+        run_cake("CAKE overlap off", "cake_serial", CakeExec::kSerial);
+        run_cake("CAKE overlap on", "cake_pipelined", CakeExec::kPipelined);
         {
             GotoGemm gemm(pool);
             gemm.multiply(a.data(), shape.k, b.data(), shape.n, out.data(),
                           shape.n, shape.m, shape.n, shape.k);  // warm-up
             gemm.multiply(a.data(), shape.k, b.data(), shape.n, out.data(),
                           shape.n, shape.m, shape.n, shape.k);
-            const GotoStats& s = gemm.stats();
+            const GotoStats s = gemm.stats();
+            bench::TraceResult trace;
+            if (capture.on()) {
+                capture.begin();
+                gemm.multiply(a.data(), shape.k, b.data(), shape.n,
+                              out.data(), shape.n, shape.m, shape.n,
+                              shape.k);
+                trace = capture.end("fig7d_goto");
+            }
+            const auto [barrier, path] = trace_cols(trace);
             table.add_row({"GOTO (MKL stand-in)",
                            format_number(s.pack_seconds * 1e3, 4),
                            format_number(s.compute_seconds * 1e3, 4), "-",
                            format_number(s.stall_seconds * 1e3, 4),
                            format_number(s.total_seconds * 1e3, 4),
-                           format_number(s.overlap_efficiency, 3)});
+                           format_number(s.overlap_efficiency, 3), barrier,
+                           path});
         }
         bench::print_table(table, "fig7d_phase_attribution");
         std::cout

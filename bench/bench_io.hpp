@@ -1,6 +1,10 @@
-// Shared bench output helper: print a table to stdout and, when the
-// CAKE_BENCH_CSV_DIR environment variable is set, also persist it as
-// <dir>/<name>.csv for plotting.
+// Shared bench output helpers:
+//   * print_table: print to stdout and, when the CAKE_BENCH_CSV_DIR
+//     environment variable is set, persist as <dir>/<name>.csv.
+//   * TraceCapture: opt-in `--trace-dir DIR` support — brackets an extra
+//     run of a bench case with the src/obs tracer and writes
+//     <dir>/<name>.trace.json plus a per-run stall summary. Off by
+//     default; benches print "-" in the trace columns when disarmed.
 #pragma once
 
 #include <fstream>
@@ -9,6 +13,8 @@
 
 #include "common/csv.hpp"
 #include "common/env.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 namespace cake {
 namespace bench {
@@ -27,6 +33,86 @@ inline void print_table(const Table& table, const std::string& name)
         }
     }
 }
+
+/// Result of one named TraceCapture::end().
+struct TraceResult {
+    bool captured = false;         ///< trace file written
+    std::string path;              ///< Perfetto JSON location
+    double barrier_s = 0;          ///< barrier-wait total across workers
+    double barrier_worst_s = 0;    ///< worst single worker's barrier wait
+    std::uint64_t events = 0;
+    std::uint64_t dropped = 0;
+};
+
+/// Opt-in bench tracing. Benches run their timed reps UNtraced, then — when
+/// `--trace-dir DIR` was passed — bracket one extra run per case with
+/// begin()/end() so the measured numbers stay free of tracing overhead.
+/// When tracing is compiled out (-DCAKE_TRACE_DISABLED=ON) the flag warns
+/// and stays off.
+class TraceCapture {
+public:
+    static TraceCapture from_args(int argc, char** argv)
+    {
+        TraceCapture capture;
+        for (int i = 1; i + 1 < argc; ++i) {
+            if (std::string(argv[i]) == "--trace-dir") {
+                capture.dir_ = argv[i + 1];
+            }
+        }
+#if !CAKE_OBS_ENABLED
+        if (!capture.dir_.empty()) {
+            std::cerr << "warning: --trace-dir ignored (tracing compiled "
+                         "out by CAKE_TRACE_DISABLED)\n";
+            capture.dir_.clear();
+        }
+#endif
+        return capture;
+    }
+
+    [[nodiscard]] bool on() const { return !dir_.empty(); }
+
+    /// Arm the tracer for the run that follows. No-op when off.
+    void begin()
+    {
+        if (!on()) return;
+        obs::reset();
+        obs::metrics_reset();
+        obs::enable();
+        obs::ensure_thread_ring();
+    }
+
+    /// Disarm, write <dir>/<name>.trace.json, and summarise the stalls.
+    TraceResult end(const std::string& name)
+    {
+        TraceResult result;
+        if (!on()) return result;
+        obs::disable();
+        obs::metrics_disable();
+        const obs::TraceDump dump = obs::collect();
+#if CAKE_OBS_ENABLED
+        const obs::ProfileReport report = obs::profile(dump);
+        result.events = report.total_events;
+        result.dropped = report.total_dropped;
+        for (const obs::WorkerProfile& w : report.workers) {
+            result.barrier_s += w.barrier_s;
+            if (w.barrier_s > result.barrier_worst_s) {
+                result.barrier_worst_s = w.barrier_s;
+            }
+        }
+        result.path = dir_ + "/" + name + ".trace.json";
+        result.captured = obs::write_perfetto_json_file(dump, result.path);
+        if (!result.captured) {
+            std::cerr << "warning: cannot write " << result.path << "\n";
+        }
+#else
+        (void)dump;
+#endif
+        return result;
+    }
+
+private:
+    std::string dir_;
+};
 
 }  // namespace bench
 }  // namespace cake

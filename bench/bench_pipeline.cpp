@@ -16,6 +16,11 @@
 //   CAKE_BENCH_P       worker count (default: all host cores)
 //   CAKE_BENCH_REPS    timed repetitions per config, best kept (default 3)
 //   CAKE_BENCH_CSV_DIR also write tables as CSV into this directory
+// Flags:
+//   --trace-dir DIR    after the timed reps, re-run each configuration once
+//                      under the src/obs tracer, write DIR/<case>.trace.json
+//                      (Perfetto JSON) and add barrier-stall / trace columns
+//                      to the phase table (columns show "-" when off)
 #include <algorithm>
 #include <iostream>
 #include <thread>
@@ -28,7 +33,7 @@
 #include "common/rng.hpp"
 #include "core/cake_gemm.hpp"
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace cake;
 
@@ -39,17 +44,19 @@ int main()
         static_cast<int>(env_long("CAKE_BENCH_REPS").value_or(3)), 1);
     ThreadPool pool(p);
     Rng rng(1);
+    bench::TraceCapture capture = bench::TraceCapture::from_args(argc, argv);
 
     struct Case {
         const char* label;
+        const char* key;  ///< trace-file slug
         GemmShape shape;
     };
     const std::vector<Case> cases = {
-        {"skewed K  (2048 x 2048 x 64)", {2048, 2048, 64}},
-        {"skewed M  (64 x 2048 x 2048)", {64, 2048, 2048}},
-        {"skewed N  (2048 x 64 x 2048)", {2048, 64, 2048}},
-        {"panel     (4096 x 256 x 256)", {4096, 256, 256}},
-        {"square    (1024^3)", {1024, 1024, 1024}},
+        {"skewed K  (2048 x 2048 x 64)", "skewed_k", {2048, 2048, 64}},
+        {"skewed M  (64 x 2048 x 2048)", "skewed_m", {64, 2048, 2048}},
+        {"skewed N  (2048 x 64 x 2048)", "skewed_n", {2048, 64, 2048}},
+        {"panel     (4096 x 256 x 256)", "panel", {4096, 256, 256}},
+        {"square    (1024^3)", "square", {1024, 1024, 1024}},
     };
 
     std::cout << "=== Pipelined CB-block executor: exposed vs hidden "
@@ -59,7 +66,8 @@ int main()
 
     Table phases({"case", "executor", "total (ms)", "pack (ms)",
                   "compute (ms)", "flush (ms)", "stall (ms)",
-                  "overlap eff", "GFLOP/s"});
+                  "overlap eff", "GFLOP/s", "barrier/p (ms)",
+                  "worst barrier (ms)", "trace"});
     Table summary({"case", "serial (ms)", "pipelined (ms)", "speedup",
                    "serial pack share", "overlap eff"});
 
@@ -72,7 +80,11 @@ int main()
         b.fill_random(rng);
         Matrix out(c.shape.m, c.shape.n);
 
-        auto measure = [&](CakeExec exec) {
+        // Timed reps run untraced; when --trace-dir is set, one extra run
+        // per configuration is bracketed by the tracer so the measured
+        // numbers stay free of recording overhead.
+        auto measure = [&](CakeExec exec, const char* exec_key,
+                           bench::TraceResult* trace) {
             CakeOptions opts;
             opts.p = p;
             opts.exec = exec;
@@ -87,23 +99,42 @@ int main()
                         && gemm.stats().total_seconds < best.total_seconds))
                     best = gemm.stats();
             }
+            if (capture.on()) {
+                capture.begin();
+                gemm.multiply(a.data(), c.shape.k, b.data(), c.shape.n,
+                              out.data(), c.shape.n, c.shape.m, c.shape.n,
+                              c.shape.k);
+                *trace = capture.end(std::string("pipeline_") + c.key + "_"
+                                     + exec_key);
+            }
             return best;
         };
-        const CakeStats serial = measure(CakeExec::kSerial);
-        const CakeStats piped = measure(CakeExec::kPipelined);
+        bench::TraceResult serial_trace, piped_trace;
+        const CakeStats serial =
+            measure(CakeExec::kSerial, "serial", &serial_trace);
+        const CakeStats piped =
+            measure(CakeExec::kPipelined, "pipelined", &piped_trace);
 
-        auto phase_row = [&](const char* exec, const CakeStats& s) {
-            phases.add_row({c.label, exec,
-                            format_number(s.total_seconds * 1e3, 4),
-                            format_number(s.pack_seconds * 1e3, 4),
-                            format_number(s.compute_seconds * 1e3, 4),
-                            format_number(s.flush_seconds * 1e3, 4),
-                            format_number(s.stall_seconds * 1e3, 4),
-                            format_number(s.overlap_efficiency, 3),
-                            format_number(s.gflops(c.shape), 4)});
+        auto phase_row = [&](const char* exec, const CakeStats& s,
+                             const bench::TraceResult& trace) {
+            phases.add_row(
+                {c.label, exec, format_number(s.total_seconds * 1e3, 4),
+                 format_number(s.pack_seconds * 1e3, 4),
+                 format_number(s.compute_seconds * 1e3, 4),
+                 format_number(s.flush_seconds * 1e3, 4),
+                 format_number(s.stall_seconds * 1e3, 4),
+                 format_number(s.overlap_efficiency, 3),
+                 format_number(s.gflops(c.shape), 4),
+                 trace.captured
+                     ? format_number(trace.barrier_s / p * 1e3, 4)
+                     : "-",
+                 trace.captured
+                     ? format_number(trace.barrier_worst_s * 1e3, 4)
+                     : "-",
+                 trace.captured ? trace.path : "-"});
         };
-        phase_row("overlap off", serial);
-        phase_row("overlap on", piped);
+        phase_row("overlap off", serial, serial_trace);
+        phase_row("overlap on", piped, piped_trace);
 
         const double speedup = serial.total_seconds / piped.total_seconds;
         const double pack_share =

@@ -10,9 +10,66 @@
 #include "common/checked.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pack/pack.hpp"
 
 namespace cake {
+
+namespace {
+
+/// Per-tile micro-kernel latency histogram (src/obs). The id is resolved
+/// once; calls are dead code in CAKE_TRACE_DISABLED builds because
+/// metrics_enabled() is constexpr false at every use site.
+obs::MetricId tile_latency_hist()
+{
+    static const obs::MetricId id =
+        obs::histogram("cake.kernel.tile_ns", obs::latency_bounds_ns());
+    return id;
+}
+
+/// Publish one multiply's CakeStats into the obs metrics registry, so a
+/// snapshot at the end of a bench/tool run carries the same phase
+/// decomposition the per-call struct reports.
+void publish_cake_stats(const CakeStats& s)
+{
+    if (!obs::metrics_enabled()) return;
+    static const obs::MetricId multiplies =
+        obs::counter("cake.gemm.multiplies");
+    static const obs::MetricId blocks = obs::counter("cake.gemm.blocks");
+    static const obs::MetricId a_packs = obs::counter("cake.gemm.a_packs");
+    static const obs::MetricId b_packs = obs::counter("cake.gemm.b_packs");
+    static const obs::MetricId c_flushes =
+        obs::counter("cake.gemm.c_flushes");
+    static const obs::MetricId dram_rd =
+        obs::counter("cake.gemm.dram_read_bytes");
+    static const obs::MetricId dram_wr =
+        obs::counter("cake.gemm.dram_write_bytes");
+    static const obs::MetricId pack_s = obs::gauge("cake.gemm.pack_s");
+    static const obs::MetricId compute_s =
+        obs::gauge("cake.gemm.compute_s");
+    static const obs::MetricId flush_s = obs::gauge("cake.gemm.flush_s");
+    static const obs::MetricId stall_s = obs::gauge("cake.gemm.stall_s");
+    static const obs::MetricId total_s = obs::gauge("cake.gemm.total_s");
+    static const obs::MetricId overlap =
+        obs::gauge("cake.gemm.overlap_efficiency");
+    obs::counter_add(multiplies, 1);
+    obs::counter_add(blocks,
+                     static_cast<std::uint64_t>(s.blocks_executed));
+    obs::counter_add(a_packs, static_cast<std::uint64_t>(s.a_packs));
+    obs::counter_add(b_packs, static_cast<std::uint64_t>(s.b_packs));
+    obs::counter_add(c_flushes, static_cast<std::uint64_t>(s.c_flushes));
+    obs::counter_add(dram_rd, s.dram_read_bytes);
+    obs::counter_add(dram_wr, s.dram_write_bytes);
+    obs::gauge_set(pack_s, s.pack_seconds);
+    obs::gauge_set(compute_s, s.compute_seconds);
+    obs::gauge_set(flush_s, s.flush_seconds);
+    obs::gauge_set(stall_s, s.stall_seconds);
+    obs::gauge_set(total_s, s.total_seconds);
+    obs::gauge_set(overlap, s.overlap_efficiency);
+}
+
+}  // namespace
 
 namespace detail {
 
@@ -248,6 +305,7 @@ void CakeGemmT<T>::multiply_impl(const T* a, index_t lda, const T* b,
                               - stats_.compute_seconds
                               - stats_.flush_seconds);
     }
+    publish_cake_stats(stats_);
 }
 
 // ---------------------------------------------------------------------------
@@ -311,6 +369,8 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
                        "user C surface flush");
         T* dst = c + dst0;
         pool_.parallel_for(0, mi, p, [&](index_t r0, index_t r1) {
+            obs::ScopedSpan span("flush.write", obs::Phase::kFlush, coord.m,
+                                 coord.n, coord.k, r0);
             racecheck::region_access_block(
                 rc_c.id, r0, r1, 0, ceil_div(ni, kernel_.nr),
                 racecheck::AccessKind::kRead,
@@ -346,6 +406,8 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
         if (!a_shared) {
             pool_.parallel_for(0, ceil_div(mi, kernel_.mr), p,
                                [&](index_t s0, index_t s1) {
+                obs::ScopedSpan span("pack.A", obs::Phase::kPack, coord.m,
+                                     coord.n, coord.k, s0);
                 racecheck::region_access_range(
                     rc_pa.id, s0, s1, racecheck::AccessKind::kWrite,
                     {step_idx, coord.m, coord.n, coord.k,
@@ -379,6 +441,8 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
         } else if (!b_shared) {
             pool_.parallel_for(0, ceil_div(ni, kernel_.nr), p,
                                [&](index_t s0, index_t s1) {
+                obs::ScopedSpan span("pack.B", obs::Phase::kPack, coord.m,
+                                     coord.n, coord.k, s0);
                 racecheck::region_access_range(
                     rc_pb.id, s0, s1, racecheck::AccessKind::kWrite,
                     {step_idx, coord.m, coord.n, coord.k,
@@ -407,6 +471,8 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
             if (have_last) flush_c(last, cur_mi, cur_ni);
             // Fresh local C surface for the new (m, n) column.
             pool_.parallel_for(0, mi, p, [&](index_t r0, index_t r1) {
+                obs::ScopedSpan span("flush.zero", obs::Phase::kFlush,
+                                     coord.m, coord.n, coord.k, r0);
                 racecheck::region_access_block(
                     rc_c.id, r0, r1, 0, ceil_div(ni, kernel_.nr),
                     racecheck::AccessKind::kWrite,
@@ -450,7 +516,10 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
             make_span(c_block_.data(), c_block_.size(), "local C surface");
         const index_t band =
             round_up(ceil_div(mi, static_cast<index_t>(p)), kernel_.mr);
+        const bool obs_tiles = obs::metrics_enabled();
         pool_.run(p, [&, kernel, pa, pb, cb, mi, ni, ki, band](int tid) {
+            obs::ScopedSpan span("compute", obs::Phase::kCompute, coord.m,
+                                 coord.n, coord.k, tid);
             const index_t r_begin = std::min<index_t>(tid * band, mi);
             const index_t r_end = std::min<index_t>((tid + 1) * band, mi);
             if (r_begin < r_end) {
@@ -482,10 +551,17 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
                         kernel.nr * ki);
                     Span<T> c_tile = span_slice(
                         cb, r * ni + j, (mrows - 1) * ni + ncols);
+                    const std::uint64_t tile_t0 =
+                        obs_tiles ? obs::now_ns() : 0;
                     run_microkernel_tile(kernel, ki, span_data(a_sliver),
                                          span_data(b_sliver),
                                          span_data(c_tile), ni, mrows, ncols,
                                          /*accumulate=*/true, scratch);
+                    if (obs_tiles) {
+                        obs::histogram_observe(
+                            tile_latency_hist(),
+                            static_cast<double>(obs::now_ns() - tile_t0));
+                    }
                 }
             }
         });
@@ -726,8 +802,24 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
             team.barrier();
             ++phase;
         };
-        auto elapsed = [](Clock::time_point t0) {
-            return std::chrono::duration<double>(Clock::now() - t0).count();
+        // Each work item is timed ONCE with a shared Clock::now() pair that
+        // feeds both the phase stats and the emitted trace span, so the
+        // per-worker span totals and CakeStats phase seconds agree exactly
+        // (a second clock pair would skew short flush/zero items by its own
+        // cost). The obs push happens after the end reading — ring costs
+        // stay outside both measurements.
+        const bool tracing = obs::enabled();
+        auto timed_item = [&](const char* span_name, obs::Phase obs_phase,
+                              const Step& st, index_t item, auto&& body) {
+            const auto t0 = Clock::now();
+            body();
+            const auto t1 = Clock::now();
+            if (tracing) {
+                obs::emit_span(span_name, obs_phase, obs::to_trace_ns(t0),
+                               obs::to_trace_ns(t1), st.coord.m, st.coord.n,
+                               st.coord.k, item);
+            }
+            return std::chrono::duration<double>(t1 - t0).count();
         };
 
         // One group of mr slivers of step st's A surface into its half.
@@ -784,6 +876,7 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
         };
         // One mr row band of step st's block computation.
         auto compute_item = [&](const Step& st, const T* pb, index_t band) {
+            const bool obs_tiles = obs::metrics_enabled();
             schedshake::interleave_point(schedshake::Point::kComputeItem);
             const index_t r = band * mr;
             const index_t mrows = std::min(mr, st.mi - r);
@@ -812,9 +905,16 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
                 const T* b_sliver = pb + (j / nr) * nr * st.ki;
                 require_extent(r * st.ni + j, (mrows - 1) * st.ni + ncols,
                                cb_cap, "pipelined compute C tile");
+                const std::uint64_t tile_t0 =
+                    obs_tiles ? obs::now_ns() : 0;
                 run_microkernel_tile(kernel, st.ki, a_sliver, b_sliver,
                                      cb + r * st.ni + j, st.ni, mrows, ncols,
                                      /*accumulate=*/true, scratch);
+                if (obs_tiles) {
+                    obs::histogram_observe(
+                        tile_latency_hist(),
+                        static_cast<double>(obs::now_ns() - tile_t0));
+                }
             }
         };
         // One group of rows of a departing column's writeback to user C.
@@ -870,13 +970,16 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
         // (it overlaps with compute whenever spare hardware threads exist).
         auto do_pack_item = [&](const Step& st, index_t na, index_t item,
                                 bool co_issued) {
-            const auto t0 = Clock::now();
-            if (item < na) {
-                pack_a_item(st, item);
-            } else {
-                pack_b_item(st, item - na);
-            }
-            const double d = elapsed(t0);
+            const bool is_a = item < na;
+            const double d = timed_item(
+                is_a ? "pack.A" : "pack.B", obs::Phase::kPack, st,
+                is_a ? item : item - na, [&] {
+                    if (is_a) {
+                        pack_a_item(st, item);
+                    } else {
+                        pack_b_item(st, item - na);
+                    }
+                });
             pack_s += d;
             if (co_issued) hidden_s += d;
         };
@@ -891,9 +994,9 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
                 if (item < na + nbv) {
                     do_pack_item(s0, na, item, /*co_issued=*/false);
                 } else {
-                    const auto t0 = Clock::now();
-                    zero_item(s0, item - na - nbv);
-                    flush_s += elapsed(t0);
+                    const index_t zi = item - na - nbv;
+                    flush_s += timed_item("flush.zero", obs::Phase::kFlush,
+                                          s0, zi, [&] { zero_item(s0, zi); });
                 }
             });
         }
@@ -906,14 +1009,14 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
                 // the flush must read the buffer before the zero scrubs it.
                 run_phase(ceil_div(st.flush_mi, kRowGroup),
                           [&](index_t item) {
-                    const auto t0 = Clock::now();
-                    flush_item(st, item);
-                    flush_s += elapsed(t0);
+                    flush_s += timed_item("flush.write", obs::Phase::kFlush,
+                                          st, item,
+                                          [&] { flush_item(st, item); });
                 });
                 run_phase(ceil_div(st.mi, kRowGroup), [&](index_t item) {
-                    const auto t0 = Clock::now();
-                    zero_item(st, item);
-                    flush_s += elapsed(t0);
+                    flush_s += timed_item("flush.zero", obs::Phase::kFlush,
+                                          st, item,
+                                          [&] { zero_item(st, item); });
                 });
             }
             // Main phase: compute block t while packing block t+1's
@@ -933,9 +1036,10 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
                 if (item < na + nbv) {
                     do_pack_item(*next, na, item, /*co_issued=*/true);
                 } else {
-                    const auto t0 = Clock::now();
-                    compute_item(st, pb, item - na - nbv);
-                    compute_s += elapsed(t0);
+                    const index_t band = item - na - nbv;
+                    compute_s +=
+                        timed_item("compute", obs::Phase::kCompute, st, band,
+                                   [&] { compute_item(st, pb, band); });
                 }
             });
         }
@@ -943,9 +1047,9 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
         // Pipeline drain: flush the last live column.
         run_phase(ceil_div(final_flush.flush_mi, kRowGroup),
                   [&](index_t item) {
-            const auto t0 = Clock::now();
-            flush_item(final_flush, item);
-            flush_s += elapsed(t0);
+            flush_s += timed_item("flush.write", obs::Phase::kFlush,
+                                  final_flush, item,
+                                  [&] { flush_item(final_flush, item); });
         });
 
         worker_pack[static_cast<std::size_t>(tid)] = pack_s;

@@ -6,10 +6,43 @@
 #include "common/checked.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pack/pack.hpp"
 
 namespace cake {
 namespace {
+
+/// Publish one multiply's GotoStats into the obs metrics registry
+/// (mirrors publish_cake_stats in src/core).
+void publish_goto_stats(const GotoStats& s)
+{
+    if (!obs::metrics_enabled()) return;
+    static const obs::MetricId multiplies =
+        obs::counter("goto.gemm.multiplies");
+    static const obs::MetricId passes = obs::counter("goto.gemm.c_passes");
+    static const obs::MetricId a_packs = obs::counter("goto.gemm.a_packs");
+    static const obs::MetricId b_packs = obs::counter("goto.gemm.b_packs");
+    static const obs::MetricId dram_rd =
+        obs::counter("goto.gemm.dram_read_bytes");
+    static const obs::MetricId dram_wr =
+        obs::counter("goto.gemm.dram_write_bytes");
+    static const obs::MetricId pack_s = obs::gauge("goto.gemm.pack_s");
+    static const obs::MetricId compute_s =
+        obs::gauge("goto.gemm.compute_s");
+    static const obs::MetricId stall_s = obs::gauge("goto.gemm.stall_s");
+    static const obs::MetricId total_s = obs::gauge("goto.gemm.total_s");
+    obs::counter_add(multiplies, 1);
+    obs::counter_add(passes, static_cast<std::uint64_t>(s.c_passes));
+    obs::counter_add(a_packs, static_cast<std::uint64_t>(s.a_packs));
+    obs::counter_add(b_packs, static_cast<std::uint64_t>(s.b_packs));
+    obs::counter_add(dram_rd, s.dram_read_bytes);
+    obs::counter_add(dram_wr, s.dram_write_bytes);
+    obs::gauge_set(pack_s, s.pack_seconds);
+    obs::gauge_set(compute_s, s.compute_seconds);
+    obs::gauge_set(stall_s, s.stall_seconds);
+    obs::gauge_set(total_s, s.total_seconds);
+}
 
 /// Square mc = kc from the deepest private cache, exactly as the CAKE
 /// solver does (§4.4: both algorithms reuse square A sub-blocks in L2).
@@ -121,6 +154,8 @@ void GotoGemmT<T>::multiply(const T* a, index_t lda, const T* b, index_t ldb,
             const T* bsrc = b + pc * ldb + jc;
             pool_.parallel_for(0, ceil_div(ncur, kernel.nr), p,
                                [&](index_t s0, index_t s1) {
+                obs::ScopedSpan span("pack.B", obs::Phase::kPack, -1,
+                                     jc / nc, pc / kc, s0);
                 const index_t c0 = s0 * kernel.nr;
                 const index_t c1 = std::min(ncur, s1 * kernel.nr);
                 pack_b_panel(bsrc + c0, ldb, kcur, c1 - c0, kernel.nr,
@@ -139,6 +174,8 @@ void GotoGemmT<T>::multiply(const T* a, index_t lda, const T* b, index_t ldb,
                 make_span(static_cast<const T*>(pack_b_.data()),
                           pack_b_.size(), "GOTO packed-B panel");
             pool_.run(p, [&, kernel, pb, acc](int tid) {
+                obs::ScopedSpan span("compute", obs::Phase::kCompute, -1,
+                                     jc / nc, pc / kc, tid);
                 AlignedBuffer<T>& pa_buf =
                     pack_a_[static_cast<std::size_t>(tid)];
                 Span<const T> pa =
@@ -148,8 +185,13 @@ void GotoGemmT<T>::multiply(const T* a, index_t lda, const T* b, index_t ldb,
                 for (index_t ic = tid * mc; ic < m;
                      ic += static_cast<index_t>(p) * mc) {
                     const index_t mcur = std::min(mc, m - ic);
-                    pack_a_panel(a + ic * lda + pc, lda, mcur, kcur,
-                                 kernel.mr, pa_buf.data());
+                    {
+                        obs::ScopedSpan pack_span("pack.A",
+                                                  obs::Phase::kPack, ic / mc,
+                                                  jc / nc, pc / kc, tid);
+                        pack_a_panel(a + ic * lda + pc, lda, mcur, kcur,
+                                     kernel.mr, pa_buf.data());
+                    }
                     for (index_t ir = 0; ir < mcur; ir += kernel.mr) {
                         const index_t mrows = std::min(kernel.mr, mcur - ir);
                         Span<const T> a_sliver = span_slice(
@@ -201,6 +243,7 @@ void GotoGemmT<T>::multiply(const T* a, index_t lda, const T* b, index_t ldb,
     stats_.stall_seconds =
         std::max(0.0, stats_.total_seconds - stats_.pack_seconds
                           - stats_.compute_seconds);
+    publish_goto_stats(stats_);
 }
 
 template class GotoGemmT<float>;

@@ -6,6 +6,7 @@
 
 #include "common/checked.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 // Every routine below is written against cake::Span: in CAKE_CHECKED
 // builds each sliver/column slice and element store is bounds-checked
@@ -26,6 +27,21 @@ constexpr std::size_t strided_extent(index_t rows, index_t cols, index_t ld)
         : 0;
 }
 
+/// obs counters for the leaf pack routines: panels packed per surface and
+/// total source bytes moved. One relaxed flag load when metrics are off.
+void note_pack(bool is_a, index_t rows, index_t cols,
+               std::size_t elem_bytes)
+{
+    if (!obs::metrics_enabled()) return;
+    static const obs::MetricId a_panels = obs::counter("pack.a_panels");
+    static const obs::MetricId b_panels = obs::counter("pack.b_panels");
+    static const obs::MetricId bytes = obs::counter("pack.src_bytes");
+    obs::counter_add(is_a ? a_panels : b_panels, 1);
+    obs::counter_add(bytes, static_cast<std::uint64_t>(rows)
+                                * static_cast<std::uint64_t>(cols)
+                                * elem_bytes);
+}
+
 }  // namespace
 
 template <typename T>
@@ -33,6 +49,7 @@ void pack_a_panel(const T* a, index_t lda, index_t m, index_t k, index_t mr,
                   T* out)
 {
     CAKE_CHECK(m >= 0 && k >= 0 && mr > 0 && lda >= k);
+    note_pack(/*is_a=*/true, m, k, sizeof(T));
     const index_t slivers = ceil_div(m, mr);
     Span<T> out_sp = make_span(
         out, static_cast<std::size_t>(packed_a_size(m, k, mr)),
@@ -61,6 +78,7 @@ void pack_a_panel_transposed(const T* a, index_t lda, index_t m, index_t k,
     // A block reads a[p * lda + i], which is unit-stride in i — the
     // transposed pack is actually the cheap direction for A.
     CAKE_CHECK(m >= 0 && k >= 0 && mr > 0 && lda >= m);
+    note_pack(/*is_a=*/true, m, k, sizeof(T));
     const index_t slivers = ceil_div(m, mr);
     Span<T> out_sp = make_span(
         out, static_cast<std::size_t>(packed_a_size(m, k, mr)),
@@ -86,6 +104,7 @@ void pack_b_panel(const T* b, index_t ldb, index_t k, index_t n, index_t nr,
                   T* out)
 {
     CAKE_CHECK(k >= 0 && n >= 0 && nr > 0 && ldb >= n);
+    note_pack(/*is_a=*/false, k, n, sizeof(T));
     const index_t slivers = ceil_div(n, nr);
     Span<T> out_sp = make_span(
         out, static_cast<std::size_t>(packed_b_size(k, n, nr)),
@@ -117,6 +136,7 @@ void pack_b_panel_transposed(const T* b, index_t ldb, index_t k, index_t n,
     // Source is n x k (row-major, ldb >= k): element (p, j) of the logical
     // B block reads b[j * ldb + p] — strided in j, the expensive direction.
     CAKE_CHECK(k >= 0 && n >= 0 && nr > 0 && ldb >= k);
+    note_pack(/*is_a=*/false, k, n, sizeof(T));
     const index_t slivers = ceil_div(n, nr);
     Span<T> out_sp = make_span(
         out, static_cast<std::size_t>(packed_b_size(k, n, nr)),

@@ -3,8 +3,32 @@
 #include <algorithm>
 #include <ostream>
 
+#include "obs/metrics.hpp"
+
 namespace cake {
 namespace sim {
+
+void Timeline::record(Slice slice)
+{
+    slices_.push_back(slice);
+    if (!obs::metrics_enabled()) return;
+    static const obs::MetricId fetches =
+        obs::counter("sim.timeline.fetch_slices");
+    static const obs::MetricId computes =
+        obs::counter("sim.timeline.compute_slices");
+    static const obs::MetricId drains =
+        obs::counter("sim.timeline.drain_slices");
+    static const obs::MetricId dur_hist = obs::histogram(
+        "sim.timeline.slice_ns", obs::latency_bounds_ns());
+    switch (slice.kind) {
+        case SliceKind::kFetch: obs::counter_add(fetches, 1); break;
+        case SliceKind::kCompute: obs::counter_add(computes, 1); break;
+        case SliceKind::kDrain: obs::counter_add(drains, 1); break;
+    }
+    // Modelled (simulated) seconds, published on the same ns scale the
+    // wall-clock histograms use so one table renders both.
+    obs::histogram_observe(dur_hist, slice.duration() * 1e9);
+}
 
 const char* slice_kind_name(SliceKind kind)
 {

@@ -38,7 +38,10 @@ struct Slice {
 /// Collects slices during a simulation run.
 class Timeline {
 public:
-    void record(Slice slice) { slices_.push_back(slice); }
+    /// Append a slice; also publishes per-kind slice counters and a
+    /// modelled-duration histogram into the obs metrics registry when it
+    /// is armed (see src/obs/metrics.hpp).
+    void record(Slice slice);
     [[nodiscard]] const std::vector<Slice>& slices() const
     {
         return slices_;

@@ -5,8 +5,48 @@
 #include "analysis/racecheck.hpp"
 #include "analysis/schedshake.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cake {
+
+namespace {
+
+obs::MetricId barrier_wait_hist()
+{
+    static const obs::MetricId id = obs::histogram(
+        "threading.barrier.wait_ns", obs::latency_bounds_ns());
+    return id;
+}
+
+/// One barrier crossing's span + wait-latency observation. RAII so every
+/// return path in arrive_and_wait (fast, last-arriver, spin, sleep,
+/// broken) is attributed. Compiles to nothing in CAKE_TRACE_DISABLED
+/// builds; costs two relaxed flag loads when tracing is disarmed.
+struct BarrierWaitObs {
+    std::uint64_t t0 = 0;
+    bool armed = false;
+
+    BarrierWaitObs()
+    {
+        if (obs::enabled() || obs::metrics_enabled()) {
+            armed = true;
+            t0 = obs::now_ns();
+        }
+    }
+    BarrierWaitObs(const BarrierWaitObs&) = delete;
+    BarrierWaitObs& operator=(const BarrierWaitObs&) = delete;
+    ~BarrierWaitObs()
+    {
+        if (!armed) return;
+        const std::uint64_t t1 = obs::now_ns();
+        obs::emit_span("barrier.wait", obs::Phase::kBarrier, t0, t1);
+        obs::histogram_observe(barrier_wait_hist(),
+                               static_cast<double>(t1 - t0));
+    }
+};
+
+}  // namespace
 
 Barrier::Barrier(int participants) : participants_(participants)
 {
@@ -71,6 +111,7 @@ SpinBarrier::SpinBarrier(int participants) : participants_(participants)
 void SpinBarrier::arrive_and_wait()
 {
     if (broken_.load(std::memory_order_acquire)) return;
+    BarrierWaitObs wait_obs;
     schedshake::interleave_point(schedshake::Point::kBarrierArrive);
     if (participants_ == 1) {
         const long gen = generation_.load(std::memory_order_relaxed);

@@ -4,6 +4,8 @@
 
 #include "analysis/racecheck.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cake {
 
@@ -13,6 +15,27 @@ namespace {
 /// Lets run()/run_team() detect re-entrant dispatch, which would deadlock:
 /// the nested job waits on workers that are waiting for the outer job.
 thread_local const ThreadPool* tls_active_pool = nullptr;
+
+obs::MetricId pool_jobs_counter()
+{
+    static const obs::MetricId id = obs::counter("threading.pool.jobs");
+    return id;
+}
+
+/// Tag the current thread with its team tid for the obs tracer, restoring
+/// the previous attribution on scope exit (nested dispatch keeps the outer
+/// job's id after the inner one completes).
+struct ScopedWorkerId {
+    int prev;
+
+    explicit ScopedWorkerId(int tid) : prev(obs::thread_worker())
+    {
+        obs::set_thread_worker(tid);
+    }
+    ScopedWorkerId(const ScopedWorkerId&) = delete;
+    ScopedWorkerId& operator=(const ScopedWorkerId&) = delete;
+    ~ScopedWorkerId() { obs::set_thread_worker(prev); }
+};
 
 }  // namespace
 
@@ -63,6 +86,7 @@ void ThreadPool::execute_slot(int tid)
     }
     const ThreadPool* prev_pool = tls_active_pool;
     tls_active_pool = this;
+    ScopedWorkerId worker_id(tid);
     // CAKE_RACECHECK fork edge: everything the dispatching thread did
     // before run() happened-before this member's work. The matching exit
     // hook folds this member's clock into the pool's join clock *before*
@@ -104,7 +128,9 @@ void ThreadPool::run(int width, const std::function<void(int)>& fn)
 {
     CAKE_CHECK_MSG(width >= 1 && width <= size_,
                    "job width " << width << " outside [1, " << size_ << "]");
+    obs::counter_add(pool_jobs_counter(), 1);
     if (width == 1) {
+        ScopedWorkerId worker_id(0);
         fn(0);
         return;
     }
@@ -152,6 +178,7 @@ void ThreadPool::run_team(int width,
         }
     };
     if (width == 1) {
+        ScopedWorkerId worker_id(0);
         member(0);
     } else {
         CAKE_CHECK_MSG(tls_active_pool != this,

@@ -23,6 +23,32 @@ set -uo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "${repo_root}"
 
+# --probe-rule4: self-test that rule 4 (raw-atomic ban) still fires after
+# an allowlist edit. Plants a throwaway std::atomic use under src/core
+# (the lint MUST flag it) and then under the allowlisted src/obs (the lint
+# MUST NOT), cleaning up the probe files on every exit path.
+if [[ "${1:-}" == "--probe-rule4" ]]; then
+  probe_bad="src/core/lint_rule4_probe_tmp.hpp"
+  probe_ok="src/obs/lint_rule4_probe_tmp.hpp"
+  trap 'rm -f "${repo_root}/${probe_bad}" "${repo_root}/${probe_ok}"' EXIT
+  printf '#include <atomic>\ninline std::atomic<int> lint_probe{0};\n' \
+    > "${probe_bad}"
+  if "${repo_root}/tools/lint.sh" >/dev/null 2>&1; then
+    echo "lint probe: FAILED (rule 4 did not flag ${probe_bad})"
+    exit 1
+  fi
+  rm -f "${repo_root}/${probe_bad}"
+  printf '#include <atomic>\ninline std::atomic<int> lint_probe{0};\n' \
+    > "${probe_ok}"
+  if ! "${repo_root}/tools/lint.sh" >/dev/null 2>&1; then
+    echo "lint probe: FAILED (allowlisted ${probe_ok} was flagged)"
+    exit 1
+  fi
+  rm -f "${repo_root}/${probe_ok}"
+  echo "lint probe: OK (rule 4 fires under src/core, allows src/obs)"
+  exit 0
+fi
+
 # Scanned trees: everything we compile.
 mapfile -t files < <(find src tests tools bench examples \
   \( -name '*.cpp' -o -name '*.hpp' \) 2>/dev/null | sort)
@@ -79,9 +105,11 @@ out="$(scan '\(\s*(const[[:space:]]+)?(float|double|int8_t|int32_t|char|void)[[:
 # 4. Raw synchronisation primitives outside src/threading (and the
 # analysis layer that instruments it). The allowlist names every existing
 # legitimate use — executors' phase counters, the bandwidth probe's timing
-# loops, benches and threading tests; extending it is a review decision.
+# loops, the obs tracer/metrics internals (per-thread ring head counters
+# and lock-free metric cells; see src/obs/trace.cpp), benches and
+# threading tests; extending it is a review decision.
 # (std::this_thread is fine anywhere: yield/sleep are not synchronisation.)
-sync_allow='^src/threading/|^src/analysis/|^src/machine/machine\.cpp$|^src/machine/bw_probe\.cpp$|^src/conv/conv2d\.cpp$|^src/core/batched\.cpp$|^src/core/cake_gemm\.cpp$|^tests/threading_test\.cpp$|^tests/misc_test\.cpp$|^bench/bench_pipeline\.cpp$'
+sync_allow='^src/threading/|^src/analysis/|^src/obs/|^src/machine/machine\.cpp$|^src/machine/bw_probe\.cpp$|^src/conv/conv2d\.cpp$|^src/core/batched\.cpp$|^src/core/cake_gemm\.cpp$|^tests/threading_test\.cpp$|^tests/misc_test\.cpp$|^bench/bench_pipeline\.cpp$'
 sync_files=()
 for f in "${files[@]}"; do
   [[ "${f}" =~ ${sync_allow} ]] || sync_files+=("${f}")
