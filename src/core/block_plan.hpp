@@ -1,0 +1,98 @@
+// The CB-block execution plan: the per-step decisions (which surfaces to
+// fetch, which double-buffer half holds them, when the local C surface
+// turns over and what it writes back) derived once, up front, as a pure
+// function of the block schedule and the tiling parameters.
+//
+// Both executors in src/core/cake_gemm.cpp consume this plan — the serial
+// path with double-buffering disabled (every slot stays 0), the pipelined
+// path with slots alternating on each fresh fetch — and the schedule-IR
+// extractor in src/analysis/schedir.cpp replays the *same* plan to emit
+// the tile operations it verifies. That sharing is the point: the verifier
+// proves properties of the data structure the runtime actually executes,
+// not of a parallel reimplementation that could drift.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/schedule.hpp"
+#include "core/tiling.hpp"
+
+namespace cake {
+
+// Work-item granularity shared by the pipelined executor and the IR
+// extractor. Compute items stay one mr band each — the load-balancing unit
+// that keeps every core busy on edge blocks. IO items (pack slivers,
+// flush/zero rows) are grouped coarser: they are short memcpy-like bodies,
+// and per-item counter and clock overhead would otherwise be measurable.
+inline constexpr index_t kPackAGroup = 4;  ///< mr slivers per pack-A item
+inline constexpr index_t kPackBGroup = 8;  ///< nr slivers per pack-B item
+inline constexpr index_t kRowGroup = 16;   ///< C rows per flush/zero item
+
+/// One schedule step's resolved execution decisions.
+struct BlockStep {
+    BlockCoord coord;
+    index_t step = 0;  ///< schedule position (for diagnostics)
+    index_t mi = 0, ni = 0, ki = 0;  ///< block extents (edge-clipped)
+    index_t m0 = 0, n0 = 0, k0 = 0;  ///< element offsets into A/B/C
+    int a_slot = 0, b_slot = 0;  ///< double-buffer half holding A / B
+    bool pack_a = false;  ///< A not shared with the previous step: fetch it
+    bool pack_b = false;  ///< B not shared: pack it (never set prepacked)
+    bool b_fresh = false;  ///< B surface newly streamed (pack or prepacked)
+    bool c_change = false;  ///< a new (m, n) column starts at this step
+    bool reload = false;  ///< entering column was spilled before: refetch
+    index_t c_gen = 0;  ///< ordinal of the local-C lifetime this step uses
+    // Departing-column flush, executed at entry of this step (valid when
+    // c_change && step > 0; also used for the final drain pseudo-step).
+    BlockCoord flush_coord;     ///< grid column being written back
+    index_t flush_mi = 0, flush_ni = 0;
+    index_t flush_dst = 0;       ///< element offset into user C
+    index_t flush_gen = 0;       ///< local-C lifetime being retired
+    bool flush_revisit = false;  ///< surface spilled before: beta = 1
+    bool flush_partial = false;  ///< fewer than Kb accumulations spilled
+};
+
+/// Modelled external-memory traffic and operation counts of a plan. The
+/// executors copy these into CakeStats verbatim instead of re-deriving
+/// them step by step.
+struct BlockPlanStats {
+    index_t blocks_executed = 0;
+    index_t a_packs = 0;
+    index_t b_packs = 0;
+    index_t c_flushes = 0;
+    index_t c_partial_spills = 0;
+    std::uint64_t dram_read_bytes = 0;
+    std::uint64_t dram_write_bytes = 0;
+};
+
+/// The resolved plan for one multiply. `final_flush` is a pseudo-step
+/// whose flush_* fields retire the last live column (its coord/extent
+/// fields mirror the last schedule step).
+struct BlockPlan {
+    std::vector<BlockStep> steps;
+    BlockStep final_flush;
+    BlockPlanStats stats;
+    index_t c_generations = 0;  ///< total local-C lifetimes (column visits)
+};
+
+/// Inputs `build_block_plan` needs beyond the schedule itself. Only shape
+/// and policy — no pointers, so the same plan describes a dry run.
+struct BlockPlanInputs {
+    CbBlockParams params;
+    index_t m = 0, n = 0, k = 0;
+    index_t ldc = 0;   ///< user-C leading dimension (flush destinations)
+    index_t nb = 0;    ///< grid width, for (m, n) -> column-slot mapping
+    index_t kb = 0;    ///< grid depth, for partial-spill detection
+    bool use_prepacked = false;  ///< B streams from panels, no pack ops
+    bool beta_nonzero = false;   ///< first-visit flushes read-modify-write
+    bool double_buffer = false;  ///< alternate pack slots on fresh fetches
+};
+
+/// Derive the execution plan for `order`. Every decision the executors
+/// make per step — surface sharing, slot assignment, flush bookkeeping,
+/// DRAM traffic accounting — is resolved here, in schedule order.
+BlockPlan build_block_plan(const std::vector<BlockCoord>& order,
+                           const BlockPlanInputs& in);
+
+}  // namespace cake

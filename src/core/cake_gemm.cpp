@@ -10,6 +10,7 @@
 #include "common/checked.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "core/block_plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pack/pack.hpp"
@@ -89,6 +90,7 @@ struct GemmCall {
     CbBlockParams params;
     index_t mb = 0, nb = 0, kb = 0;
     std::vector<BlockCoord> order;
+    const BlockPlan* plan = nullptr;  ///< resolved per-step decisions
 };
 
 /// CAKE_RACECHECK: retire a shadow-ownership region when the executor
@@ -264,6 +266,31 @@ void CakeGemmT<T>::multiply_impl(const T* a, index_t lda, const T* b,
     call.order = build_schedule(options_.schedule, call.mb, call.nb, call.kb,
                                 /*n_outermost=*/n >= m);
 
+    // Resolve the whole block loop up front: surface sharing, pack-slot
+    // assignment, flush bookkeeping and the modelled DRAM traffic are pure
+    // functions of the schedule (src/core/block_plan.cpp). Both executors
+    // and the schedule-IR extractor consume this same plan.
+    BlockPlanInputs plan_in;
+    plan_in.params = params;
+    plan_in.m = m;
+    plan_in.n = n;
+    plan_in.k = k;
+    plan_in.ldc = ldc;
+    plan_in.nb = call.nb;
+    plan_in.kb = call.kb;
+    plan_in.use_prepacked = prepacked != nullptr;
+    plan_in.beta_nonzero = beta_s != T(0);
+    plan_in.double_buffer = pipelined;
+    const BlockPlan plan = build_block_plan(call.order, plan_in);
+    call.plan = &plan;
+    stats_.blocks_executed = plan.stats.blocks_executed;
+    stats_.a_packs = plan.stats.a_packs;
+    stats_.b_packs = plan.stats.b_packs;
+    stats_.c_flushes = plan.stats.c_flushes;
+    stats_.c_partial_spills = plan.stats.c_partial_spills;
+    stats_.dram_read_bytes = plan.stats.dram_read_bytes;
+    stats_.dram_write_bytes = plan.stats.dram_write_bytes;
+
     pack_a_[0].ensure(static_cast<std::size_t>(
         packed_a_size(params.m_blk, params.k_blk, kernel_.mr)));
     if (pipelined) pack_a_[1].ensure(pack_a_[0].size());
@@ -317,8 +344,7 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
 {
     const CbBlockParams& params = call.params;
     const int p = params.p;
-    const index_t m = call.m, n = call.n, k = call.k;
-    const index_t nb = call.nb, kb = call.kb;
+    const index_t m = call.m, n = call.n;
     const T alpha_s = call.alpha, beta_s = call.beta;
     const T* a = call.a;
     const T* b = call.b;
@@ -326,12 +352,7 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
     const index_t lda = call.lda, ldb = call.ldb, ldc = call.ldc;
     const bool ta = call.ta, tb = call.tb;
     const PackedB<T>* prepacked = call.prepacked;
-
-    // Per-(m, n) bookkeeping: how many K blocks have accumulated into the
-    // local C surface, and whether the surface already visited user memory
-    // (only possible under non-K-first ablation schedules).
-    std::vector<index_t> k_done(static_cast<std::size_t>(call.mb * nb), 0);
-    std::vector<char> flushed(static_cast<std::size_t>(call.mb * nb), 0);
+    const BlockPlan& plan = *call.plan;
 
     // CAKE_RACECHECK shadow regions: the packed panels at mr/nr-sliver
     // granularity and the local C surface at row x nr-sliver granularity
@@ -345,65 +366,43 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
         "packed-B panel", ceil_div(params.n_blk, kernel_.nr)));
     detail::ScopedRegion rc_c(racecheck::region_register(
         "local C surface", params.m_blk * c_cols, c_cols));
-    index_t step_idx = 0;  ///< schedule position, for access diagnostics
 
-    BlockCoord last{-1, -1, -1};
-    bool have_last = false;
-    index_t cur_mi = 0, cur_ni = 0;  // extents of the live C surface
-
-    auto block_extent = [](index_t idx, index_t blk, index_t total) {
-        const index_t start = idx * blk;
-        return std::min(blk, total - start);
-    };
-
-    auto flush_c = [&](const BlockCoord& coord, index_t mi, index_t ni) {
-        const std::size_t slot =
-            static_cast<std::size_t>(coord.m * nb + coord.n);
+    // Flush the departing column recorded in `fl`'s flush_* fields (a plan
+    // step opening a new column, or the final-drain pseudo-step).
+    auto flush_c = [&](const BlockStep& fl) {
         // First visit applies the caller's beta; revisits (spilled partial
         // surfaces under ablation schedules) must accumulate.
-        const T beta_eff = flushed[slot] != 0 ? T(1) : beta_s;
-        const index_t dst0 =
-            coord.m * params.m_blk * ldc + coord.n * params.n_blk;
-        require_extent(dst0, (mi - 1) * ldc + ni,
+        const T beta_eff = fl.flush_revisit ? T(1) : beta_s;
+        const index_t mi = fl.flush_mi, ni = fl.flush_ni;
+        const BlockCoord& coord = fl.flush_coord;
+        require_extent(fl.flush_dst, (mi - 1) * ldc + ni,
                        static_cast<std::size_t>((m - 1) * ldc + n),
                        "user C surface flush");
-        T* dst = c + dst0;
+        T* dst = c + fl.flush_dst;
         pool_.parallel_for(0, mi, p, [&](index_t r0, index_t r1) {
             obs::ScopedSpan span("flush.write", obs::Phase::kFlush, coord.m,
                                  coord.n, coord.k, r0);
             racecheck::region_access_block(
                 rc_c.id, r0, r1, 0, ceil_div(ni, kernel_.nr),
                 racecheck::AccessKind::kRead,
-                {step_idx, coord.m, coord.n, coord.k,
+                {fl.step, coord.m, coord.n, coord.k,
                  racecheck::Phase::kFlush});
             require_extent(r0 * ni, (r1 - r0) * ni, c_block_.size(),
                            "local C flush rows");
             unpack_c_block_scaled(c_block_.data() + r0 * ni, r1 - r0, ni,
                                   dst + r0 * ldc, ldc, alpha_s, beta_eff);
         });
-        flushed[slot] = 1;
-        ++stats_.c_flushes;
-        const auto bytes =
-            static_cast<std::uint64_t>(mi) * static_cast<std::uint64_t>(ni)
-            * sizeof(T);
-        stats_.dram_write_bytes += bytes;
-        if (beta_eff != T(0)) stats_.dram_read_bytes += bytes;  // RMW
-        if (k_done[slot] < kb) ++stats_.c_partial_spills;
     };
 
-    for (const BlockCoord& coord : call.order) {
-        const index_t mi = block_extent(coord.m, params.m_blk, m);
-        const index_t ni = block_extent(coord.n, params.n_blk, n);
-        const index_t ki = block_extent(coord.k, params.k_blk, k);
-        const index_t m0 = coord.m * params.m_blk;
-        const index_t n0 = coord.n * params.n_blk;
-        const index_t k0 = coord.k * params.k_blk;
+    for (const BlockStep& st : plan.steps) {
+        const BlockCoord coord = st.coord;
+        const index_t mi = st.mi, ni = st.ni, ki = st.ki;
+        const index_t m0 = st.m0, n0 = st.n0, k0 = st.k0;
+        const index_t step_idx = st.step;
 
         // --- surface sharing: only fetch (pack) surfaces that changed ---
         Timer pack_timer;
-        const bool a_shared =
-            have_last && last.m == coord.m && last.k == coord.k;
-        if (!a_shared) {
+        if (st.pack_a) {
             pool_.parallel_for(0, ceil_div(mi, kernel_.mr), p,
                                [&](index_t s0, index_t s1) {
                 obs::ScopedSpan span("pack.A", obs::Phase::kPack, coord.m,
@@ -423,22 +422,13 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
                                  kernel_.mr, pack_a_[0].data() + r0 * ki);
                 }
             });
-            ++stats_.a_packs;
-            stats_.dram_read_bytes +=
-                static_cast<std::uint64_t>(mi) * ki * sizeof(T);
         }
         const T* pb_block = pack_b_[0].data();
-        const bool b_shared =
-            have_last && last.k == coord.k && last.n == coord.n;
         if (prepacked != nullptr) {
-            // Weights are already in panel format: no pack work, but the
-            // surface still streams DRAM -> local memory once per block.
+            // Weights are already in panel format: no pack work; the
+            // stream into local memory is accounted in the plan.
             pb_block = prepacked->panel(coord.k, coord.n);
-            if (!b_shared) {
-                stats_.dram_read_bytes +=
-                    static_cast<std::uint64_t>(ki) * ni * sizeof(T);
-            }
-        } else if (!b_shared) {
+        } else if (st.pack_b) {
             pool_.parallel_for(0, ceil_div(ni, kernel_.nr), p,
                                [&](index_t s0, index_t s1) {
                 obs::ScopedSpan span("pack.B", obs::Phase::kPack, coord.m,
@@ -458,17 +448,12 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
                                  kernel_.nr, pack_b_[0].data() + c0 * ki);
                 }
             });
-            ++stats_.b_packs;
-            stats_.dram_read_bytes +=
-                static_cast<std::uint64_t>(ki) * ni * sizeof(T);
         }
         stats_.pack_seconds += pack_timer.seconds();
 
-        const bool c_shared =
-            have_last && last.m == coord.m && last.n == coord.n;
-        if (!c_shared) {
+        if (st.c_change) {
             Timer flush_timer;
-            if (have_last) flush_c(last, cur_mi, cur_ni);
+            if (st.step > 0) flush_c(st);
             // Fresh local C surface for the new (m, n) column.
             pool_.parallel_for(0, mi, p, [&](index_t r0, index_t r1) {
                 obs::ScopedSpan span("flush.zero", obs::Phase::kFlush,
@@ -482,16 +467,6 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
                             static_cast<std::size_t>((r1 - r0) * ni)
                                 * sizeof(T));
             });
-            const std::size_t slot =
-                static_cast<std::size_t>(coord.m * nb + coord.n);
-            if (flushed[slot] != 0) {
-                // Non-K-first schedule revisiting a spilled surface: its
-                // partial results must come back from external memory.
-                stats_.dram_read_bytes +=
-                    static_cast<std::uint64_t>(mi) * ni * sizeof(T);
-            }
-            cur_mi = mi;
-            cur_ni = ni;
             stats_.flush_seconds += flush_timer.seconds();
         }
 
@@ -566,16 +541,10 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
             }
         });
         stats_.compute_seconds += compute_timer.seconds();
-
-        ++k_done[static_cast<std::size_t>(coord.m * nb + coord.n)];
-        ++stats_.blocks_executed;
-        last = coord;
-        have_last = true;
-        ++step_idx;
     }
-    if (have_last) {
+    {
         Timer flush_timer;
-        flush_c(last, cur_mi, cur_ni);
+        flush_c(plan.final_flush);
         stats_.flush_seconds += flush_timer.seconds();
     }
 }
@@ -597,123 +566,15 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
     const int p = params.p;
     const index_t mr = kernel_.mr;
     const index_t nr = kernel_.nr;
-    const index_t nb = call.nb, kb = call.kb;
     const bool use_prepacked = call.prepacked != nullptr;
 
-    // ---- Step plan. Buffer slots, pack needs and flush bookkeeping are
-    // pure functions of the schedule, so they are derived up front; the
-    // team then only claims and executes work items. The modelled DRAM
-    // statistics evolve in the exact serial-executor order here, too.
-    struct Step {
-        BlockCoord coord;
-        index_t step = 0;  ///< schedule position (for racecheck sites)
-        index_t mi = 0, ni = 0, ki = 0, m0 = 0, n0 = 0, k0 = 0;
-        int a_slot = 0, b_slot = 0;  ///< double-buffer half holding A / B
-        bool pack_a = false;  ///< A not shared: pack during previous step
-        bool pack_b = false;
-        bool c_change = false;  ///< new (m, n) column starts at this step
-        // Departing-column flush, executed at entry of this step (valid
-        // when c_change && t > 0).
-        index_t flush_mi = 0, flush_ni = 0;
-        index_t flush_dst = 0;       ///< element offset into user C
-        bool flush_revisit = false;  ///< surface spilled before: beta = 1
-    };
-    const index_t steps = static_cast<index_t>(call.order.size());
-    std::vector<Step> plan(static_cast<std::size_t>(steps));
-
-    std::vector<index_t> k_done(static_cast<std::size_t>(call.mb * nb), 0);
-    std::vector<char> flushed(static_cast<std::size_t>(call.mb * nb), 0);
-
-    auto block_extent = [](index_t idx, index_t blk, index_t total) {
-        return std::min(blk, total - idx * blk);
-    };
-    auto note_flush = [&](Step& st, const BlockCoord& col, index_t mi,
-                          index_t ni) {
-        const std::size_t slot = static_cast<std::size_t>(col.m * nb + col.n);
-        st.flush_mi = mi;
-        st.flush_ni = ni;
-        st.flush_dst = col.m * params.m_blk * call.ldc
-            + col.n * params.n_blk;
-        st.flush_revisit = flushed[slot] != 0;
-        const T beta_eff = st.flush_revisit ? T(1) : call.beta;
-        flushed[slot] = 1;
-        ++stats_.c_flushes;
-        const auto bytes =
-            static_cast<std::uint64_t>(mi) * static_cast<std::uint64_t>(ni)
-            * sizeof(T);
-        stats_.dram_write_bytes += bytes;
-        if (beta_eff != T(0)) stats_.dram_read_bytes += bytes;  // RMW
-        if (k_done[slot] < kb) ++stats_.c_partial_spills;
-    };
-
-    index_t cur_mi = 0, cur_ni = 0;
-    for (index_t t = 0; t < steps; ++t) {
-        Step& st = plan[static_cast<std::size_t>(t)];
-        st.coord = call.order[static_cast<std::size_t>(t)];
-        st.step = t;
-        st.mi = block_extent(st.coord.m, params.m_blk, call.m);
-        st.ni = block_extent(st.coord.n, params.n_blk, call.n);
-        st.ki = block_extent(st.coord.k, params.k_blk, call.k);
-        st.m0 = st.coord.m * params.m_blk;
-        st.n0 = st.coord.n * params.n_blk;
-        st.k0 = st.coord.k * params.k_blk;
-
-        const SurfaceSharing shared =
-            t == 0 ? SurfaceSharing{}
-                   : shared_surfaces(plan[static_cast<std::size_t>(t - 1)]
-                                         .coord,
-                                     st.coord);
-        const Step* prev =
-            t == 0 ? nullptr : &plan[static_cast<std::size_t>(t - 1)];
-
-        st.a_slot = prev != nullptr ? prev->a_slot : 0;
-        st.pack_a = !shared.a;
-        if (prev != nullptr && st.pack_a) st.a_slot = 1 - prev->a_slot;
-        if (st.pack_a) {
-            ++stats_.a_packs;
-            stats_.dram_read_bytes +=
-                static_cast<std::uint64_t>(st.mi) * st.ki * sizeof(T);
-        }
-
-        st.b_slot = prev != nullptr ? prev->b_slot : 0;
-        if (use_prepacked) {
-            st.pack_b = false;
-            if (!shared.b) {
-                stats_.dram_read_bytes +=
-                    static_cast<std::uint64_t>(st.ki) * st.ni * sizeof(T);
-            }
-        } else {
-            st.pack_b = !shared.b;
-            if (prev != nullptr && st.pack_b) st.b_slot = 1 - prev->b_slot;
-            if (st.pack_b) {
-                ++stats_.b_packs;
-                stats_.dram_read_bytes +=
-                    static_cast<std::uint64_t>(st.ki) * st.ni * sizeof(T);
-            }
-        }
-
-        st.c_change = !shared.c;
-        if (st.c_change) {
-            if (prev != nullptr) note_flush(st, prev->coord, cur_mi, cur_ni);
-            const std::size_t slot =
-                static_cast<std::size_t>(st.coord.m * nb + st.coord.n);
-            if (flushed[slot] != 0) {
-                // Revisiting a spilled surface: partials come back from
-                // external memory (non-K-first ablation schedules only).
-                stats_.dram_read_bytes += static_cast<std::uint64_t>(st.mi)
-                    * st.ni * sizeof(T);
-            }
-            cur_mi = st.mi;
-            cur_ni = st.ni;
-        }
-        ++k_done[static_cast<std::size_t>(st.coord.m * nb + st.coord.n)];
-        ++stats_.blocks_executed;
-    }
-    // Final flush of the last live column.
-    Step final_flush;
-    final_flush.coord = plan[static_cast<std::size_t>(steps - 1)].coord;
-    final_flush.step = steps;
-    note_flush(final_flush, final_flush.coord, cur_mi, cur_ni);
+    // ---- Step plan (src/core/block_plan.cpp). Buffer slots, pack needs
+    // and flush bookkeeping are pure functions of the schedule, resolved
+    // up front by build_block_plan; the team below only claims and
+    // executes work items.
+    const BlockPlan& plan = *call.plan;
+    const auto steps = static_cast<index_t>(plan.steps.size());
+    const BlockStep& final_flush = plan.final_flush;
 
     // ---- Team execution.
     const MicroKernelT<T> kernel = kernel_;
@@ -751,14 +612,9 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
     const racecheck::RegionId rc_pa_ids[2] = {rc_pa0.id, rc_pa1.id};
     const racecheck::RegionId rc_pb_ids[2] = {rc_pb0.id, rc_pb1.id};
 
-    // Work-item granularity. Compute items stay one mr band each — that is
-    // the load-balancing unit that keeps every core busy on edge blocks.
-    // IO items (pack slivers, flush/zero rows) are grouped a little
-    // coarser: they are short memcpy-like bodies, and per-item counter and
-    // clock overhead would otherwise be measurable.
-    constexpr index_t kPackAGroup = 4;   ///< mr slivers per pack-A item
-    constexpr index_t kPackBGroup = 8;   ///< nr slivers per pack-B item
-    constexpr index_t kRowGroup = 16;    ///< C rows per flush/zero item
+    // Work-item granularity: kPackAGroup / kPackBGroup / kRowGroup from
+    // core/block_plan.hpp, shared with the schedule-IR extractor so the
+    // verified operation stream is item-for-item the one dispatched here.
 
     // Phase work counters, double-buffered by phase parity: while phase q
     // drains counters[q & 1], worker 0 resets the other one (dead since
@@ -810,7 +666,7 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
         // stay outside both measurements.
         const bool tracing = obs::enabled();
         auto timed_item = [&](const char* span_name, obs::Phase obs_phase,
-                              const Step& st, index_t item, auto&& body) {
+                              const BlockStep& st, index_t item, auto&& body) {
             const auto t0 = Clock::now();
             body();
             const auto t1 = Clock::now();
@@ -823,7 +679,7 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
         };
 
         // One group of mr slivers of step st's A surface into its half.
-        auto pack_a_item = [&](const Step& st, index_t item) {
+        auto pack_a_item = [&](const BlockStep& st, index_t item) {
             schedshake::interleave_point(schedshake::Point::kPackItem);
             const index_t s_end = std::min(ceil_div(st.mi, mr),
                                            (item + 1) * kPackAGroup);
@@ -849,7 +705,7 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
             }
         };
         // One group of nr slivers of step st's B surface into its half.
-        auto pack_b_item = [&](const Step& st, index_t item) {
+        auto pack_b_item = [&](const BlockStep& st, index_t item) {
             schedshake::interleave_point(schedshake::Point::kPackItem);
             const index_t s_end = std::min(ceil_div(st.ni, nr),
                                            (item + 1) * kPackBGroup);
@@ -875,7 +731,7 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
             }
         };
         // One mr row band of step st's block computation.
-        auto compute_item = [&](const Step& st, const T* pb, index_t band) {
+        auto compute_item = [&](const BlockStep& st, const T* pb, index_t band) {
             const bool obs_tiles = obs::metrics_enabled();
             schedshake::interleave_point(schedshake::Point::kComputeItem);
             const index_t r = band * mr;
@@ -918,7 +774,7 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
             }
         };
         // One group of rows of a departing column's writeback to user C.
-        auto flush_item = [&](const Step& st, index_t item) {
+        auto flush_item = [&](const BlockStep& st, index_t item) {
             schedshake::interleave_point(schedshake::Point::kFlushItem);
             const T beta_eff = st.flush_revisit ? T(1) : call.beta;
             const index_t r0 = item * kRowGroup;
@@ -940,7 +796,7 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
         };
         // One group of rows of the fresh local C surface zeroed for a new
         // column.
-        auto zero_item = [&](const Step& st, index_t item) {
+        auto zero_item = [&](const BlockStep& st, index_t item) {
             schedshake::interleave_point(schedshake::Point::kFlushItem);
             const index_t r0 = item * kRowGroup;
             const index_t r1 = std::min(st.mi, r0 + kRowGroup);
@@ -956,7 +812,7 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
                             * sizeof(T));
         };
 
-        auto pack_items_of = [&](const Step* st) {
+        auto pack_items_of = [&](const BlockStep* st) {
             const index_t na = st != nullptr && st->pack_a
                 ? ceil_div(ceil_div(st->mi, mr), kPackAGroup)
                 : 0;
@@ -968,7 +824,7 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
         // `co_issued`: the item runs in a phase that also carries compute
         // items, i.e. the pipeline kept this fetch off the critical path
         // (it overlaps with compute whenever spare hardware threads exist).
-        auto do_pack_item = [&](const Step& st, index_t na, index_t item,
+        auto do_pack_item = [&](const BlockStep& st, index_t na, index_t item,
                                 bool co_issued) {
             const bool is_a = item < na;
             const double d = timed_item(
@@ -987,7 +843,7 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
         // Pipeline fill: pack block 0's surfaces and zero the first local
         // C surface.
         {
-            const Step& s0 = plan[0];
+            const BlockStep& s0 = plan.steps[0];
             const auto [na, nbv] = pack_items_of(&s0);
             const index_t nzero = ceil_div(s0.mi, kRowGroup);
             run_phase(na + nbv + nzero, [&](index_t item) {
@@ -1002,7 +858,7 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
         }
 
         for (index_t t = 0; t < steps; ++t) {
-            const Step& st = plan[static_cast<std::size_t>(t)];
+            const BlockStep& st = plan.steps[static_cast<std::size_t>(t)];
             if (st.c_change && t > 0) {
                 // Column boundary: write the departing surface back, then
                 // reset the local surface for the new column. Two phases —
@@ -1024,8 +880,8 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
             // come first in the index space so the next block's DRAM fetch
             // starts immediately and spreads over the block's compute time
             // (the constant-bandwidth property, §3).
-            const Step* next = t + 1 < steps
-                ? &plan[static_cast<std::size_t>(t + 1)]
+            const BlockStep* next = t + 1 < steps
+                ? &plan.steps[static_cast<std::size_t>(t + 1)]
                 : nullptr;
             const auto [na, nbv] = pack_items_of(next);
             const index_t bands = ceil_div(st.mi, mr);

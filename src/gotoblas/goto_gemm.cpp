@@ -64,6 +64,26 @@ index_t square_l2_block(const MachineSpec& machine, index_t mr,
 
 }  // namespace
 
+std::vector<GotoPass> build_goto_passes(index_t n, index_t k, index_t nc,
+                                        index_t kc, bool accumulate)
+{
+    std::vector<GotoPass> passes;
+    passes.reserve(static_cast<std::size_t>(ceil_div(n, nc))
+                   * static_cast<std::size_t>(ceil_div(k, kc)));
+    for (index_t jc = 0; jc < n; jc += nc) {
+        for (index_t pc = 0; pc < k; pc += kc) {
+            GotoPass pass;
+            pass.jc = jc;
+            pass.pc = pc;
+            pass.ncur = std::min(nc, n - jc);
+            pass.kcur = std::min(kc, k - pc);
+            pass.acc = accumulate || pc > 0;
+            passes.push_back(pass);
+        }
+    }
+    return passes;
+}
+
 GotoBlocking goto_default_blocking(const MachineSpec& machine, index_t mr,
                                    index_t nr)
 {
@@ -143,11 +163,15 @@ void GotoGemmT<T>::multiply(const T* a, index_t lda, const T* b, index_t ldb,
 
     const MicroKernelT<T> kernel = kernel_;
 
-    for (index_t jc = 0; jc < n; jc += nc) {
-        const index_t ncur = std::min(nc, n - jc);
-        for (index_t pc = 0; pc < k; pc += kc) {
-            const index_t kcur = std::min(kc, k - pc);
-            const bool acc = options_.accumulate || pc > 0;
+    // The pass list is data (build_goto_passes) so the schedule-IR
+    // extractor replays exactly the loop nest executed here.
+    for (const GotoPass& pass :
+         build_goto_passes(n, k, nc, kc, options_.accumulate)) {
+        {
+            const index_t jc = pass.jc;
+            const index_t pc = pass.pc;
+            const index_t ncur = pass.ncur, kcur = pass.kcur;
+            const bool acc = pass.acc;
 
             // Pack the B panel into the LLC stand-in buffer.
             Timer pack_timer;

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/matrix.hpp"
 #include "common/types.hpp"
@@ -34,6 +35,24 @@ struct GotoBlocking {
 /// Default GOTO blocking for `machine` and an mr x nr micro-kernel.
 GotoBlocking goto_default_blocking(const MachineSpec& machine, index_t mr,
                                    index_t nr);
+
+/// One (jc, pc) panel pass of the GOTO loop nest: the B panel packed into
+/// the LLC stand-in, then p workers streaming partial C tiles to user
+/// memory. Materialised as data so the executor and the schedule-IR
+/// extractor (src/analysis/schedir.cpp) walk the identical pass list.
+struct GotoPass {
+    index_t jc = 0;    ///< N-panel element origin
+    index_t pc = 0;    ///< K-panel element origin
+    index_t ncur = 0;  ///< panel width (edge-clipped)
+    index_t kcur = 0;  ///< panel depth (edge-clipped)
+    bool acc = false;  ///< macro-kernel accumulates into C (RMW traffic)
+};
+
+/// The (jc outer, pc inner) pass order GotoGemmT::multiply executes.
+/// `acc` is options.accumulate for the first reduction pass of each panel
+/// and true for every later one (partial C results stream back in).
+std::vector<GotoPass> build_goto_passes(index_t n, index_t k, index_t nc,
+                                        index_t kc, bool accumulate);
 
 /// Tuning knobs for the GOTO baseline.
 struct GotoOptions {

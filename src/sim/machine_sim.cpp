@@ -24,12 +24,18 @@ index_t block_extent(index_t idx, index_t blk, index_t total)
     return std::min(blk, total - idx * blk);
 }
 
+/// Packet payload in bytes for `elems` f32 elements.
+std::uint64_t f32_bytes(index_t elems)
+{
+    return static_cast<std::uint64_t>(elems) * sizeof(float);
+}
+
 /// Seconds for one core to run one mr x nr x ki micro-kernel call.
 double tile_seconds(const MachineSpec& machine, index_t mr, index_t nr,
                     index_t ki)
 {
-    return 2.0 * static_cast<double>(mr) * nr * ki
-        / (machine.core_gflops * 1e9);
+    return 2.0 * static_cast<double>(mr) * static_cast<double>(nr)
+        * static_cast<double>(ki) / (machine.core_gflops * 1e9);
 }
 
 /// Internal (local memory <-> cores) bytes of a block's macro-kernel sweep.
@@ -38,8 +44,10 @@ double internal_bytes(index_t mi, index_t ni, index_t ki, index_t mr,
 {
     const double calls = static_cast<double>(ceil_div(mi, mr))
         * static_cast<double>(ceil_div(ni, nr));
-    return (calls * (static_cast<double>(ki) * nr + 2.0 * mr * nr)
-            + static_cast<double>(mi) * ki)
+    return (calls
+                * (static_cast<double>(ki) * static_cast<double>(nr)
+                   + 2.0 * static_cast<double>(mr) * static_cast<double>(nr))
+            + static_cast<double>(mi) * static_cast<double>(ki))
         * kF;
 }
 
@@ -81,11 +89,11 @@ std::vector<Step> build_cake_steps(const SimConfig& config,
         Step step;
         if (!(have_last && last.m == coord.m && last.k == coord.k)) {
             step.fetch.push_back({next_id++, PacketKind::kSurfaceA, coord,
-                                  static_cast<std::uint64_t>(mi * ki * kF)});
+                                  f32_bytes(mi * ki)});
         }
         if (!(have_last && last.k == coord.k && last.n == coord.n)) {
             step.fetch.push_back({next_id++, PacketKind::kSurfaceB, coord,
-                                  static_cast<std::uint64_t>(ki * ni * kF)});
+                                  f32_bytes(ki * ni)});
         }
         if (!(have_last && last.m == coord.m && last.n == coord.n)) {
             if (have_last) {
@@ -100,8 +108,7 @@ std::vector<Step> build_cake_steps(const SimConfig& config,
                 steps.back().drain.push_back(
                     {next_id++,
                      complete ? PacketKind::kResultC : PacketKind::kPartialC,
-                     prev,
-                     static_cast<std::uint64_t>(cur_mi * cur_ni * kF)});
+                     prev, f32_bytes(cur_mi * cur_ni)});
                 flushed[slot] = 1;
             }
             const std::size_t slot =
@@ -110,7 +117,7 @@ std::vector<Step> build_cake_steps(const SimConfig& config,
                 // Revisit of a spilled surface (non-K-first ablation only).
                 step.fetch.push_back(
                     {next_id++, PacketKind::kPartialC, coord,
-                     static_cast<std::uint64_t>(mi * ni * kF)});
+                     f32_bytes(mi * ni)});
             }
             cur_mi = mi;
             cur_ni = ni;
@@ -139,7 +146,7 @@ std::vector<Step> build_cake_steps(const SimConfig& config,
     if (have_last && !steps.empty()) {
         steps.back().drain.push_back(
             {next_id++, PacketKind::kResultC, last,
-             static_cast<std::uint64_t>(cur_mi * cur_ni * kF)});
+             f32_bytes(cur_mi * cur_ni)});
     }
     return steps;
 }
@@ -166,16 +173,13 @@ std::vector<Step> build_goto_steps(const SimConfig& config)
             const bool acc = pc > 0;
             Step step;
             const BlockCoord coord{0, jc / nc, kidx};
-            step.fetch.push_back(
-                {next_id++, PacketKind::kSurfaceB, coord,
-                 static_cast<std::uint64_t>(kcur * ncur * kF)});
-            step.fetch.push_back(
-                {next_id++, PacketKind::kSurfaceA, coord,
-                 static_cast<std::uint64_t>(shape.m * kcur * kF)});
+            step.fetch.push_back({next_id++, PacketKind::kSurfaceB, coord,
+                                  f32_bytes(kcur * ncur)});
+            step.fetch.push_back({next_id++, PacketKind::kSurfaceA, coord,
+                                  f32_bytes(shape.m * kcur)});
             if (acc) {
-                step.fetch.push_back(
-                    {next_id++, PacketKind::kPartialC, coord,
-                     static_cast<std::uint64_t>(shape.m * ncur * kF)});
+                step.fetch.push_back({next_id++, PacketKind::kPartialC, coord,
+                                      f32_bytes(shape.m * ncur)});
             }
             // Partial C streams back out every pass — the traffic CAKE
             // eliminates (§4.4).
@@ -183,7 +187,7 @@ std::vector<Step> build_goto_steps(const SimConfig& config)
                 {next_id++,
                  pc + kc >= shape.k ? PacketKind::kResultC
                                     : PacketKind::kPartialC,
-                 coord, static_cast<std::uint64_t>(shape.m * ncur * kF)});
+                 coord, f32_bytes(shape.m * ncur)});
 
             // Busiest core handles ceil(blocks/p) A blocks of this pass.
             const index_t a_blocks = ceil_div(shape.m, mc);

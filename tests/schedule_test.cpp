@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <random>
 #include <set>
 #include <tuple>
+#include <vector>
 
 #include "core/schedule.hpp"
 
@@ -168,6 +170,106 @@ TEST(Schedule, KindNames)
                  "k-first-no-flip");
     EXPECT_STREQ(schedule_kind_name(ScheduleKind::kNInnermost),
                  "n-innermost");
+}
+
+// ---- Randomised property sweep ------------------------------------------
+//
+// The grid instantiations above pin hand-picked shapes; this sweep draws
+// random (mb, nb, kb) grids and checks the structural invariants that the
+// schedule-IR verifier's exact-cover pass leans on.
+
+/// Unshared transitions of the no-flip traversal over boustrophedon dims
+/// (d0 outer, d1 middle, d2 inner) — the "dimension turns" where the
+/// serpentine variant would have reversed direction instead of jumping:
+///   * each middle advance resets the inner index from d2-1 to 0, which
+///     breaks sharing whenever the inner dimension is nontrivial;
+///   * each outer advance additionally resets the middle index, breaking
+///     sharing unless both nested dimensions are trivial.
+index_t noflip_turns(index_t d0, index_t d1, index_t d2)
+{
+    index_t turns = 0;
+    if (d2 > 1) turns += d0 * (d1 - 1);
+    if (d1 > 1 || d2 > 1) turns += d0 - 1;
+    return turns;
+}
+
+TEST(SchedulePropertySweep, EveryKindCoversEveryBlockExactlyOnce)
+{
+    std::mt19937 rng(20260806u);
+    std::uniform_int_distribution<index_t> dim(1, 9);
+    for (int trial = 0; trial < 64; ++trial) {
+        const index_t mb = dim(rng);
+        const index_t nb = dim(rng);
+        const index_t kb = dim(rng);
+        for (ScheduleKind kind :
+             {ScheduleKind::kKFirstSerpentine, ScheduleKind::kKFirstNoFlip,
+              ScheduleKind::kNInnermost}) {
+            for (bool n_outermost : {false, true}) {
+                const auto order =
+                    build_schedule(kind, mb, nb, kb, n_outermost);
+                ASSERT_EQ(static_cast<index_t>(order.size()), mb * nb * kb)
+                    << schedule_kind_name(kind) << " " << mb << "x" << nb
+                    << "x" << kb;
+                std::vector<char> seen(order.size(), 0);
+                for (const auto& c : order) {
+                    ASSERT_TRUE(c.m >= 0 && c.m < mb && c.n >= 0 && c.n < nb
+                                && c.k >= 0 && c.k < kb);
+                    const auto idx =
+                        static_cast<std::size_t>((c.m * nb + c.n) * kb + c.k);
+                    ASSERT_EQ(seen[idx], 0)
+                        << schedule_kind_name(kind) << " revisits (" << c.m
+                        << "," << c.n << "," << c.k << ")";
+                    seen[idx] = 1;
+                }
+            }
+        }
+    }
+}
+
+TEST(SchedulePropertySweep, SerpentineSharesEveryTransition)
+{
+    // Algorithm 2's load-bearing invariant at arbitrary grid shapes:
+    // every transition keeps at least one surface resident, so
+    // count_shared_steps saturates at order.size() - 1.
+    std::mt19937 rng(20260807u);
+    std::uniform_int_distribution<index_t> dim(1, 9);
+    for (int trial = 0; trial < 64; ++trial) {
+        const index_t mb = dim(rng);
+        const index_t nb = dim(rng);
+        const index_t kb = dim(rng);
+        for (bool n_outermost : {false, true}) {
+            const auto order = build_schedule(ScheduleKind::kKFirstSerpentine,
+                                              mb, nb, kb, n_outermost);
+            EXPECT_EQ(count_shared_steps(order),
+                      static_cast<index_t>(order.size()) - 1)
+                << mb << "x" << nb << "x" << kb;
+        }
+    }
+}
+
+TEST(SchedulePropertySweep, NoFlipShortfallIsExactlyTheDimensionTurns)
+{
+    // The no-flip ablation loses sharing at precisely the dimension turns
+    // and nowhere else: a closed form the IO model reuses when pricing
+    // refetch traffic (§2.2).
+    std::mt19937 rng(20260808u);
+    std::uniform_int_distribution<index_t> dim(1, 9);
+    for (int trial = 0; trial < 64; ++trial) {
+        const index_t mb = dim(rng);
+        const index_t nb = dim(rng);
+        const index_t kb = dim(rng);
+        for (bool n_outermost : {false, true}) {
+            const auto order = build_schedule(ScheduleKind::kKFirstNoFlip, mb,
+                                              nb, kb, n_outermost);
+            const index_t d0 = n_outermost ? nb : mb;
+            const index_t d1 = n_outermost ? mb : nb;
+            EXPECT_EQ(count_shared_steps(order),
+                      static_cast<index_t>(order.size()) - 1
+                          - noflip_turns(d0, d1, kb))
+                << mb << "x" << nb << "x" << kb << " n_outermost="
+                << n_outermost;
+        }
+    }
 }
 
 TEST(ScheduleTraffic, HandDerivedSmallCase)

@@ -16,6 +16,13 @@
 #     SpinBarrier, TeamContext) so the CAKE_RACECHECK happens-before
 #     auditor can see every edge. An ad-hoc atomic elsewhere is invisible
 #     to the auditor and unverifiable by the schedule fuzzer.
+#   * console IO (std::cout / std::cerr / printf) in src/ library code —
+#     the library reports through return values, CakeStats, AuditIssue
+#     lists and the obs tracer; stray prints corrupt tool output (the
+#     Perfetto exporter and cake_verify write machine-parsed streams to
+#     stdout). Drivers under tools/, bench/ and examples/ own the console.
+#     (std::fprintf/snprintf stay legal: checked.hpp's abort diagnostics
+#     and the obs exporters format through them deliberately.)
 #
 # Exit 0 iff clean; prints every violation as file:line:text.
 set -uo pipefail
@@ -46,6 +53,30 @@ if [[ "${1:-}" == "--probe-rule4" ]]; then
   fi
   rm -f "${repo_root}/${probe_ok}"
   echo "lint probe: OK (rule 4 fires under src/core, allows src/obs)"
+  exit 0
+fi
+
+# --probe-rule5: self-test that rule 5 (console-IO ban) fires in library
+# code and stays silent in the driver trees.
+if [[ "${1:-}" == "--probe-rule5" ]]; then
+  probe_bad="src/core/lint_rule5_probe_tmp.hpp"
+  probe_ok="tools/lint_rule5_probe_tmp.hpp"
+  trap 'rm -f "${repo_root}/${probe_bad}" "${repo_root}/${probe_ok}"' EXIT
+  printf '#include <iostream>\ninline void lint_probe() { std::cout << 1; }\n' \
+    > "${probe_bad}"
+  if "${repo_root}/tools/lint.sh" >/dev/null 2>&1; then
+    echo "lint probe: FAILED (rule 5 did not flag ${probe_bad})"
+    exit 1
+  fi
+  rm -f "${repo_root}/${probe_bad}"
+  printf '#include <iostream>\ninline void lint_probe() { std::cout << 1; }\n' \
+    > "${probe_ok}"
+  if ! "${repo_root}/tools/lint.sh" >/dev/null 2>&1; then
+    echo "lint probe: FAILED (driver-tree ${probe_ok} was flagged)"
+    exit 1
+  fi
+  rm -f "${repo_root}/${probe_ok}"
+  echo "lint probe: OK (rule 5 fires under src/core, allows tools/)"
   exit 0
 fi
 
@@ -119,6 +150,20 @@ $(scan '(^|[^_[:alnum:]])volatile([^_[:alnum:]]|$)' "${sync_files[@]}" | grep -v
 out="$(echo "${out}" | sed '/^$/d')"
 [[ -z "${out}" ]] \
   || fail_rule "raw synchronisation primitive outside src/threading (route it through ThreadPool/SpinBarrier so the race auditor can see it)" "${out}"
+
+# 5. Console IO in src/ library code. Drivers (tools/, bench/, examples/)
+# and tests own the console; the library reports through its APIs. The
+# pattern guards against prefixed formatters (fprintf/snprintf) which
+# remain legal.
+lib_files=()
+for f in "${files[@]}"; do
+  [[ "${f}" == src/* ]] && lib_files+=("${f}")
+done
+out="$(scan 'std::(cout|cerr)([^_[:alnum:]]|$)' "${lib_files[@]}")
+$(scan '(^|[^a-z_:])printf[[:space:]]*\(' "${lib_files[@]}")"
+out="$(echo "${out}" | sed '/^$/d')"
+[[ -z "${out}" ]] \
+  || fail_rule "console IO in library code (return data / stats / AuditIssue instead; printing belongs to tools/, bench/, examples/)" "${out}"
 
 if [[ ${failures} -ne 0 ]]; then
   echo "lint: FAILED"
