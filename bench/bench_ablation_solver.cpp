@@ -8,6 +8,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_io.hpp"
 #include "common/csv.hpp"
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
@@ -25,19 +26,19 @@ int main()
     b.fill_random(rng);
     Matrix c(size, size);
 
+    const TimingPolicy policy{0, 3};  // min of 3 driver-reported reps
     auto time_config = [&](const CakeOptions& options) {
         CakeGemm gemm(pool, options);
-        double best = 1e30;
-        for (int rep = 0; rep < 3; ++rep) {
+        return min_seconds_reported(policy, [&] {
             gemm.multiply(a.data(), size, b.data(), size, c.data(), size,
                           size, size, size);
-            best = std::min(best, gemm.stats().total_seconds);
-        }
-        return best;
+            return gemm.stats().total_seconds;
+        });
     };
 
     std::cout << "=== Design-search ablation: analytic CB block vs grid "
                  "sweep (host, " << size << "^3) ===\n\n";
+    bench::print_machine_banner();
 
     // The analytic, search-free configuration.
     const double analytic_s = time_config({});
@@ -72,7 +73,7 @@ int main()
                            format_number(s / analytic_s, 4) + "x"});
         }
     }
-    table.print(std::cout);
+    bench::print_table(table, "ablation_solver");
 
     std::cout << "\nGrid-search best: mc=" << best_mc
               << " alpha=" << best_alpha << " -> "

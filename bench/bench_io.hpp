@@ -1,6 +1,14 @@
 // Shared bench output helpers:
 //   * print_table: print to stdout and, when the CAKE_BENCH_CSV_DIR
-//     environment variable is set, persist as <dir>/<name>.csv.
+//     environment variable is set, persist as <dir>/<name>.csv plus a
+//     <dir>/<name>.meta.json header identifying the machine the numbers
+//     came from (brand, best ISA, caches, cores, measured bandwidth — the
+//     src/machine fingerprint, same key the tuning cache uses).
+//   * print_machine_banner: the same fingerprint on stdout, so every bench
+//     transcript states its machine up front.
+//   * TimingPolicy / min_seconds / min_seconds_reported (re-exported from
+//     src/common/timing.hpp): the one warmup/repetition/min-of-N policy
+//     shared by the benches and the src/tune autotuner.
 //   * TraceCapture: opt-in `--trace-dir DIR` support — brackets an extra
 //     run of a bench case with the src/obs tracer and writes
 //     <dir>/<name>.trace.json plus a per-run stall summary. Off by
@@ -13,11 +21,27 @@
 
 #include "common/csv.hpp"
 #include "common/env.hpp"
+#include "common/timing.hpp"
+#include "machine/fingerprint.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 
 namespace cake {
 namespace bench {
+
+/// The bench JSON header: which experiment, on which machine.
+inline std::string bench_meta_json(const std::string& name)
+{
+    return "{\"bench\": \"" + name
+           + "\",\n \"machine\": " + host_fingerprint().json() + "}\n";
+}
+
+/// Print the host fingerprint block so every bench transcript records the
+/// machine (brand, ISA, caches, cores, measured bandwidth) it ran on.
+inline void print_machine_banner()
+{
+    std::cout << "machine: " << host_fingerprint().json() << "\n\n";
+}
 
 inline void print_table(const Table& table, const std::string& name)
 {
@@ -30,6 +54,13 @@ inline void print_table(const Table& table, const std::string& name)
             std::cout << "[csv saved: " << path << "]\n";
         } else {
             std::cerr << "warning: cannot write " << path << "\n";
+        }
+        const std::string meta_path = *dir + "/" + name + ".meta.json";
+        std::ofstream meta(meta_path);
+        if (meta.good()) {
+            meta << bench_meta_json(name);
+        } else {
+            std::cerr << "warning: cannot write " << meta_path << "\n";
         }
     }
 }

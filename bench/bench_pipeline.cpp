@@ -63,6 +63,7 @@ int main(int argc, char** argv)
                  "packing IO (Fig. 7, measured) ===\n"
               << "p = " << p << ", best of " << reps
               << " repetitions per configuration.\n\n";
+    bench::print_machine_banner();
 
     Table phases({"case", "executor", "total (ms)", "pack (ms)",
                   "compute (ms)", "flush (ms)", "stall (ms)",
@@ -90,15 +91,23 @@ int main(int argc, char** argv)
             opts.exec = exec;
             CakeGemm gemm(pool, opts);
             CakeStats best;
-            for (int r = 0; r <= reps; ++r) {  // rep 0 is warm-up
+            const TimingPolicy policy{1, reps};  // one warm-up, min kept
+            int run = 0;
+            bool have_best = false;
+            (void)min_seconds_reported(policy, [&] {
                 gemm.multiply(a.data(), c.shape.k, b.data(), c.shape.n,
                               out.data(), c.shape.n, c.shape.m, c.shape.n,
                               c.shape.k);
-                if (r == 1
-                    || (r > 1
-                        && gemm.stats().total_seconds < best.total_seconds))
-                    best = gemm.stats();
-            }
+                const CakeStats& s = gemm.stats();
+                // Keep the winning rep's FULL phase breakdown, not just
+                // its wall time (warm-up runs excluded, like the min).
+                if (++run > policy.warmup
+                    && (!have_best || s.total_seconds < best.total_seconds)) {
+                    best = s;
+                    have_best = true;
+                }
+                return s.total_seconds;
+            });
             if (capture.on()) {
                 capture.begin();
                 gemm.multiply(a.data(), c.shape.k, b.data(), c.shape.n,

@@ -8,7 +8,6 @@
 #include "common/csv.hpp"
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
-#include "common/timer.hpp"
 #include "core/cake_gemm.hpp"
 
 int main()
@@ -23,6 +22,7 @@ int main()
 
     std::cout << "=== Pre-packed weights: per-call time, " << k << " x " << n
               << " weights ===\n\n";
+    bench::print_machine_banner();
     Table table({"batch (M)", "regular (ms)", "prepacked (ms)", "speedup",
                  "pack share removed"});
 
@@ -34,15 +34,8 @@ int main()
         x.fill_random(rng);
         Matrix y(batch, n);
 
-        auto best_of = [&](auto&& fn) {
-            double best = 1e30;
-            for (int rep = 0; rep < 5; ++rep) {
-                Timer t;
-                fn();
-                best = std::min(best, t.seconds());
-            }
-            return best;
-        };
+        const TimingPolicy policy{0, 5};  // min of 5 bracketed reps
+        auto best_of = [&](auto&& fn) { return min_seconds(policy, fn); };
         const double regular = best_of([&] {
             gemm.multiply(x.data(), k, w.data(), n, y.data(), n, batch, n,
                           k);

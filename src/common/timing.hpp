@@ -1,0 +1,56 @@
+// The one warmup/repetition/min-of-N wall-clock measurement policy shared
+// by the figure/ablation benches (bench/bench_io.hpp re-exports it) and
+// the empirical plan autotuner (src/tune) — so a tuner measurement and a
+// bench measurement of the same configuration are the same experiment.
+//
+// Min-of-N (not mean) because GEMM wall times on a busy host are
+// one-sided: interference only ever adds time, so the minimum is the
+// best estimate of the undisturbed run (GEMMbench's repeatability
+// discipline, arXiv:1511.03742).
+#pragma once
+
+#include <algorithm>
+
+#include "common/timer.hpp"
+
+namespace cake {
+
+/// Repetition discipline of one timed experiment.
+struct TimingPolicy {
+    int warmup = 1;  ///< untimed runs first (page-in, turbo, branch warmth)
+    int reps = 3;    ///< timed runs; the minimum is reported
+
+    [[nodiscard]] TimingPolicy clamped() const
+    {
+        return {std::max(warmup, 0), std::max(reps, 1)};
+    }
+};
+
+/// Run `rep_seconds` (a callable returning one repetition's measured
+/// seconds, e.g. driver-reported CakeStats::total_seconds) under `policy`
+/// and return the minimum timed repetition.
+template <typename Fn>
+double min_seconds_reported(const TimingPolicy& policy, Fn&& rep_seconds)
+{
+    const TimingPolicy p = policy.clamped();
+    for (int i = 0; i < p.warmup; ++i) (void)rep_seconds();
+    double best = rep_seconds();
+    for (int i = 1; i < p.reps; ++i) {
+        best = std::min(best, static_cast<double>(rep_seconds()));
+    }
+    return best;
+}
+
+/// Same policy for a callable that does not time itself: each repetition
+/// is bracketed with the steady-clock Timer.
+template <typename Fn>
+double min_seconds(const TimingPolicy& policy, Fn&& body)
+{
+    return min_seconds_reported(policy, [&] {
+        Timer t;
+        body();
+        return t.seconds();
+    });
+}
+
+}  // namespace cake

@@ -49,6 +49,36 @@ AuditReport audit_cb_plan(const MachineSpec& machine, int p, index_t mr,
         return report;
     }
 
+    // --- Override combinations the solver would reject outright. ---------
+    // Reported here with their own code (instead of surfacing as an opaque
+    // SOLVER throw) so callers assembling TilingOptions — the tuner's
+    // candidate generator, CLI flag parsing — get a diagnosis they can act
+    // on before ever invoking the solver.
+    if (opts.alpha && opts.nc) {
+        os << "alpha=" << *opts.alpha << " and nc=" << *opts.nc
+           << " overrides conflict: nc fixes the N extent that alpha "
+           << "would derive";
+        add_issue(report, "OVERRIDE", os);
+    }
+    if (opts.mc && (*opts.mc < mr || *opts.mc % mr != 0)) {
+        os << "mc override " << *opts.mc
+           << " is not a positive multiple of mr=" << mr;
+        add_issue(report, "OVERRIDE", os);
+    }
+    if (opts.kc && *opts.kc < 1) {
+        os << "kc override " << *opts.kc << " must be >= 1";
+        add_issue(report, "OVERRIDE", os);
+    }
+    if (opts.nc && *opts.nc < 1) {
+        os << "nc override " << *opts.nc << " must be >= 1";
+        add_issue(report, "OVERRIDE", os);
+    }
+    if (opts.alpha && *opts.alpha < 1.0) {
+        os << "alpha override " << *opts.alpha << " must be >= 1";
+        add_issue(report, "OVERRIDE", os);
+    }
+    if (!report.issues.empty()) return report;
+
     // --- Solve (or adopt the forced plan). -------------------------------
     try {
         report.params = compute_cb_block(machine, p, mr, nr, opts);
@@ -67,7 +97,10 @@ AuditReport audit_cb_plan(const MachineSpec& machine, int p, index_t mr,
         os << "mc=" << cb.mc << " is not a positive multiple of mr=" << mr;
         add_issue(report, "GEOMETRY", os);
     }
-    if (cb.kc != cb.mc) {
+    if (cb.kc != cb.mc && !opts.kc) {
+        // A deliberate kc override (the autotuner searches this axis) is
+        // exempt: the residency and LRU inequalities below still apply to
+        // the rectangular sub-block, which is what actually matters.
         os << "kc=" << cb.kc << " != mc=" << cb.mc
            << " (the A sub-block must be square, §4.1)";
         add_issue(report, "GEOMETRY", os);

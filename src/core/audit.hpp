@@ -7,6 +7,9 @@
 // diagnostic:
 //
 //   SHAPE           GEMM dimensions must be positive
+//   OVERRIDE        a TilingOptions override combination is invalid on its
+//                   face (alpha+nc conflict, non-mr-multiple mc, kc/nc < 1,
+//                   alpha < 1) — reported before the solver ever runs
 //   SOLVER          the CB solver itself rejected the configuration
 //   GEOMETRY        mc/kc/m_blk/n_blk/alpha internal consistency
 //   L2_RESIDENCY    mc * kc * sizeof(T) <= private-cache share (§4.2)
@@ -57,7 +60,7 @@ struct AuditReport {
 
 /// Audit the full schedule/tiling plan CAKE would execute for `shape` on
 /// `machine` with `p` cores and an mr x nr micro-kernel. `opts` follows
-/// compute_cb_block — forcing mc or alpha audits the forced (possibly
+/// compute_cb_block — forcing mc/kc/nc/alpha audits the forced (possibly
 /// deliberately corrupted) plan instead of the solver's own.
 AuditReport audit_cb_plan(const MachineSpec& machine, int p, index_t mr,
                           index_t nr, const GemmShape& shape,

@@ -110,6 +110,7 @@ struct ScopedRegion {
 template <typename T>
 CakeGemmT<T>::CakeGemmT(ThreadPool& pool, CakeOptions options)
     : pool_(pool), options_(std::move(options)),
+      p_explicit_(options_.p > 0),
       machine_(options_.machine ? *options_.machine : host_machine()),
       kernel_(options_.isa ? microkernel_for_of<T>(*options_.isa)
                            : best_microkernel_of<T>())
@@ -145,6 +146,8 @@ PackedB<T> CakeGemmT<T>::pack_weights(const T* b, index_t ldb, index_t k,
 
     TilingOptions topts;
     topts.mc = options_.mc;
+    topts.kc = options_.kc;
+    topts.nc = options_.nc;
     topts.alpha = options_.alpha;
     topts.elem_bytes = sizeof(T);
     PackedB<T> packed;
@@ -221,12 +224,71 @@ void CakeGemmT<T>::multiply_impl(const T* a, index_t lda, const T* b,
     }
 
     Timer total_timer;
-    const int p = options_.p;
+    stats_ = CakeStats{};
 
+    int p = options_.p;
     TilingOptions topts;
     topts.mc = options_.mc;
+    topts.kc = options_.kc;
+    topts.nc = options_.nc;
     topts.alpha = options_.alpha;
     topts.elem_bytes = sizeof(T);
+    ScheduleKind schedule = options_.schedule;
+    CakeExec exec = options_.exec;
+
+    // Consult the plan oracle (typically the persisted tuning cache) before
+    // the analytic solver. A tuned override applies only where the caller
+    // left the knob at its default — explicit user settings always win —
+    // and never on the prepacked-weights path, whose geometry was fixed at
+    // pack_weights() time. Whatever survives still flows through the same
+    // compute_cb_block validation as an analytic plan.
+    if (options_.plan_source != nullptr && prepacked == nullptr) {
+        PlanRequest req;
+        req.m = m;
+        req.n = n;
+        req.k = k;
+        req.elem_bytes = sizeof(T);
+        req.p = p;
+        if (const auto tuned = options_.plan_source->lookup(req)) {
+            auto take = [&](auto& knob, const auto& src) {
+                if (!knob && src) {
+                    knob = *src;
+                    stats_.tuned = true;
+                }
+            };
+            take(topts.mc, tuned->mc);
+            take(topts.kc, tuned->kc);
+            // alpha and nc are mutually exclusive at the solver: whichever
+            // the user pinned suppresses the tuned value of the other.
+            if (!topts.alpha) take(topts.nc, tuned->nc);
+            if (!topts.nc) take(topts.alpha, tuned->alpha);
+            if (!p_explicit_ && tuned->p && *tuned->p >= 1
+                && *tuned->p <= pool_.size() && *tuned->p != p) {
+                p = *tuned->p;
+                stats_.tuned = true;
+            }
+            if (schedule == ScheduleKind::kKFirstSerpentine && tuned->schedule
+                && *tuned->schedule != schedule) {
+                schedule = *tuned->schedule;
+                stats_.tuned = true;
+            }
+            if (exec == CakeExec::kAuto && tuned->exec
+                && *tuned->exec != CakeExec::kAuto) {
+                exec = *tuned->exec;
+                stats_.tuned = true;
+            }
+            if (!options_.isa && tuned->isa && isa_supported(*tuned->isa)
+                && *tuned->isa != kernel_.isa) {
+                kernel_ = microkernel_for_of<T>(*tuned->isa);
+                stats_.tuned = true;
+            }
+        } else if (!options_.isa && kernel_.isa != best_microkernel_of<T>().isa) {
+            // A previous multiply's tuned ISA must not leak into a shape
+            // the oracle has no opinion about.
+            kernel_ = best_microkernel_of<T>();
+        }
+    }
+
     const CbBlockParams params =
         compute_cb_block(machine_, p, kernel_.mr, kernel_.nr, topts);
     if (prepacked != nullptr) {
@@ -234,7 +296,6 @@ void CakeGemmT<T>::multiply_impl(const T* a, index_t lda, const T* b,
                        "PackedB geometry does not match this context");
     }
 
-    stats_ = CakeStats{};
     stats_.params = params;
 
     detail::GemmCall<T> call;
@@ -262,8 +323,8 @@ void CakeGemmT<T>::multiply_impl(const T* a, index_t lda, const T* b,
 
     // §2.2: when M > N the M dimension runs outermost so the larger B
     // surface is reused before A.
-    const bool pipelined = options_.exec != CakeExec::kSerial;
-    call.order = build_schedule(options_.schedule, call.mb, call.nb, call.kb,
+    const bool pipelined = exec != CakeExec::kSerial;
+    call.order = build_schedule(schedule, call.mb, call.nb, call.kb,
                                 /*n_outermost=*/n >= m);
 
     // Resolve the whole block loop up front: surface sharing, pack-slot

@@ -21,6 +21,7 @@
 
 #include "common/matrix.hpp"
 #include "common/types.hpp"
+#include "core/plan_source.hpp"
 #include "core/prepacked.hpp"
 #include "core/schedule.hpp"
 #include "core/tiling.hpp"
@@ -36,23 +37,6 @@ enum class Op {
     kTranspose,  ///< use its transpose
 };
 
-/// Block-loop executor selection.
-enum class CakeExec {
-    /// Pick the pipelined executor (it is bit-exact with the serial one
-    /// and strictly cheaper in synchronisation).
-    kAuto,
-    /// One pool dispatch per phase: pack -> compute -> flush strictly in
-    /// sequence per block, every DRAM fetch exposed on the critical path.
-    /// Kept as the overlap-off baseline for benches and bit-exactness
-    /// tests.
-    kSerial,
-    /// Software-pipelined: a persistent worker team stays resident across
-    /// the whole block loop (spin barriers between phases, no condvar
-    /// wakeups) and packs block i+1's non-shared surfaces while block i
-    /// computes, double-buffering the packed-A/packed-B panels.
-    kPipelined,
-};
-
 namespace detail {
 template <typename T>
 struct GemmCall;  // bundled multiply arguments (defined in cake_gemm.cpp)
@@ -63,7 +47,9 @@ struct GemmCall;  // bundled multiply arguments (defined in cake_gemm.cpp)
 struct CakeOptions {
     int p = 0;  ///< worker count; 0 = use the whole pool
     std::optional<double> alpha;   ///< override the solver's CB alpha
-    std::optional<index_t> mc;     ///< override mc (= kc); multiple of mr
+    std::optional<index_t> mc;     ///< override mc; multiple of mr
+    std::optional<index_t> kc;     ///< override kc independently of mc
+    std::optional<index_t> nc;     ///< override the CB-block N extent
     ScheduleKind schedule = ScheduleKind::kKFirstSerpentine;
     std::optional<MachineSpec> machine;  ///< default: host_machine()
     bool accumulate = false;  ///< false: C = A*B; true: C += A*B
@@ -71,6 +57,12 @@ struct CakeOptions {
     Op op_a = Op::kNone;      ///< A is stored transposed (K x M)
     Op op_b = Op::kNone;      ///< B is stored transposed (N x K)
     CakeExec exec = CakeExec::kAuto;  ///< block-loop executor
+    /// Plan oracle consulted per multiply before the analytic solver
+    /// (typically tune::CachedPlanSource over the persisted tuning cache).
+    /// Its overrides apply only to knobs left at their defaults above —
+    /// explicit user settings always win. Not owned; must outlive the
+    /// context. nullptr = pure analytic planning.
+    const TunedPlanSource* plan_source = nullptr;
 };
 
 /// Measured + modelled execution statistics of one multiply.
@@ -106,6 +98,10 @@ struct CakeStats {
     /// is always exposed. 0 for the serial executor.
     double overlap_efficiency = 0;
     bool pipelined = false;  ///< which executor ran
+    /// True when a TunedPlanSource supplied at least one override that
+    /// this multiply actually applied (i.e. the plan deviates from the
+    /// pure analytic §4.3 configuration because of the tuning cache).
+    bool tuned = false;
 
     /// Achieved throughput for `shape` in GFLOP/s.
     [[nodiscard]] double gflops(const GemmShape& shape) const
@@ -170,6 +166,7 @@ private:
 
     ThreadPool& pool_;
     CakeOptions options_;
+    bool p_explicit_ = false;  ///< user set options.p (cache must not override)
     MachineSpec machine_;
     MicroKernelT<T> kernel_;
     CakeStats stats_;

@@ -36,6 +36,8 @@ PackedBInt8 CakeGemmInt8::pack_weights(const std::int8_t* b, index_t ldb,
     const Int8MicroKernel kernel = best_int8_microkernel();
     TilingOptions topts;
     topts.mc = options_.mc;
+    topts.kc = options_.kc;
+    topts.nc = options_.nc;
     topts.alpha = options_.alpha;
     topts.elem_bytes = sizeof(std::int32_t);
     PackedBInt8 packed;
@@ -100,6 +102,8 @@ void CakeGemmInt8::multiply_impl(const std::uint8_t* a, index_t lda,
 
     TilingOptions topts;
     topts.mc = options_.mc;
+    topts.kc = options_.kc;
+    topts.nc = options_.nc;
     topts.alpha = options_.alpha;
     // Conservative sizing: the solver assumes uniform element size; the
     // s32 partial-result surface dominates the LLC budget, so size as if

@@ -119,6 +119,10 @@ CbBlockParams compute_cb_block(const MachineSpec& machine, int p, index_t mr,
     CAKE_CHECK(p >= 1);
     CAKE_CHECK(mr >= 1 && nr >= 1);
 
+    CAKE_CHECK_MSG(!(opts.alpha && opts.nc),
+                   "alpha and nc overrides conflict: nc fixes the N extent "
+                   "that alpha would derive");
+
     CbBlockParams params;
     params.p = p;
     params.mr = mr;
@@ -138,36 +142,62 @@ CbBlockParams compute_cb_block(const MachineSpec& machine, int p, index_t mr,
         mc = static_cast<index_t>(std::sqrt(std::max(budget_elems, 1.0)));
         mc = std::max<index_t>(mc / mr * mr, mr);
     }
+    if (opts.kc) {
+        CAKE_CHECK_MSG(*opts.kc >= 1, "kc override must be >= 1");
+    }
+    // kc follows mc (square §4.1 sub-block) unless overridden; in the
+    // shrink loop below it therefore tracks the shrinking mc.
+    auto kc_of = [&](index_t mc_now) {
+        return opts.kc ? *opts.kc : mc_now;
+    };
 
     // 3a. Shrink mc until an alpha >= 1 block fits the LLC under the LRU
     //     rule (or mc bottoms out at one register tile).
     if (!opts.mc) {
         while (mc > mr
-               && max_alpha_for_llc(machine, p, mc, mc, opts.llc_fraction,
-                                    opts.elem_bytes)
+               && max_alpha_for_llc(machine, p, mc, kc_of(mc),
+                                    opts.llc_fraction, opts.elem_bytes)
                    < 1.0) {
             mc -= mr;
         }
     }
-    const index_t kc = mc;
+    const index_t kc = kc_of(mc);
 
-    // 2. alpha from the bandwidth-availability ratio (Eq. 2: alpha >= 1/(R-1)).
+    // 2. alpha from the bandwidth-availability ratio (Eq. 2: alpha >= 1/(R-1))
+    //    — or directly from a forced N extent.
     const double r =
         bandwidth_ratio(machine, p, mr, nr, mc, kc, opts.elem_bytes);
     double alpha;
+    index_t n_blk;
     const double alpha_cap = std::max(
         1.0,
         max_alpha_for_llc(machine, p, mc, kc, opts.llc_fraction,
                           opts.elem_bytes));
-    if (opts.alpha) {
-        alpha = *opts.alpha;
-        CAKE_CHECK_MSG(alpha >= 1.0, "alpha must be >= 1");
-    } else if (r > 1.0) {
-        alpha = std::clamp(1.0 / (r - 1.0), 1.0, alpha_cap);
+    if (opts.nc) {
+        CAKE_CHECK_MSG(*opts.nc >= 1, "nc override must be >= 1");
+        n_blk = std::max(round_up(*opts.nc, nr), nr);
+        // Derived stretch factor; may fall below 1 for a deliberately
+        // narrow block — audit_cb_plan flags that as a GEOMETRY issue.
+        alpha = static_cast<double>(n_blk)
+            / (static_cast<double>(p) * static_cast<double>(mc));
     } else {
-        // DRAM can never match compute at this geometry; stretch the block
-        // as far as local memory allows to maximise arithmetic intensity.
-        alpha = alpha_cap;
+        if (opts.alpha) {
+            alpha = *opts.alpha;
+            CAKE_CHECK_MSG(alpha >= 1.0, "alpha must be >= 1");
+        } else if (r > 1.0) {
+            alpha = std::clamp(1.0 / (r - 1.0), 1.0, alpha_cap);
+        } else {
+            // DRAM can never match compute at this geometry; stretch the
+            // block as far as local memory allows to maximise arithmetic
+            // intensity.
+            alpha = alpha_cap;
+        }
+        n_blk = std::max(
+            round_up(static_cast<index_t>(std::llround(
+                         alpha * static_cast<double>(p)
+                         * static_cast<double>(mc))),
+                     nr),
+            nr);
     }
 
     params.elem_bytes = opts.elem_bytes;
@@ -176,11 +206,7 @@ CbBlockParams compute_cb_block(const MachineSpec& machine, int p, index_t mr,
     params.alpha = alpha;
     params.m_blk = static_cast<index_t>(p) * mc;
     params.k_blk = kc;
-    params.n_blk = std::max(
-        round_up(static_cast<index_t>(std::llround(
-                     alpha * static_cast<double>(p) * static_cast<double>(mc))),
-                 nr),
-        nr);
+    params.n_blk = n_blk;
     return params;
 }
 

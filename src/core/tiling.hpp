@@ -48,7 +48,15 @@ struct CbBlockParams {
 
 /// Inputs to the solver that do not come from the MachineSpec.
 struct TilingOptions {
-    std::optional<index_t> mc;     ///< force mc (= kc); multiple of mr
+    std::optional<index_t> mc;     ///< force mc; multiple of mr
+    /// Force kc independently of mc (default: kc = mc, the square §4.1
+    /// sub-block). The empirical autotuner (src/tune) searches this axis;
+    /// audit_cb_plan treats a non-square override as deliberate.
+    std::optional<index_t> kc;
+    /// Force the CB-block N extent directly (rounded up to nr); alpha is
+    /// then derived as nc / (p * mc). Mutually exclusive with `alpha` —
+    /// the solver rejects the combination.
+    std::optional<index_t> nc;
     std::optional<double> alpha;   ///< force alpha (>= 1)
     /// Fraction of each cache level usable for matrix operands; leaves
     /// headroom for stacks, code and the LRU rule at L2.

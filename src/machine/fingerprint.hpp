@@ -1,0 +1,55 @@
+// Stable host fingerprint: the identity under which empirical tuning
+// results are stored and recalled (src/tune). Two runs on the same
+// machine must produce the same key; a different CPU, core count, cache
+// hierarchy or assumed DRAM bandwidth must produce a different key, so a
+// migrated cache file degrades to a clean miss instead of replaying plans
+// tuned for different hardware.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "kernel/cpu_features.hpp"
+#include "machine/machine.hpp"
+
+namespace cake {
+
+/// Identity of the executing host, as coarse as tuning validity requires.
+struct MachineFingerprint {
+    std::string cpu_brand;      ///< CPUID brand string ("unknown-cpu" off-x86)
+    Isa best_isa = Isa::kScalar;  ///< widest ISA the CPU + OS support
+    int cores = 1;              ///< hardware concurrency
+    std::size_t l1_bytes = 0;   ///< per-core L1d capacity
+    std::size_t l2_bytes = 0;   ///< deepest private-level capacity
+    std::size_t llc_bytes = 0;  ///< shared last-level capacity
+    double dram_bw_gbs = 0.0;   ///< assumed external bandwidth (solver input)
+
+    /// Canonical single-line key, e.g.
+    /// "intel-r-core-tm-i9-10900k|avx512|c10|l1:32768|l2:262144|llc:20971520|bw:40".
+    /// Stable across runs and safe as a map key or file-name stem.
+    [[nodiscard]] std::string key() const;
+
+    /// The fingerprint as a JSON object (one line, no trailing newline) —
+    /// embedded in bench headers and in the tuning-cache file.
+    [[nodiscard]] std::string json() const;
+
+    friend bool operator==(const MachineFingerprint&,
+                           const MachineFingerprint&) = default;
+};
+
+/// CPUID brand string of the executing CPU (leaves 0x80000002..4), trimmed;
+/// "unknown-cpu" where CPUID is unavailable (non-x86 or hypervisor-masked).
+std::string cpu_brand_string();
+
+/// Fingerprint derived from an explicit MachineSpec (so simulated machines
+/// and tests can build deterministic fingerprints too). The brand comes
+/// from the spec's name unless `spec` is the host, in which case callers
+/// should prefer host_fingerprint().
+MachineFingerprint fingerprint_of(const MachineSpec& spec,
+                                  const std::string& brand);
+
+/// Fingerprint of the executing host (cached after first call): CPUID
+/// brand + detected ISA/caches/cores + host_machine()'s bandwidth figure.
+const MachineFingerprint& host_fingerprint();
+
+}  // namespace cake

@@ -1,5 +1,6 @@
 #include "model/planner.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -8,14 +9,14 @@ namespace cake {
 namespace model {
 
 CakePlan make_plan(const MachineSpec& machine, int p, const GemmShape& shape,
-                   KernelShape kernel)
+                   KernelShape kernel, const TilingOptions& topts)
 {
     CAKE_CHECK(p >= 1);
     CakePlan plan;
     plan.cores = p;
-    plan.prediction = predict_cake(machine, p, shape, kernel);
+    plan.prediction = predict_cake(machine, p, shape, kernel, topts);
     plan.params = plan.prediction.cake_params;
-    const Prediction base = predict_cake(machine, 1, shape, kernel);
+    const Prediction base = predict_cake(machine, 1, shape, kernel, topts);
     plan.speedup_vs_1core =
         base.seconds > 0 ? base.seconds / plan.prediction.seconds : 1.0;
 
@@ -45,6 +46,67 @@ CakePlan recommend_plan(const MachineSpec& machine, const GemmShape& shape,
         }
     }
     return best;
+}
+
+CakePlan recommend_tuned_plan(const MachineSpec& machine,
+                              const GemmShape& shape,
+                              const TunedPlanSource* source,
+                              index_t elem_bytes, KernelShape kernel,
+                              double tolerance)
+{
+    if (source != nullptr) {
+        PlanRequest req;
+        req.m = shape.m;
+        req.n = shape.n;
+        req.k = shape.k;
+        req.elem_bytes = elem_bytes;
+        req.p = machine.cores;
+        if (const auto tuned = source->lookup(req)) {
+            // The cache's winner was measured faster than the analytic
+            // plan on this hardware; adopt its geometry verbatim and let
+            // the model annotate (not veto) it.
+            TilingOptions topts;
+            topts.mc = tuned->mc;
+            topts.kc = tuned->kc;
+            topts.nc = tuned->nc;
+            if (!tuned->nc) topts.alpha = tuned->alpha;
+            topts.elem_bytes = elem_bytes;
+            const int p = tuned->p
+                ? std::clamp(*tuned->p, 1, machine.cores)
+                : machine.cores;
+            CakePlan plan = make_plan(machine, p, shape, kernel, topts);
+            plan.tuned = true;
+            plan.summary += " [tuned]";
+            return plan;
+        }
+    }
+    return recommend_plan(machine, shape, kernel, tolerance);
+}
+
+DisagreementReport compare_rankings(
+    const std::vector<MeasuredPlanPoint>& points, double tolerance)
+{
+    DisagreementReport report;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        for (std::size_t j = i + 1; j < points.size(); ++j) {
+            const MeasuredPlanPoint& a = points[i];
+            const MeasuredPlanPoint& b = points[j];
+            const bool model_prefers_a =
+                a.predicted_gflops > b.predicted_gflops * (1.0 + tolerance);
+            const bool model_prefers_b =
+                b.predicted_gflops > a.predicted_gflops * (1.0 + tolerance);
+            const bool hw_prefers_a =
+                a.measured_gflops > b.measured_gflops * (1.0 + tolerance);
+            const bool hw_prefers_b =
+                b.measured_gflops > a.measured_gflops * (1.0 + tolerance);
+            if (model_prefers_a && hw_prefers_b) {
+                report.flips.push_back({a, b});
+            } else if (model_prefers_b && hw_prefers_a) {
+                report.flips.push_back({b, a});
+            }
+        }
+    }
+    return report;
 }
 
 }  // namespace model

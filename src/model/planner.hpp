@@ -6,7 +6,9 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "core/plan_source.hpp"
 #include "core/tiling.hpp"
 #include "machine/machine.hpp"
 #include "model/throughput.hpp"
@@ -20,18 +22,65 @@ struct CakePlan {
     int cores = 1;             ///< cores the plan uses
     Prediction prediction;     ///< predicted time / GFLOP/s / bound
     double speedup_vs_1core = 1.0;
+    bool tuned = false;        ///< geometry came from a TunedPlanSource
     std::string summary;       ///< one-line human-readable description
 };
 
-/// Plan `shape` on `machine` with a fixed core count.
+/// Plan `shape` on `machine` with a fixed core count. `topts` forces
+/// solver knobs (mc/kc/nc/alpha), e.g. to model a tuned configuration.
 CakePlan make_plan(const MachineSpec& machine, int p, const GemmShape& shape,
-                   KernelShape kernel = {});
+                   KernelShape kernel = {}, const TilingOptions& topts = {});
 
 /// Choose the core count in [1, machine.cores] with the highest predicted
 /// throughput; prefers fewer cores on ties within `tolerance` (fraction),
 /// since extra cores that add nothing still cost power.
 CakePlan recommend_plan(const MachineSpec& machine, const GemmShape& shape,
                         KernelShape kernel = {}, double tolerance = 0.02);
+
+/// Same, but consult `source` (the tuning cache) first: when it has an
+/// empirically measured winner for this shape, adopt its geometry and
+/// worker count verbatim (it beat the analytic plan on real hardware —
+/// the model is not re-ranked above the measurement) and only fall back
+/// to the analytic search on a miss. `elem_bytes` keys the lookup
+/// (4 = f32, 8 = f64). nullptr source degrades to recommend_plan.
+/// (Deliberately NOT an overload of recommend_plan: a braced `{}` kernel
+/// argument would make calls like recommend_plan(m, s, {}, 0.05)
+/// ambiguous between KernelShape and the source pointer.)
+CakePlan recommend_tuned_plan(const MachineSpec& machine,
+                              const GemmShape& shape,
+                              const TunedPlanSource* source,
+                              index_t elem_bytes, KernelShape kernel = {},
+                              double tolerance = 0.02);
+
+/// One plan configuration with the model's prediction recorded next to a
+/// real measurement of the same configuration (the tuner produces these).
+struct MeasuredPlanPoint {
+    std::string label;             ///< candidate description, e.g. "mc=96 kc=64"
+    double predicted_gflops = 0;   ///< Eq. 2 / §4.3 model's ranking input
+    double measured_gflops = 0;    ///< min-of-N wall-clock measurement
+};
+
+/// A pair of configurations the analytic model ranks one way and the
+/// hardware ranks the other — exactly the shapes where empirical tuning
+/// pays and where the model needs calibration attention.
+struct RankingFlip {
+    MeasuredPlanPoint preferred_by_model;    ///< higher predicted_gflops
+    MeasuredPlanPoint preferred_by_machine;  ///< higher measured_gflops
+};
+
+/// Where the model's ranking of a candidate set disagrees with reality.
+struct DisagreementReport {
+    std::vector<RankingFlip> flips;
+
+    [[nodiscard]] bool agree() const { return flips.empty(); }
+};
+
+/// Compare the model's ranking of `points` against the measured ranking.
+/// A pair flips when the model prefers A over B beyond `tolerance`
+/// (fractional) while the measurement prefers B over A beyond it — small
+/// differences inside the band are treated as ties, not disagreements.
+DisagreementReport compare_rankings(
+    const std::vector<MeasuredPlanPoint>& points, double tolerance = 0.02);
 
 }  // namespace model
 }  // namespace cake

@@ -1,0 +1,609 @@
+#include "tune/cache.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "core/schedule.hpp"
+#include "kernel/cpu_features.hpp"
+#include "machine/fingerprint.hpp"
+
+namespace cake {
+namespace tune {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader. The container has no JSON dependency and none may be
+// added, so the cache file is read by this hand-rolled recursive-descent
+// parser: objects, arrays, strings (with \" and \\ escapes), numbers,
+// true/false/null. It never throws — failure surfaces as a flag + message
+// that load_cache converts into a CACHE_PARSE issue.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+    enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double number = 0;
+    std::string string;
+    std::vector<std::pair<std::string, JsonValue>> object;
+    std::vector<JsonValue> array;
+
+    [[nodiscard]] const JsonValue* get(const std::string& key) const
+    {
+        if (kind != Kind::kObject) return nullptr;
+        for (const auto& [k, v] : object) {
+            if (k == key) return &v;
+        }
+        return nullptr;
+    }
+};
+
+class JsonParser {
+public:
+    explicit JsonParser(const std::string& text) : text_(text) {}
+
+    bool parse(JsonValue& out)
+    {
+        skip_ws();
+        if (!parse_value(out, 0)) return false;
+        skip_ws();
+        if (pos_ != text_.size()) return fail("trailing bytes after value");
+        return true;
+    }
+
+    [[nodiscard]] const std::string& error() const { return error_; }
+
+private:
+    static constexpr int kMaxDepth = 32;
+
+    bool fail(const std::string& what)
+    {
+        if (error_.empty()) {
+            std::ostringstream os;
+            os << what << " at byte " << pos_;
+            error_ = os.str();
+        }
+        return false;
+    }
+
+    void skip_ws()
+    {
+        while (pos_ < text_.size()
+               && std::isspace(static_cast<unsigned char>(text_[pos_]))
+                   != 0) {
+            ++pos_;
+        }
+    }
+
+    bool consume(char ch)
+    {
+        if (pos_ < text_.size() && text_[pos_] == ch) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool parse_value(JsonValue& out, int depth)
+    {
+        if (depth > kMaxDepth) return fail("nesting too deep");
+        if (pos_ >= text_.size()) return fail("unexpected end of input");
+        const char ch = text_[pos_];
+        if (ch == '{') return parse_object(out, depth);
+        if (ch == '[') return parse_array(out, depth);
+        if (ch == '"') {
+            out.kind = JsonValue::Kind::kString;
+            return parse_string(out.string);
+        }
+        if (ch == 't' || ch == 'f') return parse_keyword(out);
+        if (ch == 'n') return parse_keyword(out);
+        return parse_number(out);
+    }
+
+    bool parse_object(JsonValue& out, int depth)
+    {
+        out.kind = JsonValue::Kind::kObject;
+        ++pos_;  // '{'
+        skip_ws();
+        if (consume('}')) return true;
+        for (;;) {
+            skip_ws();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"'
+                || !parse_string(key)) {
+                return fail("expected object key string");
+            }
+            skip_ws();
+            if (!consume(':')) return fail("expected ':'");
+            skip_ws();
+            JsonValue value;
+            if (!parse_value(value, depth + 1)) return false;
+            out.object.emplace_back(std::move(key), std::move(value));
+            skip_ws();
+            if (consume(',')) continue;
+            if (consume('}')) return true;
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool parse_array(JsonValue& out, int depth)
+    {
+        out.kind = JsonValue::Kind::kArray;
+        ++pos_;  // '['
+        skip_ws();
+        if (consume(']')) return true;
+        for (;;) {
+            skip_ws();
+            JsonValue value;
+            if (!parse_value(value, depth + 1)) return false;
+            out.array.push_back(std::move(value));
+            skip_ws();
+            if (consume(',')) continue;
+            if (consume(']')) return true;
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool parse_string(std::string& out)
+    {
+        ++pos_;  // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char ch = text_[pos_++];
+            if (ch == '"') return true;
+            if (ch == '\\') {
+                if (pos_ >= text_.size()) break;
+                const char esc = text_[pos_++];
+                switch (esc) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'n': out += '\n'; break;
+                    case 't': out += '\t'; break;
+                    case 'r': out += '\r'; break;
+                    case 'b': out += '\b'; break;
+                    case 'f': out += '\f'; break;
+                    // \uXXXX is not produced by the writer; reject rather
+                    // than silently mangle.
+                    default: return fail("unsupported string escape");
+                }
+            } else {
+                out += ch;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parse_keyword(JsonValue& out)
+    {
+        auto match = [&](const char* word) {
+            const std::size_t len = std::strlen(word);
+            if (text_.compare(pos_, len, word) == 0) {
+                pos_ += len;
+                return true;
+            }
+            return false;
+        };
+        if (match("true")) {
+            out.kind = JsonValue::Kind::kBool;
+            out.boolean = true;
+            return true;
+        }
+        if (match("false")) {
+            out.kind = JsonValue::Kind::kBool;
+            out.boolean = false;
+            return true;
+        }
+        if (match("null")) {
+            out.kind = JsonValue::Kind::kNull;
+            return true;
+        }
+        return fail("unknown keyword");
+    }
+
+    bool parse_number(JsonValue& out)
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()
+               && (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0
+                   || text_[pos_] == '-' || text_[pos_] == '+'
+                   || text_[pos_] == '.' || text_[pos_] == 'e'
+                   || text_[pos_] == 'E')) {
+            ++pos_;
+        }
+        if (pos_ == start) return fail("expected a value");
+        const std::string token = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        out.number = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') return fail("malformed number");
+        out.kind = JsonValue::Kind::kNumber;
+        return true;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Schema mapping.
+// ---------------------------------------------------------------------------
+
+std::optional<index_t> as_index(const JsonValue* v)
+{
+    if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return {};
+    return static_cast<index_t>(v->number);
+}
+
+std::optional<double> as_double(const JsonValue* v)
+{
+    if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return {};
+    return v->number;
+}
+
+std::optional<std::string> as_string(const JsonValue* v)
+{
+    if (v == nullptr || v->kind != JsonValue::Kind::kString) return {};
+    return v->string;
+}
+
+std::optional<ScheduleKind> parse_schedule_name(const std::string& name)
+{
+    for (const ScheduleKind kind :
+         {ScheduleKind::kKFirstSerpentine, ScheduleKind::kKFirstNoFlip,
+          ScheduleKind::kNInnermost}) {
+        if (name == schedule_kind_name(kind)) return kind;
+    }
+    return {};
+}
+
+const char* exec_name(CakeExec exec)
+{
+    switch (exec) {
+        case CakeExec::kAuto: return "auto";
+        case CakeExec::kSerial: return "serial";
+        case CakeExec::kPipelined: return "pipelined";
+    }
+    return "unknown";
+}
+
+std::optional<CakeExec> parse_exec_name(const std::string& name)
+{
+    if (name == "auto") return CakeExec::kAuto;
+    if (name == "serial") return CakeExec::kSerial;
+    if (name == "pipelined") return CakeExec::kPipelined;
+    return {};
+}
+
+std::optional<Isa> parse_isa_name(const std::string& name)
+{
+    for (const Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+        if (name == isa_name(isa)) return isa;
+    }
+    return {};
+}
+
+/// Extract one entry; false (with *why) when required fields are missing
+/// or mistyped — the caller skips the entry and reports it.
+bool entry_from_json(const JsonValue& v, TunedEntry& out, std::string* why)
+{
+    const auto fingerprint = as_string(v.get("fingerprint"));
+    const auto dtype = as_string(v.get("dtype"));
+    const JsonValue* bucket = v.get("bucket");
+    if (!fingerprint || !dtype || bucket == nullptr
+        || bucket->kind != JsonValue::Kind::kArray
+        || bucket->array.size() != 3) {
+        *why = "missing/mistyped fingerprint, dtype or bucket[3]";
+        return false;
+    }
+    out.fingerprint = *fingerprint;
+    out.dtype = *dtype;
+    const auto bm = as_index(&bucket->array[0]);
+    const auto bn = as_index(&bucket->array[1]);
+    const auto bk = as_index(&bucket->array[2]);
+    if (!bm || !bn || !bk) {
+        *why = "bucket entries must be numbers";
+        return false;
+    }
+    out.bucket_m = *bm;
+    out.bucket_n = *bn;
+    out.bucket_k = *bk;
+
+    if (const JsonValue* shape = v.get("shape");
+        shape != nullptr && shape->kind == JsonValue::Kind::kArray
+        && shape->array.size() == 3) {
+        out.tuned_shape.m = as_index(&shape->array[0]).value_or(0);
+        out.tuned_shape.n = as_index(&shape->array[1]).value_or(0);
+        out.tuned_shape.k = as_index(&shape->array[2]).value_or(0);
+    }
+    out.measured_gflops = as_double(v.get("measured_gflops")).value_or(0);
+    out.analytic_gflops = as_double(v.get("analytic_gflops")).value_or(0);
+    out.predicted_gflops = as_double(v.get("predicted_gflops")).value_or(0);
+
+    const JsonValue* plan = v.get("plan");
+    if (plan == nullptr || plan->kind != JsonValue::Kind::kObject) {
+        *why = "missing plan object";
+        return false;
+    }
+    if (const auto p = as_index(plan->get("p"))) {
+        out.plan.p = static_cast<int>(*p);
+    }
+    out.plan.mc = as_index(plan->get("mc"));
+    out.plan.kc = as_index(plan->get("kc"));
+    out.plan.nc = as_index(plan->get("nc"));
+    out.plan.alpha = as_double(plan->get("alpha"));
+    if (const auto name = as_string(plan->get("schedule"))) {
+        out.plan.schedule = parse_schedule_name(*name);
+        if (!out.plan.schedule) {
+            *why = "unknown schedule name '" + *name + "'";
+            return false;
+        }
+    }
+    if (const auto name = as_string(plan->get("exec"))) {
+        out.plan.exec = parse_exec_name(*name);
+        if (!out.plan.exec) {
+            *why = "unknown exec name '" + *name + "'";
+            return false;
+        }
+    }
+    if (const auto name = as_string(plan->get("isa"))) {
+        out.plan.isa = parse_isa_name(*name);
+        if (!out.plan.isa) {
+            *why = "unknown isa name '" + *name + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+void append_json_string(std::ostream& os, const std::string& s)
+{
+    os << '"';
+    for (const char ch : s) {
+        if (ch == '"' || ch == '\\') os << '\\';
+        os << ch;
+    }
+    os << '"';
+}
+
+void entry_to_json(std::ostream& os, const TunedEntry& e)
+{
+    // Doubles must survive a save/load round trip bit-exactly: the smoke
+    // check compares the reloaded winner's gflops against the in-memory
+    // one, and the default 6-digit precision fails that.
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    os << "    {\"fingerprint\": ";
+    append_json_string(os, e.fingerprint);
+    os << ", \"dtype\": \"" << e.dtype << "\",\n     \"bucket\": ["
+       << e.bucket_m << ", " << e.bucket_n << ", " << e.bucket_k
+       << "], \"shape\": [" << e.tuned_shape.m << ", " << e.tuned_shape.n
+       << ", " << e.tuned_shape.k << "],\n     \"plan\": {";
+    bool first = true;
+    auto field = [&](const char* name, auto&& write) {
+        if (!first) os << ", ";
+        first = false;
+        os << '"' << name << "\": ";
+        write();
+    };
+    if (e.plan.p) field("p", [&] { os << *e.plan.p; });
+    if (e.plan.mc) field("mc", [&] { os << *e.plan.mc; });
+    if (e.plan.kc) field("kc", [&] { os << *e.plan.kc; });
+    if (e.plan.nc) field("nc", [&] { os << *e.plan.nc; });
+    if (e.plan.alpha) field("alpha", [&] { os << *e.plan.alpha; });
+    if (e.plan.schedule) {
+        field("schedule",
+              [&] { os << '"' << schedule_kind_name(*e.plan.schedule) << '"'; });
+    }
+    if (e.plan.exec) {
+        field("exec", [&] { os << '"' << exec_name(*e.plan.exec) << '"'; });
+    }
+    if (e.plan.isa) {
+        field("isa", [&] { os << '"' << isa_name(*e.plan.isa) << '"'; });
+    }
+    os << "},\n     \"measured_gflops\": " << e.measured_gflops
+       << ", \"analytic_gflops\": " << e.analytic_gflops
+       << ", \"predicted_gflops\": " << e.predicted_gflops << "}";
+}
+
+}  // namespace
+
+const TunedEntry* TuneCache::find(const std::string& fingerprint,
+                                  const std::string& dtype,
+                                  const GemmShape& shape) const
+{
+    const index_t bm = shape_bucket(shape.m);
+    const index_t bn = shape_bucket(shape.n);
+    const index_t bk = shape_bucket(shape.k);
+    for (const TunedEntry& e : entries) {
+        if (e.fingerprint == fingerprint && e.dtype == dtype
+            && e.bucket_m == bm && e.bucket_n == bn && e.bucket_k == bk) {
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+void TuneCache::upsert(const TunedEntry& entry)
+{
+    for (TunedEntry& e : entries) {
+        if (e.fingerprint == entry.fingerprint && e.dtype == entry.dtype
+            && e.bucket_m == entry.bucket_m && e.bucket_n == entry.bucket_n
+            && e.bucket_k == entry.bucket_k) {
+            e = entry;
+            return;
+        }
+    }
+    entries.push_back(entry);
+}
+
+index_t shape_bucket(index_t extent)
+{
+    if (extent <= 16) return 16;
+    // Grid: 16, 24, 32, 48, 64, 96, ... (powers of two and their 1.5x
+    // midpoints). Return the smallest grid point >= extent.
+    index_t pow2 = 16;
+    for (;;) {
+        if (extent <= pow2) return pow2;
+        const index_t mid = pow2 + pow2 / 2;
+        if (extent <= mid) return mid;
+        pow2 *= 2;
+    }
+}
+
+std::string default_cache_path()
+{
+    if (const char* env = std::getenv("CAKE_TUNE_CACHE");
+        env != nullptr && env[0] != '\0') {
+        return env;
+    }
+    if (const char* home = std::getenv("HOME");
+        home != nullptr && home[0] != '\0') {
+        return std::string(home) + "/.cache/cake/tune.json";
+    }
+    return "cake_tune.json";
+}
+
+CacheLoadResult load_cache(const std::string& path)
+{
+    CacheLoadResult result;
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) return result;  // first run
+    result.file_existed = true;
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        result.issues.push_back(
+            {"CACHE_IO", "cannot open '" + path + "' for reading"});
+        return result;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) {
+        result.issues.push_back({"CACHE_IO", "read error on '" + path + "'"});
+        return result;
+    }
+    const std::string text = buf.str();
+
+    JsonValue root;
+    JsonParser parser(text);
+    if (!parser.parse(root) || root.kind != JsonValue::Kind::kObject) {
+        result.issues.push_back(
+            {"CACHE_PARSE", "'" + path + "' is not a JSON object: "
+                                + (parser.error().empty() ? "wrong root type"
+                                                          : parser.error())});
+        return result;
+    }
+
+    const auto version = as_index(root.get("version"));
+    if (!version) {
+        result.issues.push_back(
+            {"CACHE_PARSE", "'" + path + "' has no numeric 'version' field"});
+        return result;
+    }
+    if (*version != kCacheVersion) {
+        std::ostringstream os;
+        os << "'" << path << "' is schema version " << *version
+           << " but this build reads version " << kCacheVersion
+           << "; ignoring it (a fresh search will rewrite it)";
+        result.issues.push_back({"CACHE_VERSION", os.str()});
+        return result;
+    }
+
+    const JsonValue* entries = root.get("entries");
+    if (entries == nullptr || entries->kind != JsonValue::Kind::kArray) {
+        result.issues.push_back(
+            {"CACHE_PARSE", "'" + path + "' has no 'entries' array"});
+        return result;
+    }
+    for (std::size_t i = 0; i < entries->array.size(); ++i) {
+        TunedEntry entry;
+        std::string why;
+        if (entry_from_json(entries->array[i], entry, &why)) {
+            result.cache.upsert(entry);
+        } else {
+            std::ostringstream os;
+            os << "'" << path << "' entry " << i << " skipped: " << why;
+            result.issues.push_back({"CACHE_PARSE", os.str()});
+        }
+    }
+    return result;
+}
+
+bool save_cache(const TuneCache& cache, const std::string& path,
+                std::string* error)
+{
+    const std::filesystem::path target(path);
+    std::error_code ec;
+    if (target.has_parent_path()) {
+        std::filesystem::create_directories(target.parent_path(), ec);
+        // A pre-existing directory also reports an ec of 0; real failures
+        // surface when the temp file below cannot be opened.
+    }
+
+    // Write-then-rename so a crash mid-save leaves the previous cache
+    // intact instead of a truncated file.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            if (error != nullptr) *error = "cannot open '" + tmp + "'";
+            return false;
+        }
+        out << "{\n  \"version\": " << kCacheVersion << ",\n  \"entries\": [";
+        for (std::size_t i = 0; i < cache.entries.size(); ++i) {
+            out << (i == 0 ? "\n" : ",\n");
+            entry_to_json(out, cache.entries[i]);
+        }
+        out << "\n  ]\n}\n";
+        out.flush();
+        if (!out) {
+            if (error != nullptr) *error = "write error on '" + tmp + "'";
+            return false;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        if (error != nullptr) {
+            *error = "rename '" + tmp + "' -> '" + path
+                + "' failed: " + ec.message();
+        }
+        return false;
+    }
+    return true;
+}
+
+CachedPlanSource::CachedPlanSource(TuneCache cache, std::string fingerprint)
+    : cache_(std::move(cache)), fingerprint_(std::move(fingerprint))
+{
+}
+
+CachedPlanSource CachedPlanSource::for_host(const std::string& path)
+{
+    CacheLoadResult loaded =
+        load_cache(path.empty() ? default_cache_path() : path);
+    return CachedPlanSource(std::move(loaded.cache),
+                            host_fingerprint().key());
+}
+
+std::optional<PlanOverrides> CachedPlanSource::lookup(
+    const PlanRequest& request) const
+{
+    const char* dtype = nullptr;
+    if (request.elem_bytes == 4) dtype = "f32";
+    else if (request.elem_bytes == 8) dtype = "f64";
+    else return {};
+    const GemmShape shape{request.m, request.n, request.k};
+    if (const TunedEntry* e = cache_.find(fingerprint_, dtype, shape)) {
+        return e->plan;
+    }
+    return {};
+}
+
+}  // namespace tune
+}  // namespace cake

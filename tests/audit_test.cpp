@@ -74,12 +74,40 @@ TEST(AuditTest, OversizedAlphaFailsLlcLru)
 
 TEST(AuditTest, UnsolvableConfigurationReportsSolverCode)
 {
-    TilingOptions opts;
-    opts.mc = 601;  // not a multiple of mr = 6: the solver itself rejects
+    // A machine with no cache hierarchy at all defeats the solver itself
+    // (no level to size the CB block against) — the failure cannot be
+    // diagnosed from the overrides alone, so it surfaces as SOLVER.
+    MachineSpec machine = intel_i9_10900k();
+    machine.caches = {};
     const AuditReport report =
-        audit_cb_plan(intel_i9_10900k(), 10, 6, 16, square(), opts);
+        audit_cb_plan(machine, 10, 6, 16, square());
     EXPECT_FALSE(report.solver_ok);
     EXPECT_EQ(report.codes(), "SOLVER");
+}
+
+TEST(AuditTest, MisalignedMcOverrideReportsOverrideCode)
+{
+    TilingOptions opts;
+    opts.mc = 601;  // not a multiple of mr = 6
+    const AuditReport report =
+        audit_cb_plan(intel_i9_10900k(), 10, 6, 16, square(), opts);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.codes(), "OVERRIDE");
+    ASSERT_EQ(report.issues.size(), 1u);
+    EXPECT_NE(report.issues[0].message.find("601"), std::string::npos);
+    EXPECT_NE(report.issues[0].message.find("mr=6"), std::string::npos)
+        << report.issues[0].message;
+}
+
+TEST(AuditTest, ConflictingAlphaAndNcOverridesReportOverrideCode)
+{
+    TilingOptions opts;
+    opts.alpha = 1.5;
+    opts.nc = 512;  // alpha would derive the N extent nc now pins
+    const AuditReport report =
+        audit_cb_plan(intel_i9_10900k(), 10, 6, 16, square(), opts);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.codes(), "OVERRIDE");
 }
 
 TEST(AuditTest, NonPositiveShapeReportsShapeCode)

@@ -1,0 +1,417 @@
+// src/tune: the empirical plan autotuner and its persisted cache.
+//
+// The cache tests exercise the robustness contract (round trip, version
+// skew, foreign fingerprints, hostile bytes — always a clean miss, never
+// a crash); the search tests drive the full tune loop with a
+// deterministic mock timer so the winner is known in advance; the driver
+// test proves cake_gemm actually consumes a cached winner through the
+// TunedPlanSource hook.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/cake_gemm.hpp"
+#include "machine/fingerprint.hpp"
+#include "machine/machine.hpp"
+#include "model/planner.hpp"
+#include "ref/naive_gemm.hpp"
+#include "tune/cache.hpp"
+#include "tune/tune.hpp"
+
+namespace cake {
+namespace tune {
+namespace {
+
+std::string temp_cache_path(const char* tag)
+{
+    const auto dir = std::filesystem::temp_directory_path();
+    return (dir / (std::string("cake_tune_test_") + tag + ".json")).string();
+}
+
+void write_file(const std::string& path, const std::string& bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+}
+
+TunedEntry sample_entry(const std::string& fingerprint)
+{
+    TunedEntry e;
+    e.fingerprint = fingerprint;
+    e.dtype = "f32";
+    e.bucket_m = shape_bucket(500);
+    e.bucket_n = shape_bucket(500);
+    e.bucket_k = shape_bucket(500);
+    e.plan.p = 4;
+    e.plan.mc = 96;
+    e.plan.kc = 128;
+    e.plan.schedule = ScheduleKind::kKFirstNoFlip;
+    e.plan.exec = CakeExec::kSerial;
+    e.plan.isa = Isa::kScalar;
+    e.tuned_shape = {500, 500, 500};
+    e.measured_gflops = 123.456;
+    e.analytic_gflops = 120.0;
+    e.predicted_gflops = 118.75;
+    return e;
+}
+
+TEST(ShapeBucket, GeometricGridWithFloor)
+{
+    EXPECT_EQ(shape_bucket(1), 16);
+    EXPECT_EQ(shape_bucket(16), 16);
+    EXPECT_EQ(shape_bucket(17), 24);
+    EXPECT_EQ(shape_bucket(500), shape_bucket(512));
+    EXPECT_EQ(shape_bucket(512), 512);
+    // Nearby shapes share buckets; very different ones never do.
+    EXPECT_NE(shape_bucket(512), shape_bucket(2000));
+}
+
+TEST(TuneCache, RoundTripWriteReloadHit)
+{
+    const std::string path = temp_cache_path("roundtrip");
+    TuneCache cache;
+    cache.upsert(sample_entry("host-a"));
+
+    std::string error;
+    ASSERT_TRUE(save_cache(cache, path, &error)) << error;
+
+    const CacheLoadResult loaded = load_cache(path);
+    EXPECT_TRUE(loaded.ok());
+    EXPECT_TRUE(loaded.file_existed);
+    ASSERT_EQ(loaded.cache.entries.size(), 1u);
+
+    const TunedEntry* hit =
+        loaded.cache.find("host-a", "f32", {500, 500, 500});
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->plan.p, 4);
+    EXPECT_EQ(hit->plan.mc, 96);
+    EXPECT_EQ(hit->plan.kc, 128);
+    EXPECT_FALSE(hit->plan.nc.has_value());
+    EXPECT_EQ(hit->plan.schedule, ScheduleKind::kKFirstNoFlip);
+    EXPECT_EQ(hit->plan.exec, CakeExec::kSerial);
+    EXPECT_EQ(hit->plan.isa, Isa::kScalar);
+    EXPECT_EQ(hit->tuned_shape.m, 500);
+    // Doubles survive the trip bit-exactly (max_digits10 serialisation).
+    EXPECT_EQ(hit->measured_gflops, 123.456);
+    EXPECT_EQ(hit->predicted_gflops, 118.75);
+
+    // A nearby shape lands in the same bucket; a distant one misses.
+    EXPECT_NE(loaded.cache.find("host-a", "f32", {512, 512, 512}), nullptr);
+    EXPECT_EQ(loaded.cache.find("host-a", "f32", {2000, 2000, 96}), nullptr);
+    EXPECT_EQ(loaded.cache.find("host-a", "f64", {500, 500, 500}), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(TuneCache, AbsentFileIsCleanFirstRunState)
+{
+    const CacheLoadResult loaded =
+        load_cache(temp_cache_path("never_written"));
+    EXPECT_TRUE(loaded.ok());
+    EXPECT_FALSE(loaded.file_existed);
+    EXPECT_TRUE(loaded.cache.entries.empty());
+}
+
+TEST(TuneCache, VersionMismatchIsCleanMiss)
+{
+    const std::string path = temp_cache_path("version");
+    write_file(path,
+               "{\"version\": 99, \"entries\": [{\"fingerprint\": \"x\", "
+               "\"dtype\": \"f32\", \"bucket\": [512, 512, 512], "
+               "\"plan\": {}}]}");
+    const CacheLoadResult loaded = load_cache(path);
+    EXPECT_FALSE(loaded.ok());
+    ASSERT_EQ(loaded.issues.size(), 1u);
+    EXPECT_EQ(loaded.issues[0].code, "CACHE_VERSION");
+    EXPECT_TRUE(loaded.cache.entries.empty());
+    std::remove(path.c_str());
+}
+
+TEST(TuneCache, FingerprintMismatchIsInvisibleButPreserved)
+{
+    const std::string path = temp_cache_path("foreign");
+    TuneCache cache;
+    cache.upsert(sample_entry("other-machine"));
+    ASSERT_TRUE(save_cache(cache, path));
+
+    const CacheLoadResult loaded = load_cache(path);
+    EXPECT_TRUE(loaded.ok());
+    // Foreign entries survive the file but never serve this host.
+    EXPECT_EQ(loaded.cache.entries.size(), 1u);
+    EXPECT_EQ(loaded.cache.find("this-host", "f32", {500, 500, 500}),
+              nullptr);
+
+    CachedPlanSource source(loaded.cache, "this-host");
+    PlanRequest req;
+    req.m = req.n = req.k = 500;
+    EXPECT_FALSE(source.lookup(req).has_value());
+    std::remove(path.c_str());
+}
+
+TEST(TuneCache, CorruptedBytesRejectedWithCode)
+{
+    const struct {
+        const char* tag;
+        const char* bytes;
+    } cases[] = {
+        {"truncated", "{\"version\": 1, \"entries\": [{\"fing"},
+        {"not_json", "PK\x03\x04 this is not json at all"},
+        {"wrong_root", "[1, 2, 3]"},
+        {"no_version", "{\"entries\": []}"},
+        {"deep_nest", "{\"version\": 1, \"entries\": [[[[[[[[[[[[[[[[[[[[[[["
+                      "[[[[[[[[[[[[[[[[[[[[[[[[[[["},
+    };
+    for (const auto& c : cases) {
+        const std::string path = temp_cache_path(c.tag);
+        write_file(path, c.bytes);
+        const CacheLoadResult loaded = load_cache(path);
+        EXPECT_FALSE(loaded.ok()) << c.tag;
+        ASSERT_FALSE(loaded.issues.empty()) << c.tag;
+        EXPECT_EQ(loaded.issues[0].code, "CACHE_PARSE") << c.tag;
+        EXPECT_TRUE(loaded.cache.entries.empty()) << c.tag;
+        std::remove(path.c_str());
+    }
+}
+
+TEST(TuneCache, MalformedEntrySkippedOthersSurvive)
+{
+    const std::string path = temp_cache_path("partial");
+    // First entry lacks required fields; second is fine.
+    write_file(
+        path,
+        "{\"version\": 1, \"entries\": ["
+        "{\"dtype\": \"f32\"},"
+        "{\"fingerprint\": \"h\", \"dtype\": \"f32\","
+        " \"bucket\": [512, 512, 512], \"plan\": {\"mc\": 96}}]}");
+    const CacheLoadResult loaded = load_cache(path);
+    EXPECT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.issues[0].code, "CACHE_PARSE");
+    ASSERT_EQ(loaded.cache.entries.size(), 1u);
+    EXPECT_EQ(loaded.cache.entries[0].plan.mc, 96);
+    std::remove(path.c_str());
+}
+
+TEST(TuneCache, UpsertReplacesSameKey)
+{
+    TuneCache cache;
+    cache.upsert(sample_entry("h"));
+    TunedEntry updated = sample_entry("h");
+    updated.measured_gflops = 200.0;
+    cache.upsert(updated);
+    ASSERT_EQ(cache.entries.size(), 1u);
+    EXPECT_EQ(cache.entries[0].measured_gflops, 200.0);
+}
+
+// --- Search loop under a deterministic mock timer -----------------------
+
+MachineSpec test_machine()
+{
+    MachineSpec machine = intel_i9_10900k();
+    machine.cores = 4;
+    return machine;
+}
+
+TEST(TuneSearch, CandidateZeroIsAnalyticDefault)
+{
+    const MachineSpec machine = test_machine();
+    const auto candidates =
+        generate_candidates(machine, {512, 512, 512}, 4, machine.cores);
+    ASSERT_FALSE(candidates.empty());
+    EXPECT_TRUE(candidates[0].analytic_default);
+    EXPECT_TRUE(candidates[0].overrides().empty()
+                || !candidates[0].overrides().mc.has_value());
+    // The neighbourhood is genuinely multi-point.
+    EXPECT_GT(candidates.size(), 4u);
+}
+
+TEST(TuneSearch, MockTimerConvergesOnInjectedBest)
+{
+    const MachineSpec machine = test_machine();
+    ThreadPool pool(machine.cores);
+    TuneRequest req;
+    req.shape = {512, 512, 512};
+    req.budget = 64;  // time every candidate
+
+    // Find a non-default geometry candidate to crown.
+    const auto candidates = generate_candidates(
+        machine, req.shape, 4, machine.cores);
+    std::optional<index_t> target_mc;
+    for (const auto& c : candidates) {
+        if (c.mc) {
+            target_mc = c.mc;
+            break;
+        }
+    }
+    ASSERT_TRUE(target_mc.has_value());
+
+    const double flops = req.shape.flops();
+    auto mock = [&](const TuneCandidate& c) {
+        // Injected best runs at 100 GF, everything else at 10 GF.
+        return c.mc == target_mc ? flops / 100e9 : flops / 10e9;
+    };
+    const TuneOutcome outcome =
+        tune_shape(pool, machine, req, "mock-host", mock);
+
+    EXPECT_FALSE(outcome.cache_hit);
+    ASSERT_FALSE(outcome.results.empty());
+    EXPECT_TRUE(outcome.results[0].candidate.analytic_default);
+    EXPECT_NEAR(outcome.winner.measured_gflops, 100.0, 1e-6);
+    EXPECT_NEAR(outcome.winner.analytic_gflops, 10.0, 1e-6);
+    ASSERT_TRUE(outcome.winner.plan.mc.has_value());
+    EXPECT_EQ(outcome.winner.plan.mc, target_mc);
+    // The winner can never measure worse than the analytic default.
+    EXPECT_GE(outcome.winner.measured_gflops, outcome.analytic_gflops());
+}
+
+TEST(TuneSearch, RankingFlipDetection)
+{
+    // Model says A beats B by 25%; the machine says the opposite by 2x:
+    // that pair must be reported as a flip. C agrees with the model and
+    // stays out of the report.
+    const std::vector<model::MeasuredPlanPoint> points = {
+        {"A", 100.0, 50.0},
+        {"B", 80.0, 100.0},
+        {"C", 10.0, 5.0},
+    };
+    const model::DisagreementReport report = model::compare_rankings(points);
+    ASSERT_EQ(report.flips.size(), 1u);
+    EXPECT_FALSE(report.agree());
+    EXPECT_EQ(report.flips[0].preferred_by_model.label, "A");
+    EXPECT_EQ(report.flips[0].preferred_by_machine.label, "B");
+
+    // Within-tolerance ties are not disagreements.
+    const std::vector<model::MeasuredPlanPoint> ties = {
+        {"A", 100.0, 99.5},
+        {"B", 99.0, 100.0},
+    };
+    EXPECT_TRUE(model::compare_rankings(ties).agree());
+}
+
+TEST(TuneSearch, SecondSearchIsPureCacheHit)
+{
+    const MachineSpec machine = test_machine();
+    ThreadPool pool(machine.cores);
+    const std::string path = temp_cache_path("hit");
+    std::remove(path.c_str());
+
+    TuneRequest req;
+    req.shape = {384, 384, 384};
+    req.budget = 6;
+
+    int timed = 0;
+    const double flops = req.shape.flops();
+    auto mock = [&](const TuneCandidate&) {
+        ++timed;
+        return flops / 50e9;
+    };
+
+    const TuneOutcome first =
+        tune_with_cache(pool, machine, req, path, "mock-host", mock);
+    EXPECT_FALSE(first.cache_hit);
+    EXPECT_GT(timed, 0);
+
+    const int timed_after_first = timed;
+    const TuneOutcome second =
+        tune_with_cache(pool, machine, req, path, "mock-host", mock);
+    EXPECT_TRUE(second.cache_hit);
+    EXPECT_EQ(timed, timed_after_first);  // nothing re-benchmarked
+    EXPECT_EQ(second.winner.measured_gflops, first.winner.measured_gflops);
+
+    // A different fingerprint misses and searches afresh.
+    const TuneOutcome other =
+        tune_with_cache(pool, machine, req, path, "other-host", mock);
+    EXPECT_FALSE(other.cache_hit);
+    EXPECT_GT(timed, timed_after_first);
+    std::remove(path.c_str());
+}
+
+// --- Driver consumption through the TunedPlanSource hook ----------------
+
+TEST(TunedPlanSource, CakeGemmConsumesCachedWinner)
+{
+    const index_t size = 128;
+    const index_t mr = best_microkernel().mr;
+    TuneCache cache;
+    TunedEntry e;
+    e.fingerprint = "host";
+    e.dtype = "f32";
+    e.bucket_m = shape_bucket(size);
+    e.bucket_n = shape_bucket(size);
+    e.bucket_k = shape_bucket(size);
+    e.plan.mc = mr * 2;  // solver requires mc to be a multiple of mr
+    e.plan.kc = 32;
+    e.tuned_shape = {size, size, size};
+    cache.upsert(e);
+    CachedPlanSource source(cache, "host");
+
+    ThreadPool pool(1);
+    CakeOptions options;
+    options.plan_source = &source;
+    CakeGemm gemm(pool, options);
+
+    Rng rng(7);
+    Matrix a(size, size), b(size, size), c(size, size), want(size, size);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    gemm.multiply(a.data(), size, b.data(), size, c.data(), size, size,
+                  size, size);
+    EXPECT_TRUE(gemm.stats().tuned);
+    EXPECT_EQ(gemm.stats().params.mc, mr * 2);
+    EXPECT_EQ(gemm.stats().params.kc, 32);
+
+    // Tuned geometry must still be numerically exact.
+    naive_sgemm(a.data(), size, b.data(), size, want.data(), size, size,
+                size, size, false);
+    for (index_t i = 0; i < size * size; ++i) {
+        EXPECT_NEAR(c.data()[i], want.data()[i], 1e-3f);
+    }
+
+    // A shape outside the bucket takes the pure analytic path.
+    const index_t other = 512;
+    Matrix a2(other, other), b2(other, other), c2(other, other);
+    a2.fill_random(rng);
+    b2.fill_random(rng);
+    gemm.multiply(a2.data(), other, b2.data(), other, c2.data(), other,
+                  other, other, other);
+    EXPECT_FALSE(gemm.stats().tuned);
+}
+
+TEST(TunedPlanSource, UserOverridesBeatTunedOnes)
+{
+    const index_t size = 128;
+    const index_t mr = best_microkernel().mr;
+    TuneCache cache;
+    TunedEntry e;
+    e.fingerprint = "host";
+    e.dtype = "f32";
+    e.bucket_m = shape_bucket(size);
+    e.bucket_n = shape_bucket(size);
+    e.bucket_k = shape_bucket(size);
+    e.plan.mc = mr * 2;
+    e.tuned_shape = {size, size, size};
+    cache.upsert(e);
+    CachedPlanSource source(cache, "host");
+
+    ThreadPool pool(1);
+    CakeOptions options;
+    options.plan_source = &source;
+    options.mc = mr * 4;  // explicit user choice must win over the cache
+    CakeGemm gemm(pool, options);
+
+    Rng rng(9);
+    Matrix a(size, size), b(size, size), c(size, size);
+    a.fill_random(rng);
+    b.fill_random(rng);
+    gemm.multiply(a.data(), size, b.data(), size, c.data(), size, size,
+                  size, size);
+    EXPECT_EQ(gemm.stats().params.mc, mr * 4);
+    EXPECT_FALSE(gemm.stats().tuned);
+}
+
+}  // namespace
+}  // namespace tune
+}  // namespace cake
