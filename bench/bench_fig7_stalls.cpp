@@ -135,7 +135,7 @@ int main(int argc, char** argv)
         goto_sim.set_regions(regions());
         memsim::HierarchySink goto_sink(goto_sim);
         memsim::trace_goto(shape, goto_default_blocking(intel, 6, 16), 4, 6,
-                           16, goto_sink);
+                           16, /*elem_bytes=*/4, goto_sink);
 
         Table table({"region", "CAKE DRAM fills (K)", "GOTO DRAM fills (K)"});
         const auto cake_rows = cake_sim.dram_accesses_by_region();

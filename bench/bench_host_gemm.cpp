@@ -4,11 +4,15 @@
 // figures come from the bench_fig* harnesses.)
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <type_traits>
+
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
 #include "core/batched.hpp"
 #include "core/cake_gemm.hpp"
 #include "core/cake_gemm_int8.hpp"
+#include "core/fperror.hpp"
 #include "gotoblas/goto_gemm.hpp"
 #include "kernel/kernel_int8.hpp"
 #include "kernel/registry.hpp"
@@ -23,6 +27,38 @@ ThreadPool& pool()
 {
     static ThreadPool instance(host_machine().cores);
     return instance;
+}
+
+/// Accuracy column: max relative error of a strided sample of C elements
+/// against a higher-precision oracle (double for f32, long double for
+/// f64), with the Higham denominator sum_k |a||b|. Sampled so the 2048^3
+/// benches stay fast; paired with the plan's static bound it shows the
+/// measured error sitting under the proved ceiling on every run.
+template <typename T>
+double sampled_max_rel_error(const T* a, const T* b, const T* c,
+                             index_t size)
+{
+    using OT =
+        std::conditional_t<sizeof(T) == 8, long double, double>;
+    const index_t stride = size > 64 ? size / 32 : 1;
+    double worst = 0.0;
+    for (index_t i = 0; i < size; i += stride) {
+        for (index_t j = 0; j < size; j += stride) {
+            OT acc = 0, denom = 0;
+            for (index_t p = 0; p < size; ++p) {
+                const OT av = a[static_cast<std::size_t>(i * size + p)];
+                const OT bv = b[static_cast<std::size_t>(p * size + j)];
+                acc += av * bv;
+                denom += std::abs(av) * std::abs(bv);
+            }
+            if (denom == 0) continue;
+            const OT err = std::abs(
+                static_cast<OT>(c[static_cast<std::size_t>(i * size + j)])
+                - acc);
+            worst = std::max(worst, static_cast<double>(err / denom));
+        }
+    }
+    return worst;
 }
 
 void BM_CakeSgemm(benchmark::State& state)
@@ -44,6 +80,12 @@ void BM_CakeSgemm(benchmark::State& state)
     state.counters["GFLOP/s"] = benchmark::Counter(
         2.0 * size * size * size * static_cast<double>(state.iterations()),
         benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+    state.counters["max_rel_err"] =
+        sampled_max_rel_error(a.data(), b.data(), c.data(), size);
+    state.counters["err_bound"] =
+        plan_error_bound({size, size, size}, gemm.stats().params,
+                         ScheduleKind::kKFirstSerpentine, dtype_f32())
+            .rel_bound;
 }
 BENCHMARK(BM_CakeSgemm)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)
     ->Unit(benchmark::kMillisecond);
@@ -67,6 +109,11 @@ void BM_GotoSgemm(benchmark::State& state)
     state.counters["GFLOP/s"] = benchmark::Counter(
         2.0 * size * size * size * static_cast<double>(state.iterations()),
         benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+    state.counters["max_rel_err"] =
+        sampled_max_rel_error(a.data(), b.data(), c.data(), size);
+    state.counters["err_bound"] =
+        goto_error_bound({size, size, size}, gemm.stats().kc, dtype_f32())
+            .rel_bound;
 }
 BENCHMARK(BM_GotoSgemm)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)
     ->Unit(benchmark::kMillisecond);
@@ -132,6 +179,12 @@ void BM_CakeDgemm(benchmark::State& state)
     state.counters["GFLOP/s"] = benchmark::Counter(
         2.0 * size * size * size * static_cast<double>(state.iterations()),
         benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+    state.counters["max_rel_err"] =
+        sampled_max_rel_error(a.data(), b.data(), c.data(), size);
+    state.counters["err_bound"] =
+        plan_error_bound({size, size, size}, gemm.stats().params,
+                         ScheduleKind::kKFirstSerpentine, dtype_f64())
+            .rel_bound;
 }
 BENCHMARK(BM_CakeDgemm)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 

@@ -455,14 +455,15 @@ ScheduleIR extract_cake_ir(const GemmShape& shape,
 
 ScheduleIR extract_goto_ir(const GemmShape& shape,
                            const GotoBlocking& blocking, int p, index_t mr,
-                           index_t nr, bool accumulate)
+                           index_t nr, bool accumulate, index_t elem_bytes)
 {
     CAKE_CHECK(shape.m >= 1 && shape.n >= 1 && shape.k >= 1);
     CAKE_CHECK(p >= 1 && mr >= 1 && nr >= 1);
+    CAKE_CHECK(elem_bytes >= 1);
     const index_t mc = blocking.mc;
     const index_t kc = blocking.kc;
     const index_t nc = blocking.nc;
-    constexpr std::uint64_t elem = sizeof(float);
+    const auto elem = static_cast<std::uint64_t>(elem_bytes);
 
     IrBuilder b;
     ScheduleIR& ir = b.ir;
@@ -472,7 +473,8 @@ ScheduleIR extract_goto_ir(const GemmShape& shape,
     ir.p = p;
     ir.params.mr = mr;  // kernel shape, for the memsim cross-check
     ir.params.nr = nr;
-    ir.elem_bytes = static_cast<index_t>(elem);
+    ir.params.elem_bytes = elem_bytes;  // keep the dtype fields consistent
+    ir.elem_bytes = elem_bytes;
     ir.beta_nonzero = accumulate;
     ir.expected_accums = ceil_div(shape.k, kc);
     ir.buffers = {

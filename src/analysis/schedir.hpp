@@ -118,10 +118,15 @@ ScheduleIR extract_cake_ir(const GemmShape& shape,
                            bool beta_nonzero = false);
 
 /// Extract the IR of a GOTO multiply: one packB + one compute phase per
-/// (jc, pc) pass, each worker's ic blocks in program order.
+/// (jc, pc) pass, each worker's ic blocks in program order. `elem_bytes`
+/// scales the modelled traffic and is recorded in the IR's dtype fields
+/// (both ir.elem_bytes and ir.params.elem_bytes) so width-dependent
+/// passes — cake_verify --numerics in particular — see one consistent
+/// descriptor for every executor.
 ScheduleIR extract_goto_ir(const GemmShape& shape,
                            const GotoBlocking& blocking, int p, index_t mr,
-                           index_t nr, bool accumulate = false);
+                           index_t nr, bool accumulate = false,
+                           index_t elem_bytes = 4);
 
 /// Surface-level external traffic summed over the IR's operations,
 /// decomposed the way the runtime stats and src/memsim decompose it.

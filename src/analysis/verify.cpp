@@ -743,16 +743,16 @@ VerifyReport cross_check_memsim(const ScheduleIR& ir)
 {
     VerifyReport report;
     IssueSink sink{report};
-    if (ir.elem_bytes != 4 || ir.use_prepacked || ir.beta_nonzero) {
+    if (ir.use_prepacked || ir.beta_nonzero) {
         sink.add("IR_MALFORMED",
-                 "memsim cross-check requires an f32, non-prepacked, "
+                 "memsim cross-check requires a non-prepacked, "
                  "beta == 0 IR");
         return report;
     }
     CountingSink counts;
     if (ir.exec == Exec::kGoto) {
         memsim::trace_goto(ir.shape, ir.blocking, ir.p, ir.params.mr,
-                           ir.params.nr, counts);
+                           ir.params.nr, ir.elem_bytes, counts);
     } else {
         memsim::trace_cake(ir.shape, ir.params, ir.schedule, counts);
     }

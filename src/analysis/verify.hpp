@@ -66,9 +66,9 @@ VerifyReport verify_schedule_ir(const ScheduleIR& ir);
 /// by surface, and require exact byte agreement with io_totals(ir) for
 /// a_read / b_read / c_write / c_rmw_read. Reload reads are excluded:
 /// the trace generator recomputes spilled partials rather than reloading
-/// them (documented asymmetry). Only meaningful for f32 (the trace layer
-/// is element-size-fixed), non-prepacked, beta == 0 IRs; anything else
-/// reports IR_MALFORMED.
+/// them (documented asymmetry). The trace layer is dtype-width-aware
+/// (scaled by ir.elem_bytes), so any element width cross-checks; only
+/// prepacked or beta != 0 IRs report IR_MALFORMED.
 VerifyReport cross_check_memsim(const ScheduleIR& ir);
 
 }  // namespace schedir

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "core/fperror.hpp"
 #include "pack/pack.hpp"
 
 namespace cake {
@@ -77,6 +78,13 @@ AuditReport audit_cb_plan(const MachineSpec& machine, int p, index_t mr,
         os << "alpha override " << *opts.alpha << " must be >= 1";
         add_issue(report, "OVERRIDE", os);
     }
+    if (opts.elem_bytes != 1 && opts.elem_bytes != 2 && opts.elem_bytes != 4
+        && opts.elem_bytes != 8) {
+        os << "elem_bytes=" << opts.elem_bytes
+           << " is not a supported element width (1/2/4/8): every "
+           << "width-dependent inequality below would be meaningless";
+        add_issue(report, "ELEM_WIDTH", os);
+    }
     if (!report.issues.empty()) return report;
 
     // --- Solve (or adopt the forced plan). -------------------------------
@@ -91,6 +99,26 @@ AuditReport audit_cb_plan(const MachineSpec& machine, int p, index_t mr,
     }
     const CbBlockParams& cb = report.params;
     const auto elem = static_cast<std::size_t>(cb.elem_bytes);
+
+    // --- Element-width consistency: the solved plan must carry the width
+    // it was asked for, or every inequality below reasons about the wrong
+    // dtype.
+    if (cb.elem_bytes != opts.elem_bytes) {
+        os << "solved plan carries elem_bytes=" << cb.elem_bytes
+           << " but the request asked for " << opts.elem_bytes
+           << ": width-dependent checks would audit the wrong dtype";
+        add_issue(report, "ELEM_WIDTH", os);
+    }
+
+    // --- int8 path: the i32 accumulator must provably hold the worst
+    // case |acc| <= K * 127 * 127 (quantize_unsigned clamps A to
+    // [0, 127], quantize_signed clamps B to [-127, 127]).
+    if (cb.elem_bytes == 1 && shape.k > int8_safe_k()) {
+        os << "int8 plan with K=" << shape.k
+           << ": worst-case |i32 accumulator| " << int8_acc_range(shape.k)
+           << " exceeds int32 range (safe K <= " << int8_safe_k() << ")";
+        add_issue(report, "I8_ACC_RANGE", os);
+    }
 
     // --- Geometry consistency. -------------------------------------------
     if (cb.mc < mr || cb.mc % mr != 0) {

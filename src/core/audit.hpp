@@ -10,6 +10,10 @@
 //   OVERRIDE        a TilingOptions override combination is invalid on its
 //                   face (alpha+nc conflict, non-mr-multiple mc, kc/nc < 1,
 //                   alpha < 1) — reported before the solver ever runs
+//   ELEM_WIDTH      the element width is unsupported (not 1/2/4/8), or the
+//                   solved plan carries a different width than requested —
+//                   either way every §4.2/§4.3/Eq.-2 inequality would
+//                   reason about the wrong dtype
 //   SOLVER          the CB solver itself rejected the configuration
 //   GEOMETRY        mc/kc/m_blk/n_blk/alpha internal consistency
 //   L2_RESIDENCY    mc * kc * sizeof(T) <= private-cache share (§4.2)
@@ -20,6 +24,8 @@
 //   BANDWIDTH       alpha satisfies the Eq. 2 IO/compute balance when the
 //                   bandwidth-availability ratio allows one
 //   DRAM_CAPACITY   the three operands fit main memory
+//   I8_ACC_RANGE    int8 plans only: the worst-case i32 accumulator
+//                   K * 127 * 127 provably fits int32 (core/fperror.hpp)
 //
 // The auditor is pure analysis — it never allocates panel memory or runs a
 // kernel — so it can vet a preset x shape sweep in milliseconds in CI

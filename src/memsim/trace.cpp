@@ -10,6 +10,8 @@ namespace cake {
 namespace memsim {
 namespace {
 
+// Element width of the naive-ijk TLB study trace (f32). The CAKE and
+// GOTO traces scale by the caller's element width instead.
 constexpr std::uint32_t kF = sizeof(float);
 
 index_t block_extent(index_t idx, index_t blk, index_t total)
@@ -26,6 +28,8 @@ void trace_cake(const GemmShape& shape, const CbBlockParams& params,
     const int p = params.p;
     const index_t mr = params.mr;
     const index_t nr = params.nr;
+    // Shadows the file-scope f32 constant: this trace is width-aware.
+    const auto kF = static_cast<std::uint64_t>(params.elem_bytes);
 
     const index_t mb = ceil_div(shape.m, params.m_blk);
     const index_t nb = ceil_div(shape.n, params.n_blk);
@@ -154,10 +158,14 @@ void trace_cake(const GemmShape& shape, const CbBlockParams& params,
 }
 
 void trace_goto(const GemmShape& shape, const GotoBlocking& blocking, int p,
-                index_t mr, index_t nr, TraceSink& sink, const AddressMap& map)
+                index_t mr, index_t nr, index_t elem_bytes, TraceSink& sink,
+                const AddressMap& map)
 {
     if (shape.m == 0 || shape.n == 0 || shape.k == 0) return;
     CAKE_CHECK(p >= 1);
+    CAKE_CHECK(elem_bytes >= 1);
+    // Shadows the file-scope f32 constant: this trace is width-aware.
+    const auto kF = static_cast<std::uint64_t>(elem_bytes);
     const index_t mc = blocking.mc;
     const index_t kc = blocking.kc;
     const index_t nc = blocking.nc;
@@ -296,7 +304,7 @@ TraceReport simulate_goto_memory(const MachineSpec& machine, int p,
     const GotoBlocking blocking = goto_default_blocking(machine, 6, 16);
     HierarchySim sim(machine, p);
     HierarchySink sink(sim);
-    trace_goto(shape, blocking, p, 6, 16, sink);
+    trace_goto(shape, blocking, p, 6, 16, /*elem_bytes=*/4, sink);
     TraceReport report;
     report.counters = sim.counters();
     report.stalls = attribute_stalls(report.counters);

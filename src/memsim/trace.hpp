@@ -50,16 +50,18 @@ private:
 };
 
 /// Emit the access stream of a CAKE run (packing, per-core micro-kernel
-/// sweeps, local C accumulation, completed-surface flushes).
+/// sweeps, local C accumulation, completed-surface flushes). Every access
+/// is scaled by params.elem_bytes, so the trace is dtype-width-aware.
 void trace_cake(const GemmShape& shape, const CbBlockParams& params,
                 ScheduleKind kind, TraceSink& sink,
                 const AddressMap& map = {});
 
 /// Emit the access stream of a GOTO run with `p` cores (B panel packing,
 /// per-core A packing, micro-kernel sweeps streaming C to user memory).
-/// `mr` x `nr` is the register-tile shape of the micro-kernel.
+/// `mr` x `nr` is the register-tile shape of the micro-kernel;
+/// `elem_bytes` is the element width the addresses are scaled by.
 void trace_goto(const GemmShape& shape, const GotoBlocking& blocking, int p,
-                index_t mr, index_t nr, TraceSink& sink,
+                index_t mr, index_t nr, index_t elem_bytes, TraceSink& sink,
                 const AddressMap& map = {});
 
 /// Emit the access stream of an UNPACKED inner-product GEMM (i-j-k loop

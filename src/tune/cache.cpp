@@ -9,6 +9,7 @@
 #include <limits>
 #include <sstream>
 
+#include "core/fperror.hpp"
 #include "core/schedule.hpp"
 #include "kernel/cpu_features.hpp"
 #include "machine/fingerprint.hpp"
@@ -295,15 +296,21 @@ bool entry_from_json(const JsonValue& v, TunedEntry& out, std::string* why)
 {
     const auto fingerprint = as_string(v.get("fingerprint"));
     const auto dtype = as_string(v.get("dtype"));
+    const auto elem_bytes = as_index(v.get("elem_bytes"));
     const JsonValue* bucket = v.get("bucket");
-    if (!fingerprint || !dtype || bucket == nullptr
+    if (!fingerprint || !dtype || !elem_bytes || bucket == nullptr
         || bucket->kind != JsonValue::Kind::kArray
         || bucket->array.size() != 3) {
-        *why = "missing/mistyped fingerprint, dtype or bucket[3]";
+        *why = "missing/mistyped fingerprint, dtype, elem_bytes or bucket[3]";
+        return false;
+    }
+    if (*elem_bytes < 1) {
+        *why = "elem_bytes must be >= 1";
         return false;
     }
     out.fingerprint = *fingerprint;
     out.dtype = *dtype;
+    out.elem_bytes = *elem_bytes;
     const auto bm = as_index(&bucket->array[0]);
     const auto bn = as_index(&bucket->array[1]);
     const auto bk = as_index(&bucket->array[2]);
@@ -325,6 +332,7 @@ bool entry_from_json(const JsonValue& v, TunedEntry& out, std::string* why)
     out.measured_gflops = as_double(v.get("measured_gflops")).value_or(0);
     out.analytic_gflops = as_double(v.get("analytic_gflops")).value_or(0);
     out.predicted_gflops = as_double(v.get("predicted_gflops")).value_or(0);
+    out.rel_error_bound = as_double(v.get("rel_error_bound")).value_or(0);
 
     const JsonValue* plan = v.get("plan");
     if (plan == nullptr || plan->kind != JsonValue::Kind::kObject) {
@@ -380,7 +388,8 @@ void entry_to_json(std::ostream& os, const TunedEntry& e)
     os << std::setprecision(std::numeric_limits<double>::max_digits10);
     os << "    {\"fingerprint\": ";
     append_json_string(os, e.fingerprint);
-    os << ", \"dtype\": \"" << e.dtype << "\",\n     \"bucket\": ["
+    os << ", \"dtype\": \"" << e.dtype << "\", \"elem_bytes\": "
+       << e.elem_bytes << ",\n     \"bucket\": ["
        << e.bucket_m << ", " << e.bucket_n << ", " << e.bucket_k
        << "], \"shape\": [" << e.tuned_shape.m << ", " << e.tuned_shape.n
        << ", " << e.tuned_shape.k << "],\n     \"plan\": {";
@@ -408,13 +417,15 @@ void entry_to_json(std::ostream& os, const TunedEntry& e)
     }
     os << "},\n     \"measured_gflops\": " << e.measured_gflops
        << ", \"analytic_gflops\": " << e.analytic_gflops
-       << ", \"predicted_gflops\": " << e.predicted_gflops << "}";
+       << ", \"predicted_gflops\": " << e.predicted_gflops
+       << ", \"rel_error_bound\": " << e.rel_error_bound << "}";
 }
 
 }  // namespace
 
 const TunedEntry* TuneCache::find(const std::string& fingerprint,
                                   const std::string& dtype,
+                                  index_t elem_bytes,
                                   const GemmShape& shape) const
 {
     const index_t bm = shape_bucket(shape.m);
@@ -422,7 +433,8 @@ const TunedEntry* TuneCache::find(const std::string& fingerprint,
     const index_t bk = shape_bucket(shape.k);
     for (const TunedEntry& e : entries) {
         if (e.fingerprint == fingerprint && e.dtype == dtype
-            && e.bucket_m == bm && e.bucket_n == bn && e.bucket_k == bk) {
+            && e.elem_bytes == elem_bytes && e.bucket_m == bm
+            && e.bucket_n == bn && e.bucket_k == bk) {
             return &e;
         }
     }
@@ -433,6 +445,7 @@ void TuneCache::upsert(const TunedEntry& entry)
 {
     for (TunedEntry& e : entries) {
         if (e.fingerprint == entry.fingerprint && e.dtype == entry.dtype
+            && e.elem_bytes == entry.elem_bytes
             && e.bucket_m == entry.bucket_m && e.bucket_n == entry.bucket_n
             && e.bucket_k == entry.bucket_k) {
             e = entry;
@@ -594,12 +607,14 @@ CachedPlanSource CachedPlanSource::for_host(const std::string& path)
 std::optional<PlanOverrides> CachedPlanSource::lookup(
     const PlanRequest& request) const
 {
-    const char* dtype = nullptr;
-    if (request.elem_bytes == 4) dtype = "f32";
-    else if (request.elem_bytes == 8) dtype = "f64";
-    else return {};
+    // The request's element width picks the canonical dtype name AND is
+    // matched against the entry's own width: an f32 winner can never be
+    // served to a 2-byte (f16/bf16) or 1-byte (i8) request.
+    const DtypeDesc* d = dtype_for_elem_bytes(request.elem_bytes);
+    if (d == nullptr) return {};
     const GemmShape shape{request.m, request.n, request.k};
-    if (const TunedEntry* e = cache_.find(fingerprint_, dtype, shape)) {
+    if (const TunedEntry* e =
+            cache_.find(fingerprint_, d->name, request.elem_bytes, shape)) {
         return e->plan;
     }
     return {};

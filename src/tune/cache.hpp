@@ -31,12 +31,16 @@ namespace tune {
 
 /// Schema version of the cache file. Bump on any incompatible change;
 /// files with a different version load as empty (CACHE_VERSION issue).
-inline constexpr int kCacheVersion = 1;
+/// v2: the entry key carries an explicit elem_bytes dtype tag (so an f32
+/// winner can never serve a future f16/i8 request) and each entry carries
+/// its static forward error bound (core/fperror.hpp).
+inline constexpr int kCacheVersion = 2;
 
 /// One tuned winner: the full plan plus the evidence that earned it.
 struct TunedEntry {
     std::string fingerprint;  ///< MachineFingerprint::key() of the host
-    std::string dtype;        ///< "f32" | "f64"
+    std::string dtype;        ///< "f32" | "f64" | "f16" | "bf16" | "i8"
+    index_t elem_bytes = 4;   ///< element width — part of the lookup key
     index_t bucket_m = 0;     ///< shape bucket (see shape_bucket)
     index_t bucket_n = 0;
     index_t bucket_k = 0;
@@ -45,6 +49,7 @@ struct TunedEntry {
     double measured_gflops = 0;   ///< winner's min-of-N measurement
     double analytic_gflops = 0;   ///< measured GFLOP/s of the analytic plan
     double predicted_gflops = 0;  ///< model's prediction for the winner
+    double rel_error_bound = 0;   ///< static forward error bound of the plan
 };
 
 /// A coded problem encountered while loading a cache file.
@@ -57,13 +62,17 @@ struct CacheIssue {
 struct TuneCache {
     std::vector<TunedEntry> entries;
 
-    /// Entry for (fingerprint, dtype, bucket of shape), if present.
+    /// Entry for (fingerprint, dtype, elem_bytes, bucket of shape), if
+    /// present. The width is part of the key end-to-end: an entry whose
+    /// elem_bytes disagrees with the request never matches, whatever its
+    /// dtype string claims.
     [[nodiscard]] const TunedEntry* find(const std::string& fingerprint,
                                          const std::string& dtype,
+                                         index_t elem_bytes,
                                          const GemmShape& shape) const;
 
     /// Insert or replace the entry with the same (fingerprint, dtype,
-    /// bucket) key.
+    /// elem_bytes, bucket) key.
     void upsert(const TunedEntry& entry);
 };
 

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "core/audit.hpp"
 #include "core/cake_gemm.hpp"
+#include "core/fperror.hpp"
 #include "kernel/registry.hpp"
 #include "model/throughput.hpp"
 
@@ -33,9 +34,15 @@ std::pair<index_t, index_t> kernel_shape_for(const std::string& dtype,
 
 index_t elem_bytes_for(const std::string& dtype)
 {
-    if (dtype == "f32") return 4;
-    if (dtype == "f64") return 8;
-    throw Error("unknown dtype '" + dtype + "' (expected f32 or f64)");
+    // Width is defined for every dtype the cache can key on; the search
+    // itself still needs kernels (kernel_shape_for throws until the
+    // f16/bf16/i8 micro-kernels of ROADMAP item 2 land).
+    const DtypeDesc* d = find_dtype(dtype);
+    if (d == nullptr) {
+        throw Error("unknown dtype '" + dtype
+                    + "' (expected f32/f64/f16/bf16/i8)");
+    }
+    return d->elem_bytes;
 }
 
 TilingOptions tiling_of(const TuneCandidate& c, index_t elem_bytes)
@@ -259,6 +266,11 @@ TuneOutcome tune_shape(ThreadPool& pool, const MachineSpec& machine,
     const std::vector<TuneCandidate> candidates =
         generate_candidates(machine, req.shape, elem_bytes, p);
 
+    const DtypeDesc* dd = find_dtype(req.dtype);
+    CAKE_CHECK_MSG(dd != nullptr, "unknown dtype '" << req.dtype << "'");
+    PlanErrorBound default_bound;
+    bool have_default_bound = false;
+
     for (const TuneCandidate& raw : candidates) {
         if (static_cast<int>(outcome.results.size()) >= req.budget) {
             ++outcome.budget_dropped;
@@ -285,8 +297,28 @@ TuneOutcome tune_shape(ThreadPool& pool, const MachineSpec& machine,
             continue;
         }
 
+        // --- Numerics gate: speed can never buy accuracy away. ----------
+        // The static forward error bound of the candidate's (audited)
+        // plan must not exceed the analytic default's — e.g. an
+        // N-innermost schedule on a multi-kb shape spills every partial
+        // column and pays a join-add per revisit, so it is refused here
+        // however fast it measures.
+        const PlanErrorBound bound = plan_error_bound(
+            req.shape, audit.params, cand.schedule, *dd,
+            /*beta_nonzero=*/false);
+        if (cand.analytic_default) {
+            default_bound = bound;
+            have_default_bound = true;
+        } else if (have_default_bound
+                   && bound.rel_bound
+                       > default_bound.rel_bound * (1.0 + 1e-9)) {
+            ++outcome.numerics_rejected;
+            continue;
+        }
+
         CandidateResult r;
         r.candidate = cand;
+        r.rel_error_bound = bound.rel_bound;
         r.seconds = measure(cand);
         r.measured_gflops =
             r.seconds > 0 ? req.shape.flops() / r.seconds / 1e9 : 0.0;
@@ -318,6 +350,8 @@ TuneOutcome tune_shape(ThreadPool& pool, const MachineSpec& machine,
     TunedEntry& w = outcome.winner;
     w.fingerprint = fingerprint;
     w.dtype = req.dtype;
+    w.elem_bytes = elem_bytes;
+    w.rel_error_bound = best->rel_error_bound;
     w.bucket_m = shape_bucket(req.shape.m);
     w.bucket_n = shape_bucket(req.shape.n);
     w.bucket_k = shape_bucket(req.shape.k);
@@ -337,7 +371,8 @@ TuneOutcome tune_with_cache(ThreadPool& pool, const MachineSpec& machine,
 {
     CacheLoadResult loaded = load_cache(cache_path);
     if (const TunedEntry* hit =
-            loaded.cache.find(fingerprint, req.dtype, req.shape)) {
+            loaded.cache.find(fingerprint, req.dtype,
+                              elem_bytes_for(req.dtype), req.shape)) {
         TuneOutcome outcome;
         outcome.cache_hit = true;
         outcome.winner = *hit;

@@ -13,6 +13,10 @@
 //   * every candidate must pass audit_cb_plan() before it is ever timed —
 //     the tuner cannot select a plan that violates the §4.2/§4.3
 //     invariants;
+//   * every candidate must also pass the numerics gate: a plan whose
+//     static forward error bound (core/fperror.hpp) exceeds the analytic
+//     default's is refused untimed — speed can never buy accuracy away —
+//     and the recorded winner carries its bound into the cache;
 //   * timing uses the shared min-of-N policy of src/common/timing.hpp,
 //     the same experiment the ablation benches run;
 //   * measurement is injectable (MeasureFn), so tests drive the whole
@@ -57,7 +61,10 @@ struct TuneCandidate {
 /// What to tune.
 struct TuneRequest {
     GemmShape shape;
-    std::string dtype = "f32";  ///< "f32" | "f64"
+    /// Searchable today: "f32" | "f64". The cache key also understands
+    /// "f16"/"bf16"/"i8" (ROADMAP item 2) — searching them throws until
+    /// their micro-kernels exist.
+    std::string dtype = "f32";
     /// Maximum candidates to TIME (audit-rejected ones are free). >= 1;
     /// the analytic default always claims the first slot. --smoke uses a
     /// tiny budget; --search the default.
@@ -72,6 +79,7 @@ struct CandidateResult {
     double seconds = 0;           ///< min-of-N wall time
     double measured_gflops = 0;
     double predicted_gflops = 0;  ///< analytic model at this geometry
+    double rel_error_bound = 0;   ///< static forward error bound of the plan
 };
 
 /// Everything a search produced.
@@ -80,6 +88,8 @@ struct TuneOutcome {
     std::vector<CandidateResult> results;  ///< every timed candidate
     model::DisagreementReport disagreement;  ///< model-vs-hardware flips
     int audit_rejected = 0;  ///< candidates audit_cb_plan vetoed untimed
+    int numerics_rejected = 0;  ///< candidates whose error bound exceeds
+                                ///< the analytic default's, vetoed untimed
     int budget_dropped = 0;  ///< candidates dropped by the budget cap
     bool cache_hit = false;  ///< served from the cache; nothing was timed
     std::vector<CacheIssue> cache_issues;  ///< from loading (tune_with_cache)

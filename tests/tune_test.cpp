@@ -44,6 +44,8 @@ TunedEntry sample_entry(const std::string& fingerprint)
     TunedEntry e;
     e.fingerprint = fingerprint;
     e.dtype = "f32";
+    e.elem_bytes = 4;
+    e.rel_error_bound = 1.25e-5;
     e.bucket_m = shape_bucket(500);
     e.bucket_n = shape_bucket(500);
     e.bucket_k = shape_bucket(500);
@@ -86,7 +88,7 @@ TEST(TuneCache, RoundTripWriteReloadHit)
     ASSERT_EQ(loaded.cache.entries.size(), 1u);
 
     const TunedEntry* hit =
-        loaded.cache.find("host-a", "f32", {500, 500, 500});
+        loaded.cache.find("host-a", "f32", 4, {500, 500, 500});
     ASSERT_NE(hit, nullptr);
     EXPECT_EQ(hit->plan.p, 4);
     EXPECT_EQ(hit->plan.mc, 96);
@@ -99,11 +101,20 @@ TEST(TuneCache, RoundTripWriteReloadHit)
     // Doubles survive the trip bit-exactly (max_digits10 serialisation).
     EXPECT_EQ(hit->measured_gflops, 123.456);
     EXPECT_EQ(hit->predicted_gflops, 118.75);
+    EXPECT_EQ(hit->elem_bytes, 4);
+    EXPECT_EQ(hit->rel_error_bound, 1.25e-5);
 
     // A nearby shape lands in the same bucket; a distant one misses.
-    EXPECT_NE(loaded.cache.find("host-a", "f32", {512, 512, 512}), nullptr);
-    EXPECT_EQ(loaded.cache.find("host-a", "f32", {2000, 2000, 96}), nullptr);
-    EXPECT_EQ(loaded.cache.find("host-a", "f64", {500, 500, 500}), nullptr);
+    EXPECT_NE(loaded.cache.find("host-a", "f32", 4, {512, 512, 512}),
+              nullptr);
+    EXPECT_EQ(loaded.cache.find("host-a", "f32", 4, {2000, 2000, 96}),
+              nullptr);
+    EXPECT_EQ(loaded.cache.find("host-a", "f64", 8, {500, 500, 500}),
+              nullptr);
+    // The element width is part of the key: an entry whose dtype string
+    // matches but whose width disagrees never serves the request.
+    EXPECT_EQ(loaded.cache.find("host-a", "f32", 2, {500, 500, 500}),
+              nullptr);
     std::remove(path.c_str());
 }
 
@@ -131,6 +142,45 @@ TEST(TuneCache, VersionMismatchIsCleanMiss)
     std::remove(path.c_str());
 }
 
+TEST(TuneCache, V1FileWithoutWidthTagIsCleanMiss)
+{
+    // A well-formed file from the pre-elem_bytes schema (v1) must load as
+    // empty with the version code — never be reinterpreted, never crash.
+    const std::string path = temp_cache_path("v1_schema");
+    write_file(path,
+               "{\"version\": 1, \"entries\": [{\"fingerprint\": \"host-a\", "
+               "\"dtype\": \"f32\", \"bucket\": [512, 512, 512], "
+               "\"plan\": {\"mc\": 96}}]}");
+    const CacheLoadResult loaded = load_cache(path);
+    EXPECT_FALSE(loaded.ok());
+    ASSERT_EQ(loaded.issues.size(), 1u);
+    EXPECT_EQ(loaded.issues[0].code, "CACHE_VERSION");
+    EXPECT_TRUE(loaded.cache.entries.empty());
+    EXPECT_EQ(loaded.cache.find("host-a", "f32", 4, {500, 500, 500}),
+              nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(TuneCache, EntryWidthGatesCachedPlanSource)
+{
+    // An f32 winner must never serve a request for a different element
+    // width, even with matching fingerprint and bucket.
+    TuneCache cache;
+    cache.upsert(sample_entry("host"));
+    CachedPlanSource source(cache, "host");
+
+    PlanRequest req;
+    req.m = req.n = req.k = 500;
+    req.elem_bytes = 4;
+    EXPECT_TRUE(source.lookup(req).has_value());
+    req.elem_bytes = 2;
+    EXPECT_FALSE(source.lookup(req).has_value());
+    req.elem_bytes = 8;
+    EXPECT_FALSE(source.lookup(req).has_value());
+    req.elem_bytes = 3;  // no such dtype: clean miss, not a crash
+    EXPECT_FALSE(source.lookup(req).has_value());
+}
+
 TEST(TuneCache, FingerprintMismatchIsInvisibleButPreserved)
 {
     const std::string path = temp_cache_path("foreign");
@@ -142,7 +192,7 @@ TEST(TuneCache, FingerprintMismatchIsInvisibleButPreserved)
     EXPECT_TRUE(loaded.ok());
     // Foreign entries survive the file but never serve this host.
     EXPECT_EQ(loaded.cache.entries.size(), 1u);
-    EXPECT_EQ(loaded.cache.find("this-host", "f32", {500, 500, 500}),
+    EXPECT_EQ(loaded.cache.find("this-host", "f32", 4, {500, 500, 500}),
               nullptr);
 
     CachedPlanSource source(loaded.cache, "this-host");
@@ -158,11 +208,11 @@ TEST(TuneCache, CorruptedBytesRejectedWithCode)
         const char* tag;
         const char* bytes;
     } cases[] = {
-        {"truncated", "{\"version\": 1, \"entries\": [{\"fing"},
+        {"truncated", "{\"version\": 2, \"entries\": [{\"fing"},
         {"not_json", "PK\x03\x04 this is not json at all"},
         {"wrong_root", "[1, 2, 3]"},
         {"no_version", "{\"entries\": []}"},
-        {"deep_nest", "{\"version\": 1, \"entries\": [[[[[[[[[[[[[[[[[[[[[[["
+        {"deep_nest", "{\"version\": 2, \"entries\": [[[[[[[[[[[[[[[[[[[[[[["
                       "[[[[[[[[[[[[[[[[[[[[[[[[[[["},
     };
     for (const auto& c : cases) {
@@ -180,12 +230,14 @@ TEST(TuneCache, CorruptedBytesRejectedWithCode)
 TEST(TuneCache, MalformedEntrySkippedOthersSurvive)
 {
     const std::string path = temp_cache_path("partial");
-    // First entry lacks required fields; second is fine.
+    // First entry is complete except for the (v2-required) elem_bytes
+    // width tag; second is fine.
     write_file(
         path,
-        "{\"version\": 1, \"entries\": ["
-        "{\"dtype\": \"f32\"},"
+        "{\"version\": 2, \"entries\": ["
         "{\"fingerprint\": \"h\", \"dtype\": \"f32\","
+        " \"bucket\": [512, 512, 512], \"plan\": {}},"
+        "{\"fingerprint\": \"h\", \"dtype\": \"f32\", \"elem_bytes\": 4,"
         " \"bucket\": [512, 512, 512], \"plan\": {\"mc\": 96}}]}");
     const CacheLoadResult loaded = load_cache(path);
     EXPECT_FALSE(loaded.ok());
@@ -265,6 +317,49 @@ TEST(TuneSearch, MockTimerConvergesOnInjectedBest)
     EXPECT_EQ(outcome.winner.plan.mc, target_mc);
     // The winner can never measure worse than the analytic default.
     EXPECT_GE(outcome.winner.measured_gflops, outcome.analytic_gflops());
+}
+
+TEST(TuneSearch, NumericsGateRefusesAccuracyDegradingWinner)
+{
+    // On a deep-K shape (kb >= 2) the N-innermost schedule revisits every
+    // C column once per K block: each revisit spills the partial sum and
+    // pays a join-add, so its static forward error bound strictly exceeds
+    // the K-first analytic default's. A mock timer that crowns exactly
+    // that candidate must not be able to buy the accuracy away: the
+    // candidate is refused UNTIMED and the winner keeps the default bound.
+    const MachineSpec machine = test_machine();
+    ThreadPool pool(machine.cores);
+    TuneRequest req;
+    // Grid 1 x 3 x 6 for this machine's solved geometry (n_blk = 720,
+    // k_blk = 180): N-innermost revisits each column 6 times.
+    req.shape = {256, 1536, 1024};
+    req.budget = 64;  // time every surviving candidate
+
+    const double flops = req.shape.flops();
+    int ninner_timed = 0;
+    auto mock = [&](const TuneCandidate& c) {
+        if (c.schedule == ScheduleKind::kNInnermost) {
+            ++ninner_timed;
+            return flops / 1000e9;  // "fastest plan ever measured"
+        }
+        return flops / 10e9;
+    };
+    const TuneOutcome outcome =
+        tune_shape(pool, machine, req, "mock-host", mock);
+
+    EXPECT_GE(outcome.numerics_rejected, 1);
+    EXPECT_EQ(ninner_timed, 0);  // vetoed before the timer ever ran
+    for (const CandidateResult& r : outcome.results) {
+        EXPECT_NE(r.candidate.schedule, ScheduleKind::kNInnermost)
+            << r.candidate.label;
+    }
+    EXPECT_FALSE(outcome.winner.plan.schedule.has_value()
+                 && *outcome.winner.plan.schedule
+                        == ScheduleKind::kNInnermost);
+    // The recorded winner carries its (finite, positive) bound.
+    EXPECT_GT(outcome.winner.rel_error_bound, 0.0);
+    EXPECT_LT(outcome.winner.rel_error_bound, 1.0);
+    EXPECT_EQ(outcome.winner.elem_bytes, 4);
 }
 
 TEST(TuneSearch, RankingFlipDetection)

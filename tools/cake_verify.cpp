@@ -12,14 +12,24 @@
 //   cake_verify --kind ninner --exec serial --f64
 //   cake_verify --sweep       (Table-2 presets x kinds x executors)
 //   cake_verify --mutations   (every corruption rejected with its code)
+//
+// --numerics switches to the static numerics verifier
+// (analysis/numerics.hpp): the same flags select the plan, but the proof
+// is the per-plan floating-point error bound rather than the dataflow.
+//   cake_verify --numerics [--dtype f32|f64|f16|bf16|i8]
+//   cake_verify --numerics --sweep       (presets x {f32,f64,i8} x execs)
+//   cake_verify --numerics --mutations   (numerics corruptions rejected)
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/numerics.hpp"
 #include "analysis/schedir.hpp"
 #include "analysis/verify.hpp"
+#include "core/fperror.hpp"
 #include "core/tiling.hpp"
 #include "gotoblas/goto_gemm.hpp"
 #include "machine/machine.hpp"
@@ -45,6 +55,8 @@ struct Options {
     bool memsim = false;
     bool sweep = false;
     bool mutations = false;
+    bool numerics = false;
+    std::string dtype;  // empty = follow --f64
 };
 
 [[noreturn]] void usage_error(const std::string& msg)
@@ -55,7 +67,8 @@ struct Options {
         << "                   [--mr N] [--nr N] [--shape MxNxK] [--f64]\n"
         << "                   [--mc N] [--kind serpentine|noflip|ninner]\n"
         << "                   [--exec serial|pipelined|goto] [--memsim]\n"
-        << "                   [--sweep] [--mutations]\n";
+        << "                   [--sweep] [--mutations]\n"
+        << "                   [--numerics [--dtype f32|f64|f16|bf16|i8]]\n";
     std::exit(2);
 }
 
@@ -139,6 +152,13 @@ Options parse_args(int argc, char** argv)
             opt.sweep = true;
         } else if (arg == "--mutations") {
             opt.mutations = true;
+        } else if (arg == "--numerics") {
+            opt.numerics = true;
+        } else if (arg == "--dtype") {
+            opt.dtype = next(i, "--dtype");
+            if (cake::find_dtype(opt.dtype) == nullptr) {
+                usage_error("unknown --dtype '" + opt.dtype + "'");
+            }
         } else if (arg == "--help" || arg == "-h") {
             usage_error("help requested");
         } else {
@@ -305,6 +325,168 @@ bool run_mutations()
     return all_ok;
 }
 
+// --- Static numerics verification (--numerics) --------------------------
+
+/// Verify one IR's accumulation structure against `dtype` and print a
+/// PASS/FAIL line carrying the derived per-plan error bound.
+bool numerics_one(const std::string& label, const ScheduleIR& ir,
+                  const cake::DtypeDesc& dtype)
+{
+    const cake::numerics::NumericsReport report =
+        cake::numerics::verify_numerics(ir, dtype);
+    char bound[96];
+    if (dtype.is_integer) {
+        std::snprintf(bound, sizeof bound, "acc_range=%.0f i32_safe=%s",
+                      report.bound.acc_range,
+                      report.bound.i32_safe ? "yes" : "NO");
+    } else {
+        std::snprintf(bound, sizeof bound, "rel_bound=%.3e",
+                      report.bound.rel_bound);
+    }
+    std::cout << (report.ok() ? "PASS" : "FAIL") << "  " << label
+              << "  depth=" << report.ir_fma_depth
+              << " segs=" << report.ir_segments << " " << bound << "\n";
+    for (const cake::numerics::NumericsIssue& issue : report.issues) {
+        std::cout << "  [" << issue.code << "] " << issue.message << "\n";
+    }
+    return report.ok();
+}
+
+std::string numerics_label(const std::string& machine,
+                           const cake::DtypeDesc& dtype,
+                           const cake::GemmShape& shape,
+                           cake::ScheduleKind kind, Exec exec)
+{
+    std::string label = machine;
+    label += std::string("  ") + dtype.name + "  ";
+    label += std::to_string(shape.m) + "x" + std::to_string(shape.n) + "x"
+        + std::to_string(shape.k);
+    if (exec != Exec::kGoto) {
+        label += std::string("  ") + cake::schedule_kind_name(kind);
+    }
+    label += std::string("  ") + cake::schedir::exec_name(exec);
+    return label;
+}
+
+/// Numerics sweep: every Table-2 preset x shape class x precision path
+/// ({f32, f64, i8}) x schedule kind x executor (plus GOTO per precision).
+bool run_numerics_sweep()
+{
+    const std::vector<cake::GemmShape> shapes = {
+        {2000, 2000, 2000},
+        {8000, 256, 2048},
+        {3000, 3000, 96},
+    };
+    const cake::DtypeDesc* dtypes[] = {&cake::dtype_f32(), &cake::dtype_f64(),
+                                       &cake::dtype_i8()};
+    const cake::ScheduleKind kinds[] = {
+        cake::ScheduleKind::kKFirstSerpentine,
+        cake::ScheduleKind::kKFirstNoFlip,
+        cake::ScheduleKind::kNInnermost,
+    };
+    bool all_ok = true;
+    for (const cake::MachineSpec& machine : cake::table2_machines()) {
+        for (const cake::DtypeDesc* dtype : dtypes) {
+            cake::TilingOptions topts;
+            topts.elem_bytes = dtype->elem_bytes;
+            const index_t mr = 6;
+            const index_t nr = dtype->elem_bytes == 8 ? 8 : 16;
+            const cake::CbBlockParams params = cake::compute_cb_block(
+                machine, machine.cores, mr, nr, topts);
+            const cake::GotoBlocking blocking =
+                goto_default_blocking(machine, mr, nr);
+            for (const cake::GemmShape& shape : shapes) {
+                for (const cake::ScheduleKind kind : kinds) {
+                    for (const Exec exec :
+                         {Exec::kSerial, Exec::kPipelined}) {
+                        const ScheduleIR ir = cake::schedir::extract_cake_ir(
+                            shape, params, kind, exec);
+                        all_ok &= numerics_one(
+                            numerics_label(machine.name, *dtype, shape, kind,
+                                           exec),
+                            ir, *dtype);
+                    }
+                }
+                const ScheduleIR goto_ir = cake::schedir::extract_goto_ir(
+                    shape, blocking, machine.cores, mr, nr,
+                    /*accumulate=*/false, dtype->elem_bytes);
+                all_ok &= numerics_one(
+                    numerics_label(machine.name, *dtype, shape, kinds[0],
+                                   Exec::kGoto),
+                    goto_ir, *dtype);
+            }
+        }
+    }
+    return all_ok;
+}
+
+bool check_num_mutation(Exec exec, cake::numerics::NumMutation m)
+{
+    ScheduleIR ir = mutation_subject(exec);
+    const std::string expected =
+        cake::numerics::apply_numerics_mutation(ir, m);
+    const cake::numerics::NumericsReport report =
+        cake::numerics::verify_numerics(ir, cake::dtype_f32());
+    const bool rejected = report.has(expected);
+    std::cout << (rejected ? "PASS" : "FAIL") << "  "
+              << cake::schedir::exec_name(exec) << "  "
+              << cake::numerics::num_mutation_name(m) << " -> expects "
+              << expected << ", verifier reported ["
+              << (report.issues.empty() ? "clean" : report.codes()) << "]\n";
+    return rejected;
+}
+
+/// Numerics mutation gate: clean IRs verify clean, then every numerics
+/// corruption is rejected with its specific code on every executor that
+/// has a site for it.
+bool run_numerics_mutations()
+{
+    using cake::numerics::NumMutation;
+    bool all_ok = true;
+    for (const Exec exec : {Exec::kSerial, Exec::kPipelined, Exec::kGoto}) {
+        all_ok &= numerics_one(std::string("clean ")
+                                   + cake::schedir::exec_name(exec),
+                               mutation_subject(exec), cake::dtype_f32());
+    }
+    for (const Exec exec : {Exec::kSerial, Exec::kPipelined, Exec::kGoto}) {
+        all_ok &= check_num_mutation(exec, NumMutation::kDeepenAccum);
+        all_ok &= check_num_mutation(exec, NumMutation::kLyingDtype);
+    }
+    // Generation turnover only exists on the CAKE executors (GOTO streams
+    // C straight to the user surface — apply_numerics_mutation throws).
+    for (const Exec exec : {Exec::kSerial, Exec::kPipelined}) {
+        all_ok &= check_num_mutation(exec, NumMutation::kDropTurnover);
+    }
+    return all_ok;
+}
+
+bool run_numerics_single(const Options& opt)
+{
+    const cake::MachineSpec machine = cake::machine_by_name(opt.machine);
+    const int p = opt.p > 0 ? opt.p : machine.cores;
+    const std::string name =
+        opt.dtype.empty() ? (opt.f64 ? "f64" : "f32") : opt.dtype;
+    const cake::DtypeDesc& dtype = *cake::find_dtype(name);
+    if (opt.exec == Exec::kGoto) {
+        const ScheduleIR ir = cake::schedir::extract_goto_ir(
+            opt.shape, goto_default_blocking(machine, opt.mr, opt.nr), p,
+            opt.mr, opt.nr, /*accumulate=*/false, dtype.elem_bytes);
+        return numerics_one(numerics_label(machine.name, dtype, opt.shape,
+                                           opt.kind, opt.exec),
+                            ir, dtype);
+    }
+    cake::TilingOptions topts;
+    topts.elem_bytes = dtype.elem_bytes;
+    topts.mc = opt.mc;
+    const cake::CbBlockParams params =
+        cake::compute_cb_block(machine, p, opt.mr, opt.nr, topts);
+    const ScheduleIR ir = cake::schedir::extract_cake_ir(
+        opt.shape, params, opt.kind, opt.exec);
+    return numerics_one(numerics_label(machine.name, dtype, opt.shape,
+                                       opt.kind, opt.exec),
+                        ir, dtype);
+}
+
 bool run_single(const Options& opt)
 {
     const cake::MachineSpec machine = cake::machine_by_name(opt.machine);
@@ -337,7 +519,11 @@ int main(int argc, char** argv)
 
     bool ok = false;
     try {
-        if (opt.sweep) {
+        if (opt.numerics) {
+            ok = opt.sweep        ? run_numerics_sweep()
+                 : opt.mutations  ? run_numerics_mutations()
+                                  : run_numerics_single(opt);
+        } else if (opt.sweep) {
             ok = run_sweep();
         } else if (opt.mutations) {
             ok = run_mutations();

@@ -23,6 +23,13 @@
 #     stdout). Drivers under tools/, bench/ and examples/ own the console.
 #     (std::fprintf/snprintf stay legal: checked.hpp's abort diagnostics
 #     and the obs exporters format through them deliberately.)
+#   * naked narrowing float casts (static_cast<float>(…) or C-style
+#     (float)x) in src/ library code — the numerics layer derives per-plan
+#     error bounds from declared dtype widths (core/fperror.hpp), and a
+#     stray double→float narrowing invisibly adds rounding the bound never
+#     accounted for. The allowlist names every deliberate narrowing site
+#     (quantizers, RNG, probe timers, reference kernels); extending it is
+#     a review decision, not a convenience.
 #
 # Exit 0 iff clean; prints every violation as file:line:text.
 set -uo pipefail
@@ -77,6 +84,38 @@ if [[ "${1:-}" == "--probe-rule5" ]]; then
   fi
   rm -f "${repo_root}/${probe_ok}"
   echo "lint probe: OK (rule 5 fires under src/core, allows tools/)"
+  exit 0
+fi
+
+# --probe-rule6: self-test that rule 6 (narrowing float-cast ban) fires in
+# library code outside the allowlist and stays silent inside it and in the
+# test tree.
+if [[ "${1:-}" == "--probe-rule6" ]]; then
+  probe_bad="src/core/lint_rule6_probe_tmp.hpp"
+  probe_ok="tests/lint_rule6_probe_tmp.hpp"
+  trap 'rm -f "${repo_root}/${probe_bad}" "${repo_root}/${probe_ok}"' EXIT
+  printf 'inline float lint_probe(double v) { return static_cast<float>(v); }\n' \
+    > "${probe_bad}"
+  if "${repo_root}/tools/lint.sh" >/dev/null 2>&1; then
+    echo "lint probe: FAILED (rule 6 did not flag ${probe_bad})"
+    exit 1
+  fi
+  rm -f "${repo_root}/${probe_bad}"
+  printf 'inline float lint_probe(double v) { return (float)v; }\n' \
+    > "${probe_bad}"
+  if "${repo_root}/tools/lint.sh" >/dev/null 2>&1; then
+    echo "lint probe: FAILED (rule 6 did not flag the C-style cast in ${probe_bad})"
+    exit 1
+  fi
+  rm -f "${repo_root}/${probe_bad}"
+  printf 'inline float lint_probe(double v) { return static_cast<float>(v); }\n' \
+    > "${probe_ok}"
+  if ! "${repo_root}/tools/lint.sh" >/dev/null 2>&1; then
+    echo "lint probe: FAILED (test-tree ${probe_ok} was flagged)"
+    exit 1
+  fi
+  rm -f "${repo_root}/${probe_ok}"
+  echo "lint probe: OK (rule 6 fires under src/core, allows tests/)"
   exit 0
 fi
 
@@ -164,6 +203,23 @@ $(scan '(^|[^a-z_:])printf[[:space:]]*\(' "${lib_files[@]}")"
 out="$(echo "${out}" | sed '/^$/d')"
 [[ -z "${out}" ]] \
   || fail_rule "console IO in library code (return data / stats / AuditIssue instead; printing belongs to tools/, bench/, examples/)" "${out}"
+
+# 6. Naked narrowing float casts in src/ library code. Every deliberate
+# double→float narrowing lives in the allowlist below; anywhere else it
+# silently adds rounding the static numerics bounds (core/fperror.hpp)
+# never modelled. Tests, tools and benches narrow freely (oracles and
+# report formatting legitimately cross precisions).
+narrow_allow='^src/common/rng\.cpp$|^src/conv/conv2d\.cpp$|^src/core/quant\.cpp$|^src/dnn/layers\.cpp$|^src/linalg/cholesky\.cpp$|^src/machine/bw_probe\.cpp$|^src/ref/naive_gemm\.cpp$'
+narrow_files=()
+for f in "${files[@]}"; do
+  [[ "${f}" == src/* && ! "${f}" =~ ${narrow_allow} ]] \
+    && narrow_files+=("${f}")
+done
+out="$(scan 'static_cast<[[:space:]]*float[[:space:]]*>' "${narrow_files[@]}")
+$(scan '\([[:space:]]*float[[:space:]]*\)[[:space:]]*[A-Za-z_(]' "${narrow_files[@]}")"
+out="$(echo "${out}" | sed '/^$/d')"
+[[ -z "${out}" ]] \
+  || fail_rule "naked narrowing float cast in library code (the numerics bounds cannot see it; add the file to the rule-6 allowlist only for a deliberate, documented narrowing)" "${out}"
 
 if [[ ${failures} -ne 0 ]]; then
   echo "lint: FAILED"
