@@ -646,13 +646,16 @@ void check_io_model(const ScheduleIR& ir, VerifyReport& report)
     cmp("C reload reads", got.c_reload_read, want.c_reload_read);
 }
 
-/// IR_IO_CONSTBW: on the serpentine schedule every interior k-advancing
-/// step of a full-size column fetches exactly (m_blk + n_blk) * k_blk
-/// elements — the constant-bandwidth block property of §3.
+/// IR_IO_CONSTBW: on the fully-sharing schedules (serpentine, and the
+/// Hilbert traversal whose cells are always grid-adjacent with K carried
+/// across) every interior k-advancing step of a full-size column fetches
+/// exactly (m_blk + n_blk) * k_blk elements — the constant-bandwidth
+/// block property of §3.
 void check_constbw(const ScheduleIR& ir, VerifyReport& report)
 {
     if (ir.exec == Exec::kGoto
-        || ir.schedule != ScheduleKind::kKFirstSerpentine) {
+        || (ir.schedule != ScheduleKind::kKFirstSerpentine
+            && ir.schedule != ScheduleKind::kHilbert)) {
         return;
     }
     IssueSink sink{report};
@@ -683,7 +686,8 @@ void check_constbw(const ScheduleIR& ir, VerifyReport& report)
         const std::uint64_t got = it == fetch_of_step.end() ? 0 : it->second;
         if (got != constant) {
             std::ostringstream os;
-            os << "serpentine step " << step << " fetches " << got
+            os << schedule_kind_name(ir.schedule) << " step " << step
+               << " fetches " << got
                << " bytes; constant-bandwidth block promises " << constant;
             sink.add("IR_IO_CONSTBW", os.str());
         }

@@ -23,9 +23,10 @@
 //   IR_IO_MODEL    the IR's summed surface loads/stores disagree with the
 //                  paper's analytic traffic model (Eq. 2 / §4.2-§4.3)
 //                  re-derived independently from the block order
-//   IR_IO_CONSTBW  an interior serpentine step fetches a different byte
-//                  count than the constant (m_blk + n_blk) * k_blk * elem
-//                  the constant-bandwidth claim promises
+//   IR_IO_CONSTBW  an interior step of a fully-sharing schedule
+//                  (serpentine or Hilbert) fetches a different byte count
+//                  than the constant (m_blk + n_blk) * k_blk * elem the
+//                  constant-bandwidth claim promises
 //   IR_IO_MEMSIM   the IR totals disagree with the src/memsim address
 //                  stream for the same plan (cross_check_memsim)
 #pragma once

@@ -245,13 +245,18 @@ AuditReport audit_cb_plan(const MachineSpec& machine, int p, index_t mr,
         if (dup_or_oob) {
             os << "schedule visits a block outside the grid or twice";
             add_issue(report, "SCHEDULE", os);
-        } else if (schedule == ScheduleKind::kKFirstSerpentine
+        } else if ((schedule == ScheduleKind::kKFirstSerpentine
+                    || schedule == ScheduleKind::kHilbert)
                    && order.size() > 1
                    && count_shared_steps(order)
                        != static_cast<index_t>(order.size()) - 1) {
-            os << "serpentine schedule shares a surface on only "
+            // The serpentine (Algorithm 2) and the Hilbert traversal
+            // (grid-adjacent cells, K carried across every boundary) both
+            // promise a shared surface on every consecutive step.
+            os << schedule_kind_name(schedule)
+               << " schedule shares a surface on only "
                << count_shared_steps(order) << " of " << order.size() - 1
-               << " consecutive steps (Algorithm 2 promises all)";
+               << " consecutive steps (full sharing promised)";
             add_issue(report, "SCHEDULE", os);
         }
     }

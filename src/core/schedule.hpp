@@ -4,7 +4,9 @@
 // exactly the same block order.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
@@ -38,9 +40,31 @@ enum class ScheduleKind {
     /// N innermost: partial results for a C block leave local memory
     /// between reuses (GOTO-like traffic pattern); ablation baseline.
     kNInnermost,
+    /// Generalised Hilbert curve over the (M, N) block plane, K innermost
+    /// with its direction flipped per cell. Consecutive cells are always
+    /// grid neighbours (for arbitrary rectangle extents), so every
+    /// transition shares a surface — the serpentine's §2.2 property with
+    /// a bounded 2D footprint at every curve prefix (SFC traversal of
+    /// Georganas et al., see PAPERS.md).
+    kHilbert,
+    /// Morton (Z-order) curve over the (M, N) block plane, K innermost.
+    /// Cache-oblivious recursive blocking, but the curve jumps at
+    /// power-of-two boundaries: those transitions share nothing and
+    /// refetch both A and B. Kept as the SFC ablation baseline.
+    kMorton,
 };
 
 const char* schedule_kind_name(ScheduleKind kind);
+
+/// Every schedule kind, in declaration order. THE single registry: the
+/// tuner's stage-2 search, the tuning-cache name parser, the cake_verify
+/// sweeps and the simulator sweep all iterate this list, so a newly added
+/// kind cannot be silently skipped by any consumer (tests pin each one).
+const std::vector<ScheduleKind>& all_schedule_kinds();
+
+/// Inverse of schedule_kind_name() over all_schedule_kinds(); nullopt for
+/// an unknown name. Name round-trip is covered by tests for every kind.
+std::optional<ScheduleKind> parse_schedule_kind(std::string_view name);
 
 /// Build the block execution order for an Mb x Nb x Kb grid of CB blocks.
 /// `m_outer_before_n`: per §2.2, when M > N the M dimension becomes the
@@ -48,6 +72,18 @@ const char* schedule_kind_name(ScheduleKind kind);
 std::vector<BlockCoord> build_schedule(ScheduleKind kind, index_t mb,
                                        index_t nb, index_t kb,
                                        bool n_outermost = true);
+
+/// 2.5D-style layered variant for the simulator's multi-core sweep: the K
+/// grid is split into `k_layers` contiguous layers and the (M, N)
+/// traversal of `kind` runs once per layer, reversed on alternate layers
+/// so the seam column keeps its partial surface local across the switch.
+/// k_layers <= 1 is exactly build_schedule(); more layers shrink the K
+/// working set per pass (the replicated-C tradeoff of 2.5D algorithms) at
+/// the price of one partial-C spill per column per extra layer.
+std::vector<BlockCoord> build_layered_schedule(ScheduleKind kind, index_t mb,
+                                               index_t nb, index_t kb,
+                                               index_t k_layers,
+                                               bool n_outermost = true);
 
 /// Surfaces shared between consecutive schedule entries `prev` and `next`.
 SurfaceSharing shared_surfaces(const BlockCoord& prev, const BlockCoord& next);

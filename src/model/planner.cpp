@@ -4,9 +4,59 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "core/block_plan.hpp"
 
 namespace cake {
 namespace model {
+
+std::vector<ScheduleTrafficRow> schedule_traffic_table(
+    const GemmShape& shape, const CbBlockParams& params)
+{
+    // Grid extents: same ceil-divide as the executors and fperror.
+    const auto grid = [](index_t extent, index_t blk) {
+        if (blk < 1) return index_t{1};
+        const index_t b = (extent + blk - 1) / blk;
+        return b < 1 ? index_t{1} : b;
+    };
+    BlockPlanInputs in;
+    in.params = params;
+    in.m = shape.m;
+    in.n = shape.n;
+    in.k = shape.k;
+    in.ldc = shape.n;
+    in.nb = grid(shape.n, params.n_blk);
+    in.kb = grid(shape.k, params.k_blk);
+    const index_t mb = grid(shape.m, params.m_blk);
+
+    std::vector<ScheduleTrafficRow> rows;
+    rows.reserve(all_schedule_kinds().size());
+    for (const ScheduleKind kind : all_schedule_kinds()) {
+        const auto order = build_schedule(kind, mb, in.nb, in.kb,
+                                          /*n_outermost=*/shape.n >= shape.m);
+        // build_block_plan is the executors' own accounting — the ranking
+        // ranks exactly the traffic the runtime would incur.
+        const BlockPlan plan = build_block_plan(order, in);
+        ScheduleTrafficRow row;
+        row.schedule = kind;
+        row.dram_bytes =
+            plan.stats.dram_read_bytes + plan.stats.dram_write_bytes;
+        row.shared_steps = count_shared_steps(order);
+        row.c_spills = plan.stats.c_partial_spills;
+        rows.push_back(row);
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const ScheduleTrafficRow& a,
+                        const ScheduleTrafficRow& b) {
+                         return a.dram_bytes < b.dram_bytes;
+                     });
+    return rows;
+}
+
+ScheduleKind recommend_schedule(const GemmShape& shape,
+                                const CbBlockParams& params)
+{
+    return schedule_traffic_table(shape, params).front().schedule;
+}
 
 CakePlan make_plan(const MachineSpec& machine, int p, const GemmShape& shape,
                    KernelShape kernel, const TilingOptions& topts)
@@ -16,6 +66,7 @@ CakePlan make_plan(const MachineSpec& machine, int p, const GemmShape& shape,
     plan.cores = p;
     plan.prediction = predict_cake(machine, p, shape, kernel, topts);
     plan.params = plan.prediction.cake_params;
+    plan.schedule = recommend_schedule(shape, plan.params);
     const Prediction base = predict_cake(machine, 1, shape, kernel, topts);
     plan.speedup_vs_1core =
         base.seconds > 0 ? base.seconds / plan.prediction.seconds : 1.0;
@@ -23,7 +74,8 @@ CakePlan make_plan(const MachineSpec& machine, int p, const GemmShape& shape,
     std::ostringstream os;
     os << "CB block " << plan.params.m_blk << "x" << plan.params.k_blk << "x"
        << plan.params.n_blk << " (mc=" << plan.params.mc
-       << ", alpha=" << plan.params.alpha << ") on " << p << " core(s): "
+       << ", alpha=" << plan.params.alpha << ", "
+       << schedule_kind_name(plan.schedule) << ") on " << p << " core(s): "
        << plan.prediction.gflops << " GFLOP/s predicted, "
        << plan.prediction.bound << "-bound, "
        << plan.prediction.avg_dram_bw_gbs << " GB/s DRAM";

@@ -5,6 +5,7 @@
 // quantisation bites).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,9 @@ namespace model {
 struct CakePlan {
     CbBlockParams params;      ///< solved CB-block geometry
     int cores = 1;             ///< cores the plan uses
+    /// Block traversal recommend_schedule() picks for this geometry
+    /// (callers copy it into CakeOptions::schedule).
+    ScheduleKind schedule = ScheduleKind::kKFirstSerpentine;
     Prediction prediction;     ///< predicted time / GFLOP/s / bound
     double speedup_vs_1core = 1.0;
     bool tuned = false;        ///< geometry came from a TunedPlanSource
@@ -51,6 +55,31 @@ CakePlan recommend_tuned_plan(const MachineSpec& machine,
                               const TunedPlanSource* source,
                               index_t elem_bytes, KernelShape kernel = {},
                               double tolerance = 0.02);
+
+/// Closed-form DRAM traffic of one schedule kind at a solved geometry:
+/// the Eq. 2 fetch/spill walk of build_block_plan, byte-weighted with
+/// edge-block clipping and beta = 0 — the same totals the schedule IR's
+/// IR_IO_MODEL rewalk and the locality analyzer's LOC_TRAFFIC prediction
+/// pin byte-exactly (src/analysis/locality.hpp).
+struct ScheduleTrafficRow {
+    ScheduleKind schedule = ScheduleKind::kKFirstSerpentine;
+    std::uint64_t dram_bytes = 0;  ///< external reads + writes
+    index_t shared_steps = 0;      ///< transitions carrying >= 1 surface
+    index_t c_spills = 0;          ///< partial-C writeback+reload round trips
+};
+
+/// One row per all_schedule_kinds() entry, sorted fewest-bytes first;
+/// ties keep registry order, so the paper's serpentine wins them.
+std::vector<ScheduleTrafficRow> schedule_traffic_table(
+    const GemmShape& shape, const CbBlockParams& params);
+
+/// The decision rule the locality analyzer's traffic table induces
+/// (DESIGN.md §13): the schedule kind with the least predicted DRAM
+/// traffic for this plan, ties broken toward the paper's serpentine.
+/// Consumed by make_plan/recommend_plan (CakePlan::schedule) and the
+/// tuner's stage-2 candidate ordering.
+ScheduleKind recommend_schedule(const GemmShape& shape,
+                                const CbBlockParams& params);
 
 /// One plan configuration with the model's prediction recorded next to a
 /// real measurement of the same configuration (the tuner produces these).

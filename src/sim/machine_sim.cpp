@@ -68,8 +68,9 @@ std::vector<Step> build_cake_steps(const SimConfig& config,
     const index_t mb = ceil_div(shape.m, params.m_blk);
     const index_t nb = ceil_div(shape.n, params.n_blk);
     const index_t kb = ceil_div(shape.k, params.k_blk);
-    const auto order = build_schedule(config.schedule, mb, nb, kb,
-                                      /*n_outermost=*/shape.n >= shape.m);
+    const auto order = build_layered_schedule(
+        config.schedule, mb, nb, kb, std::max<index_t>(config.k_layers, 1),
+        /*n_outermost=*/shape.n >= shape.m);
 
     std::vector<Step> steps;
     steps.reserve(order.size());

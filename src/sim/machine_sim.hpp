@@ -37,6 +37,12 @@ struct SimConfig {
     model::KernelShape kernel;  ///< register tile (default 6x16)
     TilingOptions topts;
     ScheduleKind schedule = ScheduleKind::kKFirstSerpentine;
+    /// 2.5D-style decomposition (CAKE only): split the K grid into this
+    /// many contiguous layers and run the (M, N) traversal once per layer
+    /// (build_layered_schedule). 1 = the plain 2D schedule. The multi-core
+    /// sweep uses this to trade partial-C spill traffic against a smaller
+    /// per-pass K working set.
+    index_t k_layers = 1;
     Algorithm algorithm = Algorithm::kCake;
     /// Optional: record every fetch/compute/drain interval for Chrome-trace
     /// export (sim/timeline.hpp). Not owned.

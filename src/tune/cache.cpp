@@ -256,12 +256,9 @@ std::optional<std::string> as_string(const JsonValue* v)
 
 std::optional<ScheduleKind> parse_schedule_name(const std::string& name)
 {
-    for (const ScheduleKind kind :
-         {ScheduleKind::kKFirstSerpentine, ScheduleKind::kKFirstNoFlip,
-          ScheduleKind::kNInnermost}) {
-        if (name == schedule_kind_name(kind)) return kind;
-    }
-    return {};
+    // Defers to the core registry round-trip so a kind added to
+    // all_schedule_kinds() parses here with no further change.
+    return parse_schedule_kind(name);
 }
 
 const char* exec_name(CakeExec exec)

@@ -151,7 +151,6 @@ std::vector<TuneCandidate> generate_candidates(const MachineSpec& machine,
                                                const GemmShape& shape,
                                                index_t elem_bytes, int p)
 {
-    (void)shape;
     std::vector<TuneCandidate> out;
 
     TuneCandidate base;
@@ -223,11 +222,17 @@ std::vector<TuneCandidate> generate_candidates(const MachineSpec& machine,
             out.push_back(c);
         }
     }
-    for (const ScheduleKind kind :
-         {ScheduleKind::kKFirstNoFlip, ScheduleKind::kNInnermost}) {
+    // Every registered schedule kind is a candidate (all_schedule_kinds()
+    // is THE registry — a new kind lands in the search automatically and
+    // tests fail if one goes missing), ordered by the model's closed-form
+    // traffic ranking so the budget meets the most promising ones first.
+    // The recommended default is already candidate 0.
+    for (const model::ScheduleTrafficRow& row :
+         model::schedule_traffic_table(shape, solved)) {
+        if (row.schedule == base.schedule) continue;
         TuneCandidate c = base;
         c.analytic_default = false;
-        c.schedule = kind;
+        c.schedule = row.schedule;
         c.label = "schedule";
         out.push_back(c);
     }

@@ -2,10 +2,15 @@
 // prediction engine, and the extrapolation protocol.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "common/error.hpp"
+#include "core/schedule.hpp"
+#include "core/tiling.hpp"
 #include "gotoblas/goto_gemm.hpp"
 #include "model/analysis.hpp"
 #include "model/extrapolate.hpp"
+#include "model/planner.hpp"
 #include "model/throughput.hpp"
 
 namespace cake {
@@ -227,6 +232,51 @@ TEST(Extrapolate, MachineScalesLlcQuadratically)
     // Private caches unchanged.
     EXPECT_EQ(big.caches.level(2)->size_bytes,
               base.caches.level(2)->size_bytes);
+}
+
+// ---- Schedule decision rule (DESIGN.md §13) -----------------------------
+
+TEST(ScheduleDecision, TrafficTableCoversRegistryRankedAscending)
+{
+    const MachineSpec machine = intel_i9_10900k();
+    const GemmShape shape{2000, 2000, 2000};
+    const CbBlockParams params =
+        compute_cb_block(machine, machine.cores, 6, 16, {});
+    const auto table = model::schedule_traffic_table(shape, params);
+    // One row per registry entry: a kind missing from this consumer (the
+    // tuner's stage-2 source and recommend_schedule's evidence) fails.
+    ASSERT_EQ(table.size(), all_schedule_kinds().size());
+    std::set<ScheduleKind> seen;
+    for (const auto& row : table) seen.insert(row.schedule);
+    EXPECT_EQ(seen.size(), all_schedule_kinds().size());
+    for (std::size_t i = 1; i < table.size(); ++i) {
+        EXPECT_LE(table[i - 1].dram_bytes, table[i].dram_bytes);
+    }
+    // The fully-sharing kinds never spill partial C; the ablations pay.
+    for (const auto& row : table) {
+        if (row.schedule == ScheduleKind::kKFirstSerpentine
+            || row.schedule == ScheduleKind::kHilbert) {
+            EXPECT_EQ(row.c_spills, 0) << schedule_kind_name(row.schedule);
+        }
+    }
+    EXPECT_EQ(model::recommend_schedule(shape, params),
+              table.front().schedule);
+}
+
+TEST(ScheduleDecision, PlanCarriesRecommendedSchedule)
+{
+    const model::CakePlan plan =
+        model::make_plan(intel_i9_10900k(), 10, GemmShape{2000, 2000, 2000});
+    EXPECT_EQ(plan.schedule,
+              model::recommend_schedule(GemmShape{2000, 2000, 2000},
+                                        plan.params));
+    // The recommendation never loses to the paper default on its own
+    // evidence: its modelled traffic is minimal over the registry.
+    const auto table =
+        model::schedule_traffic_table({2000, 2000, 2000}, plan.params);
+    for (const auto& row : table) {
+        EXPECT_GE(row.dram_bytes, table.front().dram_bytes);
+    }
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <random>
 #include <set>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -170,6 +171,29 @@ TEST(Schedule, KindNames)
                  "k-first-no-flip");
     EXPECT_STREQ(schedule_kind_name(ScheduleKind::kNInnermost),
                  "n-innermost");
+    EXPECT_STREQ(schedule_kind_name(ScheduleKind::kHilbert), "hilbert");
+    EXPECT_STREQ(schedule_kind_name(ScheduleKind::kMorton), "morton");
+}
+
+TEST(Schedule, RegistryNamesRoundTripAndAreUnique)
+{
+    // all_schedule_kinds() is THE registry every consumer iterates (tuner
+    // stage 2, cache parsing, cake_verify sweeps): each kind's name must
+    // parse back to the kind, no two kinds may share a name, and the
+    // registry must contain every kind name the consumers can meet.
+    const auto& kinds = all_schedule_kinds();
+    EXPECT_EQ(kinds.size(), 5u);
+    std::set<std::string> names;
+    for (const ScheduleKind kind : kinds) {
+        const char* name = schedule_kind_name(kind);
+        EXPECT_STRNE(name, "unknown");
+        EXPECT_TRUE(names.insert(name).second) << name << " duplicated";
+        const auto parsed = parse_schedule_kind(name);
+        ASSERT_TRUE(parsed.has_value()) << name;
+        EXPECT_EQ(*parsed, kind) << name;
+    }
+    EXPECT_FALSE(parse_schedule_kind("not-a-schedule").has_value());
+    EXPECT_FALSE(parse_schedule_kind("").has_value());
 }
 
 // ---- Randomised property sweep ------------------------------------------
@@ -201,9 +225,7 @@ TEST(SchedulePropertySweep, EveryKindCoversEveryBlockExactlyOnce)
         const index_t mb = dim(rng);
         const index_t nb = dim(rng);
         const index_t kb = dim(rng);
-        for (ScheduleKind kind :
-             {ScheduleKind::kKFirstSerpentine, ScheduleKind::kKFirstNoFlip,
-              ScheduleKind::kNInnermost}) {
+        for (ScheduleKind kind : all_schedule_kinds()) {
             for (bool n_outermost : {false, true}) {
                 const auto order =
                     build_schedule(kind, mb, nb, kb, n_outermost);
@@ -269,6 +291,131 @@ TEST(SchedulePropertySweep, NoFlipShortfallIsExactlyTheDimensionTurns)
                 << mb << "x" << nb << "x" << kb << " n_outermost="
                 << n_outermost;
         }
+    }
+}
+
+// ---- Space-filling-curve schedules --------------------------------------
+
+/// Collapse a K-innermost order to its (m, n) cell sequence and count the
+/// cell transitions that change BOTH m and n. With K carried across every
+/// cell boundary, such a diagonal/jump transition is exactly a transition
+/// sharing no surface, so for any K-innermost schedule:
+///   count_shared_steps == order.size() - 1 - diagonal_cell_moves.
+index_t diagonal_cell_moves(const std::vector<BlockCoord>& order)
+{
+    index_t diagonals = 0;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        if (order[i].m != order[i - 1].m && order[i].n != order[i - 1].n) {
+            ++diagonals;
+        }
+    }
+    return diagonals;
+}
+
+TEST(SchedulePropertySweep, HilbertIsGridAdjacentAndFullySharing)
+{
+    // The generalised-Hilbert invariant the locality analyzer and the
+    // IR_IO_CONSTBW check lean on: consecutive cells are grid neighbours
+    // (|dm| + |dn| == 1) for EVERY rectangle, so with K carried across
+    // cell boundaries every transition shares a surface — the same full
+    // sharing Algorithm 2's serpentine achieves, on a fractal walk.
+    std::mt19937 rng(20260809u);
+    std::uniform_int_distribution<index_t> dim(1, 24);
+    std::uniform_int_distribution<index_t> kdim(1, 6);
+    for (int trial = 0; trial < 64; ++trial) {
+        const index_t mb = dim(rng);
+        const index_t nb = dim(rng);
+        const index_t kb = kdim(rng);
+        for (bool n_outermost : {false, true}) {
+            const auto order = build_schedule(ScheduleKind::kHilbert, mb, nb,
+                                              kb, n_outermost);
+            ASSERT_EQ(static_cast<index_t>(order.size()), mb * nb * kb);
+            BlockCoord prev_cell = order.front();
+            for (const BlockCoord& c : order) {
+                if (c.m != prev_cell.m || c.n != prev_cell.n) {
+                    EXPECT_EQ(std::abs(c.m - prev_cell.m)
+                                  + std::abs(c.n - prev_cell.n),
+                              1)
+                        << mb << "x" << nb << " jump (" << prev_cell.m << ","
+                        << prev_cell.n << ")->(" << c.m << "," << c.n << ")";
+                    prev_cell = c;
+                }
+            }
+            EXPECT_EQ(count_shared_steps(order),
+                      static_cast<index_t>(order.size()) - 1)
+                << mb << "x" << nb << "x" << kb;
+            EXPECT_EQ(schedule_traffic(order).c_spills, 0);
+        }
+    }
+}
+
+TEST(SchedulePropertySweep, SfcSharingMatchesDiagonalClosedForm)
+{
+    // Morton pays for its cheap index arithmetic with jumps at power-of-2
+    // boundaries; the shared-step shortfall must be exactly the diagonal
+    // cell moves (the closed form the locality analyzer prices), and
+    // Hilbert must have none.
+    std::mt19937 rng(20260810u);
+    std::uniform_int_distribution<index_t> dim(1, 16);
+    std::uniform_int_distribution<index_t> kdim(1, 5);
+    for (int trial = 0; trial < 64; ++trial) {
+        const index_t mb = dim(rng);
+        const index_t nb = dim(rng);
+        const index_t kb = kdim(rng);
+        for (bool n_outermost : {false, true}) {
+            for (ScheduleKind kind :
+                 {ScheduleKind::kHilbert, ScheduleKind::kMorton}) {
+                const auto order =
+                    build_schedule(kind, mb, nb, kb, n_outermost);
+                const index_t diagonals = diagonal_cell_moves(order);
+                if (kind == ScheduleKind::kHilbert) {
+                    EXPECT_EQ(diagonals, 0) << mb << "x" << nb;
+                }
+                EXPECT_EQ(count_shared_steps(order),
+                          static_cast<index_t>(order.size()) - 1 - diagonals)
+                    << schedule_kind_name(kind) << " " << mb << "x" << nb
+                    << "x" << kb;
+            }
+        }
+    }
+}
+
+TEST(SchedulePropertySweep, LayeredScheduleCoversAndKeepsSeamsLocal)
+{
+    // The 2.5D variant: K split into balanced contiguous layers, the
+    // (M, N) walk run once per layer with alternate layers reversed so
+    // the seam stays in the column the previous layer ended in (the
+    // partial-C surface is carried over the seam, not spilled).
+    std::mt19937 rng(20260811u);
+    std::uniform_int_distribution<index_t> dim(1, 7);
+    std::uniform_int_distribution<index_t> kdim(2, 12);
+    std::uniform_int_distribution<index_t> layers(1, 5);
+    for (int trial = 0; trial < 48; ++trial) {
+        const index_t mb = dim(rng);
+        const index_t nb = dim(rng);
+        const index_t kb = kdim(rng);
+        const index_t k_layers = layers(rng);
+        for (ScheduleKind kind :
+             {ScheduleKind::kKFirstSerpentine, ScheduleKind::kHilbert}) {
+            const auto order =
+                build_layered_schedule(kind, mb, nb, kb, k_layers);
+            ASSERT_EQ(static_cast<index_t>(order.size()), mb * nb * kb);
+            std::set<std::tuple<index_t, index_t, index_t>> seen;
+            for (const BlockCoord& c : order) {
+                EXPECT_TRUE(seen.insert({c.m, c.n, c.k}).second);
+            }
+            // Full sharing survives the layering: within a layer by the
+            // schedule's own invariant, across seams because the reversed
+            // layer re-enters the same (m, n) column (C carried).
+            EXPECT_EQ(count_shared_steps(order),
+                      static_cast<index_t>(order.size()) - 1)
+                << schedule_kind_name(kind) << " " << mb << "x" << nb << "x"
+                << kb << " layers=" << k_layers;
+        }
+        // layers == 1 degenerates to the plain 2D schedule.
+        EXPECT_EQ(build_layered_schedule(ScheduleKind::kKFirstSerpentine, mb,
+                                         nb, kb, 1),
+                  build_schedule(ScheduleKind::kKFirstSerpentine, mb, nb, kb));
     }
 }
 

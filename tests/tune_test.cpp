@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
 
 #include "common/matrix.hpp"
@@ -247,6 +248,36 @@ TEST(TuneCache, MalformedEntrySkippedOthersSurvive)
     std::remove(path.c_str());
 }
 
+TEST(TuneCache, ScheduleNameRoundTripsEveryRegisteredKind)
+{
+    // The cache's schedule field round-trips through the registry's
+    // canonical names (all_schedule_kinds / parse_schedule_kind): a kind
+    // missing from the registry would fail here the moment a tuned winner
+    // carrying it was persisted.
+    const std::string path = temp_cache_path("sched_registry");
+    TuneCache cache;
+    for (const ScheduleKind kind : all_schedule_kinds()) {
+        TunedEntry e = sample_entry(std::string("host-")
+                                    + schedule_kind_name(kind));
+        e.plan.schedule = kind;
+        cache.upsert(e);
+    }
+    std::string error;
+    ASSERT_TRUE(save_cache(cache, path, &error)) << error;
+    const CacheLoadResult loaded = load_cache(path);
+    ASSERT_TRUE(loaded.ok());
+    ASSERT_EQ(loaded.cache.entries.size(), all_schedule_kinds().size());
+    for (const ScheduleKind kind : all_schedule_kinds()) {
+        const TunedEntry* hit = loaded.cache.find(
+            std::string("host-") + schedule_kind_name(kind), "f32", 4,
+            {500, 500, 500});
+        ASSERT_NE(hit, nullptr) << schedule_kind_name(kind);
+        ASSERT_TRUE(hit->plan.schedule.has_value());
+        EXPECT_EQ(*hit->plan.schedule, kind);
+    }
+    std::remove(path.c_str());
+}
+
 TEST(TuneCache, UpsertReplacesSameKey)
 {
     TuneCache cache;
@@ -278,6 +309,23 @@ TEST(TuneSearch, CandidateZeroIsAnalyticDefault)
                 || !candidates[0].overrides().mc.has_value());
     // The neighbourhood is genuinely multi-point.
     EXPECT_GT(candidates.size(), 4u);
+}
+
+TEST(TuneSearch, CandidatesCoverEveryRegisteredSchedule)
+{
+    // Stage 2 iterates model::schedule_traffic_table, which builds one
+    // row per all_schedule_kinds() entry — so every registered kind
+    // (including the space-filling-curve orders) must appear in the
+    // search space, with the traffic-recommended default as candidate 0.
+    const MachineSpec machine = test_machine();
+    const auto candidates =
+        generate_candidates(machine, {512, 512, 512}, 4, machine.cores);
+    std::set<ScheduleKind> covered;
+    for (const auto& c : candidates) covered.insert(c.schedule);
+    for (const ScheduleKind kind : all_schedule_kinds()) {
+        EXPECT_TRUE(covered.count(kind) > 0)
+            << schedule_kind_name(kind) << " missing from the search space";
+    }
 }
 
 TEST(TuneSearch, MockTimerConvergesOnInjectedBest)

@@ -19,6 +19,14 @@
 //   cake_verify --numerics [--dtype f32|f64|f16|bf16|i8]
 //   cake_verify --numerics --sweep       (presets x {f32,f64,i8} x execs)
 //   cake_verify --numerics --mutations   (numerics corruptions rejected)
+//
+// --locality switches to the static reuse-distance analyzer
+// (analysis/locality.hpp): the proof is that the schedule's DRAM traffic
+// obeys the typed stack-distance law, byte-exact against io_totals and
+// (on the shallow-K f32 serial configs) the memsim address stream.
+//   cake_verify --locality [--kind hilbert] [--exec serial]
+//   cake_verify --locality --sweep       (presets x dtypes x all kinds)
+//   cake_verify --locality --mutations   (locality corruptions rejected)
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -26,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/locality.hpp"
 #include "analysis/numerics.hpp"
 #include "analysis/schedir.hpp"
 #include "analysis/verify.hpp"
@@ -56,6 +65,7 @@ struct Options {
     bool sweep = false;
     bool mutations = false;
     bool numerics = false;
+    bool locality = false;
     std::string dtype;  // empty = follow --f64
 };
 
@@ -65,10 +75,12 @@ struct Options {
         << "cake_verify: " << msg << "\n"
         << "usage: cake_verify [--machine intel|amd|arm|host] [--p N]\n"
         << "                   [--mr N] [--nr N] [--shape MxNxK] [--f64]\n"
-        << "                   [--mc N] [--kind serpentine|noflip|ninner]\n"
+        << "                   [--mc N]\n"
+        << "                   [--kind serpentine|noflip|ninner|hilbert|morton]\n"
         << "                   [--exec serial|pipelined|goto] [--memsim]\n"
         << "                   [--sweep] [--mutations]\n"
-        << "                   [--numerics [--dtype f32|f64|f16|bf16|i8]]\n";
+        << "                   [--numerics [--dtype f32|f64|f16|bf16|i8]]\n"
+        << "                   [--locality]\n";
     std::exit(2);
 }
 
@@ -126,7 +138,11 @@ Options parse_args(int argc, char** argv)
             opt.mc = parse_index(next(i, "--mc"), "--mc");
         } else if (arg == "--kind") {
             const std::string v = next(i, "--kind");
-            if (v == "serpentine") {
+            // Registry names first (the canonical spelling every consumer
+            // shares), then the historical shorthands.
+            if (const auto kind = cake::parse_schedule_kind(v)) {
+                opt.kind = *kind;
+            } else if (v == "serpentine") {
                 opt.kind = cake::ScheduleKind::kKFirstSerpentine;
             } else if (v == "noflip") {
                 opt.kind = cake::ScheduleKind::kKFirstNoFlip;
@@ -154,6 +170,8 @@ Options parse_args(int argc, char** argv)
             opt.mutations = true;
         } else if (arg == "--numerics") {
             opt.numerics = true;
+        } else if (arg == "--locality") {
+            opt.locality = true;
         } else if (arg == "--dtype") {
             opt.dtype = next(i, "--dtype");
             if (cake::find_dtype(opt.dtype) == nullptr) {
@@ -216,11 +234,7 @@ bool run_sweep()
         {8000, 256, 2048},   // M-heavy / narrow-N skewed
         {3000, 3000, 96},    // shallow-K panel (DNN-style)
     };
-    const cake::ScheduleKind kinds[] = {
-        cake::ScheduleKind::kKFirstSerpentine,
-        cake::ScheduleKind::kKFirstNoFlip,
-        cake::ScheduleKind::kNInnermost,
-    };
+    const std::vector<cake::ScheduleKind>& kinds = cake::all_schedule_kinds();
     bool all_ok = true;
     for (const cake::MachineSpec& machine : cake::table2_machines()) {
         for (const bool f64 : {false, true}) {
@@ -379,11 +393,7 @@ bool run_numerics_sweep()
     };
     const cake::DtypeDesc* dtypes[] = {&cake::dtype_f32(), &cake::dtype_f64(),
                                        &cake::dtype_i8()};
-    const cake::ScheduleKind kinds[] = {
-        cake::ScheduleKind::kKFirstSerpentine,
-        cake::ScheduleKind::kKFirstNoFlip,
-        cake::ScheduleKind::kNInnermost,
-    };
+    const std::vector<cake::ScheduleKind>& kinds = cake::all_schedule_kinds();
     bool all_ok = true;
     for (const cake::MachineSpec& machine : cake::table2_machines()) {
         for (const cake::DtypeDesc* dtype : dtypes) {
@@ -487,6 +497,138 @@ bool run_numerics_single(const Options& opt)
                         ir, dtype);
 }
 
+// --- Static locality verification (--locality) --------------------------
+
+/// Analyse one CAKE IR's reuse structure and print a PASS/FAIL line with
+/// the predicted traffic and LLC locality evidence. `with_memsim` chains
+/// the proof to the memsim address stream (predicted == io_totals by
+/// LOC_TRAFFIC, io_totals == trace by cross_check_memsim).
+bool locality_one(const std::string& label, const ScheduleIR& ir,
+                  bool with_memsim)
+{
+    const cake::locality::LocalityReport rep =
+        cake::locality::analyze_locality(ir);
+    bool ok = rep.ok();
+    std::cout << (ok ? "PASS" : "FAIL") << "  " << label << "  steps="
+              << rep.steps << " shared=" << rep.shared_transitions << "/"
+              << (rep.steps > 0 ? rep.steps - 1 : 0)
+              << " rd=" << rep.predicted.reads()
+              << " wr=" << rep.predicted.writes();
+    if (!rep.levels.empty()) {
+        const cake::locality::LevelStats& llc = rep.levels.back();
+        std::cout << " " << llc.name << "(hit=" << llc.hits
+                  << ",miss=" << llc.misses << ",cold=" << llc.cold << ")";
+    }
+    std::cout << (with_memsim ? "  [memsim]" : "") << "\n";
+    for (const cake::locality::LocalityIssue& issue : rep.issues) {
+        std::cout << "  [" << issue.code << "] " << issue.message << "\n";
+    }
+    if (with_memsim) {
+        const VerifyReport mem = cake::schedir::cross_check_memsim(ir);
+        ok &= mem.ok();
+        for (const cake::schedir::VerifyIssue& issue : mem.issues) {
+            std::cout << "  [" << issue.code << "] " << issue.message << "\n";
+        }
+    }
+    return ok;
+}
+
+/// Locality sweep: Table-2 presets x {f32, f64} x shape classes x EVERY
+/// registered schedule kind x both CAKE executors. The memsim address-
+/// stream chain runs once per plan on the shallow-K f32 serial configs,
+/// completing the prediction -> simulation equality for every kind.
+bool run_locality_sweep()
+{
+    const std::vector<cake::GemmShape> shapes = {
+        {2000, 2000, 2000},
+        {8000, 256, 2048},
+        {3000, 3000, 96},
+    };
+    bool all_ok = true;
+    for (const cake::MachineSpec& machine : cake::table2_machines()) {
+        for (const bool f64 : {false, true}) {
+            cake::TilingOptions topts;
+            topts.elem_bytes = f64 ? 8 : 4;
+            const index_t mr = 6;
+            const index_t nr = f64 ? 8 : 16;
+            const cake::CbBlockParams params = cake::compute_cb_block(
+                machine, machine.cores, mr, nr, topts);
+            for (const cake::GemmShape& shape : shapes) {
+                const bool memsim_here = !f64 && shape.k == 96;
+                for (const cake::ScheduleKind kind :
+                     cake::all_schedule_kinds()) {
+                    for (const Exec exec :
+                         {Exec::kSerial, Exec::kPipelined}) {
+                        const ScheduleIR ir = cake::schedir::extract_cake_ir(
+                            shape, params, kind, exec);
+                        all_ok &= locality_one(
+                            config_label(machine.name, f64, shape, kind,
+                                         exec),
+                            ir, memsim_here && exec == Exec::kSerial);
+                    }
+                }
+            }
+        }
+    }
+    return all_ok;
+}
+
+bool check_loc_mutation(Exec exec, cake::locality::LocMutation m)
+{
+    ScheduleIR ir = mutation_subject(exec);
+    const std::string expected =
+        cake::locality::apply_locality_mutation(ir, m);
+    const cake::locality::LocalityReport report =
+        cake::locality::analyze_locality(ir);
+    const bool rejected = report.has(expected);
+    std::cout << (rejected ? "PASS" : "FAIL") << "  "
+              << cake::schedir::exec_name(exec) << "  "
+              << cake::locality::loc_mutation_name(m) << " -> expects "
+              << expected << ", analyzer reported ["
+              << (report.issues.empty() ? "clean" : report.codes()) << "]\n";
+    return rejected;
+}
+
+/// Locality mutation gate: clean CAKE IRs analyse clean, then every
+/// locality corruption is rejected with its specific code on both
+/// executors (the analyzer is CAKE-only; GOTO has no block order).
+bool run_locality_mutations()
+{
+    using cake::locality::LocMutation;
+    bool all_ok = true;
+    for (const Exec exec : {Exec::kSerial, Exec::kPipelined}) {
+        all_ok &= locality_one(std::string("clean ")
+                                   + cake::schedir::exec_name(exec),
+                               mutation_subject(exec), false);
+    }
+    for (const Exec exec : {Exec::kSerial, Exec::kPipelined}) {
+        all_ok &= check_loc_mutation(exec, LocMutation::kTwistOrder);
+        all_ok &= check_loc_mutation(exec, LocMutation::kSkewFetch);
+        all_ok &= check_loc_mutation(exec, LocMutation::kPhantomFetch);
+        all_ok &= check_loc_mutation(exec, LocMutation::kInflateFlush);
+    }
+    return all_ok;
+}
+
+bool run_locality_single(const Options& opt)
+{
+    if (opt.exec == Exec::kGoto) {
+        usage_error("--locality requires a CAKE exec (serial|pipelined)");
+    }
+    const cake::MachineSpec machine = cake::machine_by_name(opt.machine);
+    const int p = opt.p > 0 ? opt.p : machine.cores;
+    cake::TilingOptions topts;
+    topts.elem_bytes = opt.f64 ? 8 : 4;
+    topts.mc = opt.mc;
+    const cake::CbBlockParams params =
+        cake::compute_cb_block(machine, p, opt.mr, opt.nr, topts);
+    const ScheduleIR ir = cake::schedir::extract_cake_ir(
+        opt.shape, params, opt.kind, opt.exec);
+    return locality_one(config_label(machine.name, opt.f64, opt.shape,
+                                     opt.kind, opt.exec),
+                        ir, opt.memsim && !opt.f64);
+}
+
 bool run_single(const Options& opt)
 {
     const cake::MachineSpec machine = cake::machine_by_name(opt.machine);
@@ -519,7 +661,11 @@ int main(int argc, char** argv)
 
     bool ok = false;
     try {
-        if (opt.numerics) {
+        if (opt.locality) {
+            ok = opt.sweep        ? run_locality_sweep()
+                 : opt.mutations  ? run_locality_mutations()
+                                  : run_locality_single(opt);
+        } else if (opt.numerics) {
             ok = opt.sweep        ? run_numerics_sweep()
                  : opt.mutations  ? run_numerics_mutations()
                                   : run_numerics_single(opt);
