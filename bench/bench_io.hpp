@@ -13,18 +13,36 @@
 //     run of a bench case with the src/obs tracer and writes
 //     <dir>/<name>.trace.json plus a per-run stall summary. Off by
 //     default; benches print "-" in the trace columns when disarmed.
+//   * BENCH_<name>.json telemetry: print_table also serialises every table
+//     through bench_json.hpp into $CAKE_BENCH_JSON_DIR (falling back to
+//     $CAKE_BENCH_CSV_DIR, then "."), unless CAKE_BENCH_JSON=0. The
+//     records carry the machine fingerprint plus the bench_context() map,
+//     and tools/bench_gate diffs them against committed baselines.
+//   * PlanSourceOption: opt-out `--no-tune` wiring of the persisted tuning
+//     cache (tune::CachedPlanSource) into CakeOptions::plan_source, with
+//     the on/off decision recorded in the telemetry context.
 #pragma once
 
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 
+#include "bench_json.hpp"
 #include "common/csv.hpp"
 #include "common/env.hpp"
 #include "common/timing.hpp"
+#include "core/plan_source.hpp"
 #include "machine/fingerprint.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
+
+#if !defined(CAKE_TUNE_DISABLED) || !CAKE_TUNE_DISABLED
+#define CAKE_BENCH_HAS_TUNE 1
+#include "tune/cache.hpp"
+#else
+#define CAKE_BENCH_HAS_TUNE 0
+#endif
 
 namespace cake {
 namespace bench {
@@ -41,6 +59,42 @@ inline std::string bench_meta_json(const std::string& name)
 inline void print_machine_banner()
 {
     std::cout << "machine: " << host_fingerprint().json() << "\n\n";
+}
+
+/// Free-form key/value pairs recorded in every BENCH_<name>.json this
+/// process writes (e.g. "tuned_plans" -> "on", "counters" -> "denied").
+/// Benches add to it before their first print_table call.
+inline std::map<std::string, std::string>& bench_context()
+{
+    static std::map<std::string, std::string> context;
+    return context;
+}
+
+/// Serialise one printed table as BENCH_<name>.json. Directory policy:
+/// $CAKE_BENCH_JSON_DIR, else $CAKE_BENCH_CSV_DIR (JSON rides along with
+/// the CSVs), else the working directory; CAKE_BENCH_JSON=0 disables the
+/// writer entirely. Returns the written path, or "" when disabled/failed.
+inline std::string write_bench_table_json(const Table& table,
+                                          const std::string& name)
+{
+    if (env_long("CAKE_BENCH_JSON").value_or(1) == 0) return {};
+    std::string dir = ".";
+    if (auto json_dir = env_string("CAKE_BENCH_JSON_DIR")) {
+        dir = *json_dir;
+    } else if (auto csv_dir = env_string("CAKE_BENCH_CSV_DIR")) {
+        dir = *csv_dir;
+    }
+    BenchRecord record = record_from_table(table, name);
+    const MachineFingerprint fp = host_fingerprint();
+    record.machine_key = fp.key();
+    record.machine_json = fp.json();
+    record.context = bench_context();
+    const std::string path = dir + "/BENCH_" + name + ".json";
+    if (!write_bench_json_file(record, path)) {
+        std::cerr << "warning: cannot write " << path << "\n";
+        return {};
+    }
+    return path;
 }
 
 inline void print_table(const Table& table, const std::string& name)
@@ -63,7 +117,59 @@ inline void print_table(const Table& table, const std::string& name)
             std::cerr << "warning: cannot write " << meta_path << "\n";
         }
     }
+    const std::string json_path = write_bench_table_json(table, name);
+    if (!json_path.empty()) {
+        std::cout << "[json saved: " << json_path << "]\n";
+    }
 }
+
+/// Opt-out wiring of the persisted tuning cache into a bench's
+/// CakeOptions. Default ON (the bench measures what a tuned production
+/// call would get); `--no-tune` reverts to pure analytic planning. Either
+/// way the decision lands in bench_context()["tuned_plans"] so the
+/// BENCH_*.json record says which planner produced its numbers. When the
+/// tuner is compiled out (-DCAKE_TUNE_DISABLED=ON) the option degrades to
+/// "off" and `--no-tune` is accepted but redundant.
+class PlanSourceOption {
+public:
+    static PlanSourceOption from_args(int argc, char** argv)
+    {
+        PlanSourceOption option;
+        bool no_tune = false;
+        for (int i = 1; i < argc; ++i) {
+            if (std::string(argv[i]) == "--no-tune") no_tune = true;
+        }
+#if CAKE_BENCH_HAS_TUNE
+        if (!no_tune) {
+            option.source_ = tune::CachedPlanSource::for_host();
+            option.on_ = true;
+        }
+#else
+        (void)no_tune;
+#endif
+        bench_context()["tuned_plans"] = option.on_ ? "on" : "off";
+        return option;
+    }
+
+    /// Value for CakeOptions::plan_source (nullptr when off — the driver
+    /// then plans analytically, exactly as before this option existed).
+    [[nodiscard]] const TunedPlanSource* get() const
+    {
+#if CAKE_BENCH_HAS_TUNE
+        return on_ ? &source_ : nullptr;
+#else
+        return nullptr;
+#endif
+    }
+
+    [[nodiscard]] bool on() const { return on_; }
+
+private:
+#if CAKE_BENCH_HAS_TUNE
+    tune::CachedPlanSource source_ = tune::CachedPlanSource({}, "");
+#endif
+    bool on_ = false;
+};
 
 /// Result of one named TraceCapture::end().
 struct TraceResult {

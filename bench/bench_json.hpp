@@ -1,0 +1,686 @@
+// Structured bench telemetry: the BENCH_<name>.json schema every bench
+// emits, plus the parser and the baseline-gate comparator tools/bench_gate
+// and tests/perf_test.cpp run over it.
+//
+// GEMMbench (arXiv:1511.03742) argues GEMM numbers are unreproducible
+// without machine-annotated, machine-readable records; this header is that
+// record for the CAKE benches. One file per printed table:
+//
+//   {
+//     "schema": 1,
+//     "bench": "<table name>",
+//     "machine_key": "<MachineFingerprint::key()>",
+//     "machine": { ...host_fingerprint().json()... },
+//     "context": { "tuned_plans": "on", "counters": "denied", ... },
+//     "cases": [
+//       { "name": "<first column>",
+//         "metrics": { "<numeric column>": value, ... },
+//         "labels":  { "<non-numeric column>": "cell", ... } },
+//       ...
+//     ]
+//   }
+//
+// Cases come straight from common/csv Table rows: the first column is the
+// case name, numeric cells become metrics (keyed by the sanitised column
+// header), everything else (including "-" degraded-mode cells) becomes a
+// label. Doubles are written with %.17g so a parse round-trips bit-exact.
+//
+// The gate: gate_compare() walks every metric of every baseline case and
+// flags relative drift beyond a per-metric tolerance. Direction matters —
+// throughput metrics (gflops, gbps, speedup) only regress downward,
+// cost metrics (seconds, bytes, stalls, divergence) only upward, anything
+// unrecognised is gated two-sided. Exit-code contract for tools built on
+// this: 0 = pass, 1 = regression/malformed run, 2 = missing baseline.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/csv.hpp"
+
+namespace cake {
+namespace bench {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// One table row: name + numeric metrics + non-numeric labels.
+struct BenchCase {
+    std::string name;
+    std::map<std::string, double> metrics;
+    std::map<std::string, std::string> labels;
+};
+
+/// One BENCH_<name>.json document.
+struct BenchRecord {
+    int schema = kBenchSchemaVersion;
+    std::string bench;
+    std::string machine_key;
+    std::string machine_json;  ///< raw fingerprint object, written verbatim
+    std::map<std::string, std::string> context;
+    std::vector<BenchCase> cases;
+};
+
+/// Sanitise a column header into a metric key: lowercase, [a-z0-9_] only.
+inline std::string metric_key(const std::string& header)
+{
+    std::string key;
+    key.reserve(header.size());
+    for (const char c : header) {
+        const auto u = static_cast<unsigned char>(c);
+        if (std::isalnum(u) != 0) {
+            key += static_cast<char>(std::tolower(u));
+        } else {
+            key += '_';
+        }
+    }
+    return key;
+}
+
+/// Parse a table cell as a finite double; nullopt for labels ("-", text,
+/// inf/nan).
+inline std::optional<double> cell_number(const std::string& cell)
+{
+    if (cell.empty()) return std::nullopt;
+    const char* begin = cell.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(begin, &end);
+    if (end == begin || errno == ERANGE) return std::nullopt;
+    while (*end != '\0' &&
+           std::isspace(static_cast<unsigned char>(*end)) != 0) {
+        ++end;
+    }
+    if (*end != '\0') return std::nullopt;
+    if (!std::isfinite(v)) return std::nullopt;
+    return v;
+}
+
+/// Convert a printed Table into the record's cases: first column names the
+/// case, numeric cells become metrics, the rest labels.
+inline BenchRecord record_from_table(const Table& table,
+                                     const std::string& bench_name)
+{
+    BenchRecord record;
+    record.bench = bench_name;
+    const std::vector<std::string>& header = table.header();
+    for (const std::vector<std::string>& row : table.rows()) {
+        BenchCase c;
+        if (!row.empty()) c.name = row[0];
+        for (std::size_t i = 1; i < row.size() && i < header.size(); ++i) {
+            const std::string key = metric_key(header[i]);
+            if (const auto v = cell_number(row[i])) {
+                c.metrics[key] = *v;
+            } else {
+                c.labels[key] = row[i];
+            }
+        }
+        record.cases.push_back(std::move(c));
+    }
+    return record;
+}
+
+// --- writer -------------------------------------------------------------
+
+inline std::string bench_json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+/// %.17g — enough digits that parsing returns the identical double.
+inline std::string bench_json_number(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+inline void write_bench_json(const BenchRecord& record, std::ostream& os)
+{
+    os << "{\n  \"schema\": " << record.schema << ",\n  \"bench\": \""
+       << bench_json_escape(record.bench) << "\",\n  \"machine_key\": \""
+       << bench_json_escape(record.machine_key) << "\",\n  \"machine\": "
+       << (record.machine_json.empty() ? "{}" : record.machine_json)
+       << ",\n  \"context\": {";
+    bool first = true;
+    for (const auto& [key, value] : record.context) {
+        os << (first ? "" : ", ") << "\"" << bench_json_escape(key)
+           << "\": \"" << bench_json_escape(value) << "\"";
+        first = false;
+    }
+    os << "},\n  \"cases\": [\n";
+    for (std::size_t i = 0; i < record.cases.size(); ++i) {
+        const BenchCase& c = record.cases[i];
+        os << "    {\"name\": \"" << bench_json_escape(c.name)
+           << "\", \"metrics\": {";
+        first = true;
+        for (const auto& [key, value] : c.metrics) {
+            os << (first ? "" : ", ") << "\"" << bench_json_escape(key)
+               << "\": " << bench_json_number(value);
+            first = false;
+        }
+        os << "}, \"labels\": {";
+        first = true;
+        for (const auto& [key, value] : c.labels) {
+            os << (first ? "" : ", ") << "\"" << bench_json_escape(key)
+               << "\": \"" << bench_json_escape(value) << "\"";
+            first = false;
+        }
+        os << "}}" << (i + 1 < record.cases.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+inline bool write_bench_json_file(const BenchRecord& record,
+                                  const std::string& path)
+{
+    std::ofstream f(path);
+    if (!f.good()) return false;
+    write_bench_json(record, f);
+    return f.good();
+}
+
+// --- parser -------------------------------------------------------------
+
+namespace detail_json {
+
+/// Minimal recursive-descent JSON value, just enough for the schema above
+/// (and the fingerprint object it embeds). Same dialect the obs exporter
+/// validates: no surrogate pairs, numbers as doubles.
+struct Value {
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+    Type type = Type::kNull;
+    double number = 0;
+    bool boolean = false;
+    std::string string;
+    std::vector<Value> array;
+    std::vector<std::pair<std::string, Value>> object;
+
+    [[nodiscard]] const Value* find(const std::string& key) const
+    {
+        for (const auto& [k, v] : object) {
+            if (k == key) return &v;
+        }
+        return nullptr;
+    }
+};
+
+struct Parser {
+    const std::string& text;
+    std::size_t pos = 0;
+    std::string error;
+
+    explicit Parser(const std::string& t) : text(t) {}
+
+    void skip_ws()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+            ++pos;
+        }
+    }
+
+    bool fail(const std::string& why)
+    {
+        if (error.empty()) {
+            error = why + " at offset " + std::to_string(pos);
+        }
+        return false;
+    }
+
+    bool parse(Value& out)
+    {
+        skip_ws();
+        if (pos >= text.size()) return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') return parse_object(out);
+        if (c == '[') return parse_array(out);
+        if (c == '"') {
+            out.type = Value::Type::kString;
+            return parse_string(out.string);
+        }
+        if (c == 't' || c == 'f') return parse_bool(out);
+        if (c == 'n') return parse_null(out);
+        return parse_number(out);
+    }
+
+    bool parse_object(Value& out)
+    {
+        out.type = Value::Type::kObject;
+        ++pos;
+        skip_ws();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skip_ws();
+            std::string key;
+            if (pos >= text.size() || text[pos] != '"') {
+                return fail("expected object key");
+            }
+            if (!parse_string(key)) return false;
+            skip_ws();
+            if (pos >= text.size() || text[pos] != ':') {
+                return fail("expected ':'");
+            }
+            ++pos;
+            Value value;
+            if (!parse(value)) return false;
+            out.object.emplace_back(std::move(key), std::move(value));
+            skip_ws();
+            if (pos >= text.size()) return fail("unterminated object");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool parse_array(Value& out)
+    {
+        out.type = Value::Type::kArray;
+        ++pos;
+        skip_ws();
+        if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            Value value;
+            if (!parse(value)) return false;
+            out.array.push_back(std::move(value));
+            skip_ws();
+            if (pos >= text.size()) return fail("unterminated array");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool parse_string(std::string& out)
+    {
+        ++pos;
+        out.clear();
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"') return true;
+            if (c == '\\') {
+                if (pos >= text.size()) return fail("bad escape");
+                const char e = text[pos++];
+                switch (e) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'n': out += '\n'; break;
+                    case 't': out += '\t'; break;
+                    case 'u':
+                        if (pos + 4 > text.size()) return fail("bad \\u");
+                        pos += 4;
+                        out += '?';
+                        break;
+                    default: return fail("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parse_bool(Value& out)
+    {
+        out.type = Value::Type::kBool;
+        if (text.compare(pos, 4, "true") == 0) {
+            out.boolean = true;
+            pos += 4;
+            return true;
+        }
+        if (text.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            return true;
+        }
+        return fail("bad keyword");
+    }
+
+    bool parse_null(Value& out)
+    {
+        out.type = Value::Type::kNull;
+        if (text.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            return true;
+        }
+        return fail("bad keyword");
+    }
+
+    bool parse_number(Value& out)
+    {
+        out.type = Value::Type::kNumber;
+        const std::size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) {
+            ++pos;
+        }
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+                text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+                text[pos] == '-' || text[pos] == '+')) {
+            ++pos;
+        }
+        if (pos == start) return fail("expected a value");
+        out.number = std::strtod(text.c_str() + start, nullptr);
+        return true;
+    }
+};
+
+/// Re-serialise a parsed value (used to preserve the machine object).
+inline void write_value(const Value& v, std::ostream& os)
+{
+    switch (v.type) {
+        case Value::Type::kNull: os << "null"; break;
+        case Value::Type::kBool: os << (v.boolean ? "true" : "false"); break;
+        case Value::Type::kNumber: os << bench_json_number(v.number); break;
+        case Value::Type::kString:
+            os << '"' << bench_json_escape(v.string) << '"';
+            break;
+        case Value::Type::kArray: {
+            os << '[';
+            for (std::size_t i = 0; i < v.array.size(); ++i) {
+                if (i != 0) os << ", ";
+                write_value(v.array[i], os);
+            }
+            os << ']';
+            break;
+        }
+        case Value::Type::kObject: {
+            os << '{';
+            for (std::size_t i = 0; i < v.object.size(); ++i) {
+                if (i != 0) os << ", ";
+                os << '"' << bench_json_escape(v.object[i].first) << "\": ";
+                write_value(v.object[i].second, os);
+            }
+            os << '}';
+            break;
+        }
+    }
+}
+
+}  // namespace detail_json
+
+/// Parse a BENCH_<name>.json document. False (with a one-line reason in
+/// `error` when non-null) on malformed JSON or a schema mismatch.
+inline bool parse_bench_json(const std::string& text, BenchRecord* out,
+                             std::string* error = nullptr)
+{
+    auto fail = [&](const std::string& why) {
+        if (error != nullptr) *error = why;
+        return false;
+    };
+    detail_json::Parser parser(text);
+    detail_json::Value root;
+    if (!parser.parse(root)) return fail(parser.error);
+    parser.skip_ws();
+    if (parser.pos != text.size()) return fail("trailing data after JSON");
+    if (root.type != detail_json::Value::Type::kObject) {
+        return fail("top level is not an object");
+    }
+    BenchRecord record;
+    const detail_json::Value* schema = root.find("schema");
+    if (schema == nullptr ||
+        schema->type != detail_json::Value::Type::kNumber) {
+        return fail("missing numeric schema");
+    }
+    record.schema = static_cast<int>(schema->number);
+    if (record.schema != kBenchSchemaVersion) {
+        return fail("unsupported schema version "
+                    + std::to_string(record.schema));
+    }
+    const detail_json::Value* name = root.find("bench");
+    if (name == nullptr || name->type != detail_json::Value::Type::kString) {
+        return fail("missing string bench");
+    }
+    record.bench = name->string;
+    if (const detail_json::Value* key = root.find("machine_key");
+        key != nullptr && key->type == detail_json::Value::Type::kString) {
+        record.machine_key = key->string;
+    }
+    if (const detail_json::Value* machine = root.find("machine");
+        machine != nullptr &&
+        machine->type == detail_json::Value::Type::kObject) {
+        std::ostringstream os;
+        detail_json::write_value(*machine, os);
+        record.machine_json = os.str();
+    }
+    if (const detail_json::Value* context = root.find("context");
+        context != nullptr &&
+        context->type == detail_json::Value::Type::kObject) {
+        for (const auto& [key, value] : context->object) {
+            if (value.type != detail_json::Value::Type::kString) {
+                return fail("context value for '" + key
+                            + "' is not a string");
+            }
+            record.context[key] = value.string;
+        }
+    }
+    const detail_json::Value* cases = root.find("cases");
+    if (cases == nullptr ||
+        cases->type != detail_json::Value::Type::kArray) {
+        return fail("missing cases array");
+    }
+    for (std::size_t i = 0; i < cases->array.size(); ++i) {
+        const detail_json::Value& cv = cases->array[i];
+        const std::string at = "cases[" + std::to_string(i) + "]";
+        if (cv.type != detail_json::Value::Type::kObject) {
+            return fail(at + " is not an object");
+        }
+        BenchCase c;
+        const detail_json::Value* cname = cv.find("name");
+        if (cname == nullptr ||
+            cname->type != detail_json::Value::Type::kString) {
+            return fail(at + " has no string name");
+        }
+        c.name = cname->string;
+        if (const detail_json::Value* metrics = cv.find("metrics");
+            metrics != nullptr &&
+            metrics->type == detail_json::Value::Type::kObject) {
+            for (const auto& [key, value] : metrics->object) {
+                if (value.type != detail_json::Value::Type::kNumber) {
+                    return fail(at + " metric '" + key + "' is not numeric");
+                }
+                c.metrics[key] = value.number;
+            }
+        }
+        if (const detail_json::Value* labels = cv.find("labels");
+            labels != nullptr &&
+            labels->type == detail_json::Value::Type::kObject) {
+            for (const auto& [key, value] : labels->object) {
+                if (value.type != detail_json::Value::Type::kString) {
+                    return fail(at + " label '" + key + "' is not a string");
+                }
+                c.labels[key] = value.string;
+            }
+        }
+        record.cases.push_back(std::move(c));
+    }
+    if (out != nullptr) *out = std::move(record);
+    return true;
+}
+
+/// parse_bench_json over a file. Distinguishes "missing/unreadable file"
+/// (kMissing — bench_gate's exit 2) from "present but malformed" (kBad).
+enum class BenchLoad { kOk, kMissing, kBad };
+
+inline BenchLoad load_bench_json(const std::string& path, BenchRecord* out,
+                                 std::string* error = nullptr)
+{
+    std::ifstream f(path);
+    if (!f.good()) {
+        if (error != nullptr) *error = "cannot open " + path;
+        return BenchLoad::kMissing;
+    }
+    std::ostringstream buffer;
+    buffer << f.rdbuf();
+    return parse_bench_json(buffer.str(), out, error) ? BenchLoad::kOk
+                                                      : BenchLoad::kBad;
+}
+
+// --- baseline gate ------------------------------------------------------
+
+/// Which way a metric is allowed to drift without regressing: +1 = higher
+/// is better (only a drop fails), -1 = lower is better (only a rise
+/// fails), 0 = two-sided.
+inline int metric_direction(const std::string& key)
+{
+    const auto has = [&](const char* needle) {
+        return key.find(needle) != std::string::npos;
+    };
+    // Throughput first: sanitised "GFLOP/s" is "gflop_s", which would
+    // otherwise fall through to the seconds-suffix rule below.
+    if (has("flop") || has("gbps") || has("gb_s") || has("speedup") ||
+        has("overlap") || has("efficiency") || has("ipc")) {
+        return 1;
+    }
+    if (has("seconds") || has("bytes") || has("stall") || has("misses") ||
+        has("divergence") || has("miss_mb") || has("dram_gb")) {
+        return -1;
+    }
+    const auto ends_with = [&](const char* suffix) {
+        const std::string s(suffix);
+        return key.size() >= s.size() &&
+               key.compare(key.size() - s.size(), s.size(), s) == 0;
+    };
+    if (ends_with("_s") || ends_with("_ns") || ends_with("_ms")) return -1;
+    return 0;
+}
+
+/// Tolerances for one gate run.
+struct GateSpec {
+    double default_tol = 0.10;           ///< relative, per metric
+    std::map<std::string, double> tol;   ///< per-metric override
+    std::map<std::string, int> direction;  ///< per-metric override
+
+    [[nodiscard]] double tol_of(const std::string& metric) const
+    {
+        const auto it = tol.find(metric);
+        return it != tol.end() ? it->second : default_tol;
+    }
+
+    [[nodiscard]] int direction_of(const std::string& metric) const
+    {
+        const auto it = direction.find(metric);
+        return it != direction.end() ? it->second
+                                     : metric_direction(metric);
+    }
+};
+
+/// One gate failure.
+struct GateFinding {
+    std::string case_name;
+    std::string metric;   ///< empty for missing-case findings
+    double baseline = 0;
+    double run = 0;
+    double rel = 0;       ///< signed relative drift (run - base) / |base|
+    std::string what;     ///< "regressed" | "missing-case" | "missing-metric"
+};
+
+struct GateResult {
+    bool ok = true;
+    std::size_t compared = 0;  ///< metrics checked
+    std::vector<GateFinding> findings;
+};
+
+/// Compare a run against a baseline: every baseline case and metric must
+/// exist in the run and sit within tolerance. Extra cases/metrics in the
+/// run never fail (new benches are allowed to grow columns).
+inline GateResult gate_compare(const BenchRecord& baseline,
+                               const BenchRecord& run, const GateSpec& spec)
+{
+    GateResult result;
+    for (std::size_t i = 0; i < baseline.cases.size(); ++i) {
+        const BenchCase& base_case = baseline.cases[i];
+        const BenchCase* run_case = nullptr;
+        if (i < run.cases.size() && run.cases[i].name == base_case.name) {
+            run_case = &run.cases[i];
+        } else {
+            for (const BenchCase& c : run.cases) {
+                if (c.name == base_case.name) {
+                    run_case = &c;
+                    break;
+                }
+            }
+        }
+        if (run_case == nullptr) {
+            result.ok = false;
+            result.findings.push_back(
+                {base_case.name, "", 0, 0, 0, "missing-case"});
+            continue;
+        }
+        for (const auto& [metric, base_value] : base_case.metrics) {
+            const auto it = run_case->metrics.find(metric);
+            if (it == run_case->metrics.end()) {
+                result.ok = false;
+                result.findings.push_back(
+                    {base_case.name, metric, base_value, 0, 0,
+                     "missing-metric"});
+                continue;
+            }
+            ++result.compared;
+            const double run_value = it->second;
+            const double denom =
+                std::abs(base_value) > 0 ? std::abs(base_value) : 1.0;
+            const double rel = (run_value - base_value) / denom;
+            const double tol = spec.tol_of(metric);
+            const int dir = spec.direction_of(metric);
+            const bool bad = dir > 0   ? rel < -tol
+                             : dir < 0 ? rel > tol
+                                       : std::abs(rel) > tol;
+            if (bad) {
+                result.ok = false;
+                result.findings.push_back({base_case.name, metric,
+                                           base_value, run_value, rel,
+                                           "regressed"});
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace bench
+}  // namespace cake

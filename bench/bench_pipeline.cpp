@@ -45,6 +45,10 @@ int main(int argc, char** argv)
     ThreadPool pool(p);
     Rng rng(1);
     bench::TraceCapture capture = bench::TraceCapture::from_args(argc, argv);
+    // Tuned plans by default (what a production call would measure);
+    // --no-tune reverts to analytic planning. Recorded in the BENCH JSON.
+    const bench::PlanSourceOption plans =
+        bench::PlanSourceOption::from_args(argc, argv);
 
     struct Case {
         const char* label;
@@ -89,6 +93,7 @@ int main(int argc, char** argv)
             CakeOptions opts;
             opts.p = p;
             opts.exec = exec;
+            opts.plan_source = plans.get();
             CakeGemm gemm(pool, opts);
             CakeStats best;
             const TimingPolicy policy{1, reps};  // one warm-up, min kept

@@ -5,6 +5,7 @@
 // MachineSpec to calibrate host predictions.
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "common/csv.hpp"
 #include "machine/bw_probe.hpp"
 #include "machine/machine.hpp"
@@ -33,7 +34,7 @@ int main()
                           6),
                       format_number(point.gbs, 5)});
     }
-    scan.print(std::cout);
+    bench::print_table(scan, "pmbw_scan");
     std::cout << "\nExpected shape: bandwidth steps down at each cache-"
                  "capacity boundary.\n\n";
 
@@ -45,7 +46,7 @@ int main()
     for (std::size_t p = 0; p < bw.size(); ++p) {
         curve.add_row({std::to_string(p + 1), format_number(bw[p], 5)});
     }
-    curve.print(std::cout);
+    bench::print_table(curve, "pmbw_internal_bw");
     std::cout << "\nPaste this curve into MachineSpec::internal_bw_gbs to\n"
                  "calibrate the model for this host (the paper's Fig 10c/"
                  "11c/12c measurement).\n";

@@ -10,11 +10,13 @@
 #include "common/rng.hpp"
 #include "core/cake_gemm.hpp"
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace cake;
     ThreadPool pool(host_machine().cores);
     Rng rng(12);
+    const bench::PlanSourceOption plans =
+        bench::PlanSourceOption::from_args(argc, argv);
 
     const index_t k = 1024, n = 1024;  // one transformer-ish weight matrix
     Matrix w(k, n);
@@ -26,7 +28,9 @@ int main()
     Table table({"batch (M)", "regular (ms)", "prepacked (ms)", "speedup",
                  "pack share removed"});
 
-    CakeGemm gemm(pool);
+    CakeOptions opts;
+    opts.plan_source = plans.get();
+    CakeGemm gemm(pool, opts);
     const PackedBF packed = gemm.pack_weights(w.data(), n, k, n);
 
     for (index_t batch : {1, 8, 64, 512}) {

@@ -12,6 +12,7 @@
 #include "common/timer.hpp"
 #include "core/block_plan.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 #include "obs/trace.hpp"
 #include "pack/pack.hpp"
 
@@ -443,6 +444,7 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
         pool_.parallel_for(0, mi, p, [&](index_t r0, index_t r1) {
             obs::ScopedSpan span("flush.write", obs::Phase::kFlush, coord.m,
                                  coord.n, coord.k, r0);
+            obs::perf::ScopedPhaseDelta perf_scope(obs::Phase::kFlush);
             racecheck::region_access_block(
                 rc_c.id, r0, r1, 0, ceil_div(ni, kernel_.nr),
                 racecheck::AccessKind::kRead,
@@ -468,6 +470,7 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
                                [&](index_t s0, index_t s1) {
                 obs::ScopedSpan span("pack.A", obs::Phase::kPack, coord.m,
                                      coord.n, coord.k, s0);
+                obs::perf::ScopedPhaseDelta perf_scope(obs::Phase::kPack);
                 racecheck::region_access_range(
                     rc_pa.id, s0, s1, racecheck::AccessKind::kWrite,
                     {step_idx, coord.m, coord.n, coord.k,
@@ -494,6 +497,7 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
                                [&](index_t s0, index_t s1) {
                 obs::ScopedSpan span("pack.B", obs::Phase::kPack, coord.m,
                                      coord.n, coord.k, s0);
+                obs::perf::ScopedPhaseDelta perf_scope(obs::Phase::kPack);
                 racecheck::region_access_range(
                     rc_pb.id, s0, s1, racecheck::AccessKind::kWrite,
                     {step_idx, coord.m, coord.n, coord.k,
@@ -519,6 +523,7 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
             pool_.parallel_for(0, mi, p, [&](index_t r0, index_t r1) {
                 obs::ScopedSpan span("flush.zero", obs::Phase::kFlush,
                                      coord.m, coord.n, coord.k, r0);
+                obs::perf::ScopedPhaseDelta perf_scope(obs::Phase::kFlush);
                 racecheck::region_access_block(
                     rc_c.id, r0, r1, 0, ceil_div(ni, kernel_.nr),
                     racecheck::AccessKind::kWrite,
@@ -556,6 +561,7 @@ void CakeGemmT<T>::run_serial(const detail::GemmCall<T>& call)
         pool_.run(p, [&, kernel, pa, pb, cb, mi, ni, ki, band](int tid) {
             obs::ScopedSpan span("compute", obs::Phase::kCompute, coord.m,
                                  coord.n, coord.k, tid);
+            obs::perf::ScopedPhaseDelta perf_scope(obs::Phase::kCompute);
             const index_t r_begin = std::min<index_t>(tid * band, mi);
             const index_t r_end = std::min<index_t>((tid + 1) * band, mi);
             if (r_begin < r_end) {
@@ -728,6 +734,9 @@ void CakeGemmT<T>::run_pipelined(const detail::GemmCall<T>& call)
         const bool tracing = obs::enabled();
         auto timed_item = [&](const char* span_name, obs::Phase obs_phase,
                               const BlockStep& st, index_t item, auto&& body) {
+            // Counter reads bracket the clock pair so the perf syscalls
+            // never contaminate the phase seconds or the span duration.
+            obs::perf::ScopedPhaseDelta perf_scope(obs_phase);
             const auto t0 = Clock::now();
             body();
             const auto t1 = Clock::now();

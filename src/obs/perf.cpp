@@ -1,0 +1,509 @@
+#include "obs/perf.hpp"
+
+#if CAKE_PERF_ENABLED
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+// Same ownership discipline as trace.cpp: each thread owns its counter
+// group and accumulator cells exclusively (perf self-monitoring fds must be
+// read by the opening task anyway); the registry mutex only guards thread
+// registration and quiescent collection. The atomics are the armed flag,
+// the reset generation, and a per-thread publication sequence the
+// quiescent collector acquires — tools/lint.sh rule 4 allowlists src/obs/
+// for exactly this machinery, and rule 7 allowlists this file's raw
+// syscall(SYS_perf_event_open, ...) wrapper (there is no libc binding).
+
+namespace cake {
+namespace obs {
+namespace perf {
+
+namespace {
+
+long sys_perf_event_open(struct perf_event_attr* attr, pid_t pid, int cpu,
+                         int group_fd, unsigned long flags)
+{
+    return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+constexpr std::uint64_t cache_config(std::uint64_t cache, std::uint64_t op,
+                                     std::uint64_t result)
+{
+    return cache | (op << 8) | (result << 16);
+}
+
+/// perf_event_paranoid level, or -100 when unreadable (for error strings).
+long paranoid_level()
+{
+    std::ifstream f("/proc/sys/kernel/perf_event_paranoid");
+    long level = -100;
+    if (f.good()) f >> level;
+    return level;
+}
+
+std::string describe_open_failure(const CounterSpec& spec, int err)
+{
+    std::string reason = "perf_event_open(";
+    reason += spec.name;
+    reason += "): ";
+    reason += std::strerror(err);
+    if (err == EACCES || err == EPERM) {
+        reason += " (perf_event_paranoid=";
+        reason += std::to_string(paranoid_level());
+        reason += "; needs <= 2, or CAP_PERFMON)";
+    } else if (err == ENOENT) {
+        reason += " (event not supported here — no PMU in this "
+                  "VM/container?)";
+    }
+    return reason;
+}
+
+/// Grouped read buffer: nr, time_enabled, time_running, values[nr].
+struct ReadBuffer {
+    std::uint64_t nr = 0;
+    std::uint64_t time_enabled = 0;
+    std::uint64_t time_running = 0;
+    std::array<std::uint64_t, kMaxCounters> values{};
+};
+
+/// One thread's group + per-(worker, phase) accumulators. Owner-only
+/// writes; `seq` is released after every accumulation so a quiescent
+/// collector acquires complete cells.
+struct ThreadPerf {
+    PerfCounterGroup group;
+    struct Accum {
+        std::int32_t worker = -1;
+        std::array<CounterSet, kPhaseCount> phase{};
+    };
+    std::vector<Accum> accums;
+    std::atomic<std::uint64_t> seq{0};
+
+    explicit ThreadPerf(const std::vector<CounterSpec>& specs)
+        : group(specs)
+    {
+        accums.reserve(16);
+    }
+
+    Accum& cell(std::int32_t worker)
+    {
+        for (Accum& a : accums) {
+            if (a.worker == worker) return a;
+        }
+        accums.push_back(Accum{});
+        accums.back().worker = worker;
+        return accums.back();
+    }
+
+    void add(std::int32_t worker, Phase phase, const CounterSet& delta)
+    {
+        auto p = static_cast<std::size_t>(phase);
+        if (p >= kPhaseCount) p = static_cast<std::size_t>(Phase::kOther);
+        cell(worker).phase[p] += delta;
+        seq.fetch_add(1, std::memory_order_release);
+    }
+};
+
+struct Registry {
+    std::mutex mutex;
+    std::vector<std::unique_ptr<ThreadPerf>> threads;
+    std::vector<CounterSpec> specs;  ///< what enable() armed
+    std::string first_error;         ///< first open failure across threads
+    std::size_t best_opened = 0;     ///< most counters any thread opened
+};
+
+Registry& registry()
+{
+    static Registry r;
+    return r;
+}
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_generation{1};
+
+thread_local ThreadPerf* tls_perf = nullptr;
+thread_local std::uint64_t tls_generation = 0;
+
+ThreadPerf* this_thread_perf()
+{
+    const std::uint64_t gen = g_generation.load(std::memory_order_acquire);
+    if (tls_perf != nullptr && tls_generation == gen) return tls_perf;
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.threads.push_back(std::make_unique<ThreadPerf>(reg.specs));
+    ThreadPerf* tp = reg.threads.back().get();
+    if (!tp->group.usable() && reg.first_error.empty()) {
+        reg.first_error = tp->group.error();
+    }
+    if (tp->group.specs().size() > 0) {
+        std::size_t opened = 0;
+        CounterSet probe_set;
+        if (tp->group.read(&probe_set)) {
+            for (std::size_t i = 0; i < probe_set.n; ++i) {
+                if (probe_set.available[i]) ++opened;
+            }
+        }
+        if (opened > reg.best_opened) reg.best_opened = opened;
+    }
+    tls_perf = tp;
+    tls_generation = gen;
+    return tls_perf;
+}
+
+}  // namespace
+
+std::vector<CounterSpec> default_counter_specs()
+{
+    const std::uint64_t llc_loads =
+        cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                     PERF_COUNT_HW_CACHE_RESULT_ACCESS);
+    const std::uint64_t llc_load_misses =
+        cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                     PERF_COUNT_HW_CACHE_RESULT_MISS);
+    return {
+        {"cycles", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+        {"instructions", PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+        {"llc-loads", PERF_TYPE_HW_CACHE, llc_loads},
+        {"llc-load-misses", PERF_TYPE_HW_CACHE, llc_load_misses},
+        {"stalled-cycles-backend", PERF_TYPE_HARDWARE,
+         PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+    };
+}
+
+std::vector<CounterSpec> software_counter_specs()
+{
+    return {
+        {"task-clock-ns", PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+        {"page-faults", PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS},
+        {"context-switches", PERF_TYPE_SOFTWARE,
+         PERF_COUNT_SW_CONTEXT_SWITCHES},
+    };
+}
+
+PerfCounterGroup::PerfCounterGroup(const std::vector<CounterSpec>& specs)
+    : specs_(specs)
+{
+    if (specs_.size() > kMaxCounters) specs_.resize(kMaxCounters);
+    fd_.fill(-1);
+    read_pos_.fill(-1);
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        struct perf_event_attr attr;
+        std::memset(&attr, 0, sizeof(attr));
+        attr.size = sizeof(attr);
+        attr.type = specs_[i].type;
+        attr.config = specs_[i].config;
+        attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED
+                           | PERF_FORMAT_TOTAL_TIME_RUNNING;
+        if (leader_ < 0) {
+            attr.disabled = 1;  // leader starts off; siblings follow it
+        }
+        attr.exclude_kernel = 1;  // open under perf_event_paranoid <= 2
+        attr.exclude_hv = 1;
+        const long fd = sys_perf_event_open(&attr, /*pid=*/0, /*cpu=*/-1,
+                                            leader_ >= 0 ? fd_[0] : -1,
+                                            PERF_FLAG_FD_CLOEXEC);
+        if (fd < 0) {
+            if (error_.empty()) {
+                error_ = describe_open_failure(specs_[i], errno);
+            }
+            continue;
+        }
+        if (leader_ < 0) {
+            leader_ = static_cast<int>(i);
+            fd_[0] = static_cast<int>(fd);
+            // Leader lives in fd_[0]; remember its true slot.
+            read_pos_[i] = 0;
+        } else {
+            fd_[opened_] = static_cast<int>(fd);
+            read_pos_[i] = static_cast<int>(opened_);
+        }
+        ++opened_;
+    }
+    if (leader_ >= 0) {
+        ioctl(fd_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+        ioctl(fd_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    }
+}
+
+PerfCounterGroup::~PerfCounterGroup() { close_all(); }
+
+PerfCounterGroup::PerfCounterGroup(PerfCounterGroup&& o) noexcept
+    : specs_(std::move(o.specs_)),
+      fd_(o.fd_),
+      read_pos_(o.read_pos_),
+      leader_(o.leader_),
+      opened_(o.opened_),
+      error_(std::move(o.error_))
+{
+    o.fd_.fill(-1);
+    o.leader_ = -1;
+    o.opened_ = 0;
+}
+
+PerfCounterGroup& PerfCounterGroup::operator=(PerfCounterGroup&& o) noexcept
+{
+    if (this != &o) {
+        close_all();
+        specs_ = std::move(o.specs_);
+        fd_ = o.fd_;
+        read_pos_ = o.read_pos_;
+        leader_ = o.leader_;
+        opened_ = o.opened_;
+        error_ = std::move(o.error_);
+        o.fd_.fill(-1);
+        o.leader_ = -1;
+        o.opened_ = 0;
+    }
+    return *this;
+}
+
+void PerfCounterGroup::close_all() noexcept
+{
+    for (std::size_t i = 0; i < opened_; ++i) {
+        if (fd_[i] >= 0) close(fd_[i]);
+        fd_[i] = -1;
+    }
+    leader_ = -1;
+    opened_ = 0;
+}
+
+bool PerfCounterGroup::read(CounterSet* out) const
+{
+    if (out == nullptr || leader_ < 0) return false;
+    ReadBuffer buf;
+    const std::size_t want =
+        sizeof(std::uint64_t) * (3 + opened_);
+    const ssize_t got = ::read(fd_[0], &buf, want);
+    if (got < 0 || static_cast<std::size_t>(got) < want
+        || buf.nr != opened_) {
+        return false;
+    }
+    CounterSet set;
+    set.n = specs_.size();
+    set.time_enabled_ns = buf.time_enabled;
+    set.time_running_ns = buf.time_running;
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        const int pos = read_pos_[i];
+        if (pos < 0) continue;
+        set.value[i] = buf.values[static_cast<std::size_t>(pos)];
+        set.available[i] = true;
+    }
+    *out = set;
+    return true;
+}
+
+CounterSet PerfCounterGroup::delta(const CounterSet& begin,
+                                   const CounterSet& end)
+{
+    CounterSet d;
+    d.n = end.n;
+    const std::uint64_t d_enabled =
+        end.time_enabled_ns > begin.time_enabled_ns
+            ? end.time_enabled_ns - begin.time_enabled_ns
+            : 0;
+    const std::uint64_t d_running =
+        end.time_running_ns > begin.time_running_ns
+            ? end.time_running_ns - begin.time_running_ns
+            : 0;
+    d.time_enabled_ns = d_enabled;
+    d.time_running_ns = d_running;
+    // Multiplexing scale factor over THIS interval: when the kernel had
+    // the group on the PMU only d_running of d_enabled ns, counts are
+    // inflated proportionally (the standard perf extrapolation).
+    const double scale =
+        d_running > 0 && d_running < d_enabled
+            ? static_cast<double>(d_enabled) / static_cast<double>(d_running)
+            : 1.0;
+    for (std::size_t i = 0; i < end.n; ++i) {
+        if (!end.available[i] || !begin.available[i]) continue;
+        const std::uint64_t raw =
+            end.value[i] > begin.value[i] ? end.value[i] - begin.value[i]
+                                          : 0;
+        d.value[i] =
+            static_cast<std::uint64_t>(static_cast<double>(raw) * scale);
+        d.available[i] = true;
+    }
+    return d;
+}
+
+Availability probe()
+{
+    static std::once_flag once;
+    static Availability cached;
+    std::call_once(once, [] {
+        PerfCounterGroup group(default_counter_specs());
+        cached.usable = group.usable();
+        cached.reason = group.error();
+        CounterSet set;
+        if (group.read(&set)) {
+            for (std::size_t i = 0; i < set.n; ++i) {
+                if (set.available[i]) ++cached.opened;
+            }
+        }
+    });
+    return cached;
+}
+
+bool enable() { return enable(default_counter_specs()); }
+
+bool enable(std::vector<CounterSpec> specs)
+{
+    Registry& reg = registry();
+    bool specs_changed = false;
+    {
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        specs_changed = reg.specs.size() != specs.size();
+        for (std::size_t i = 0; !specs_changed && i < specs.size(); ++i) {
+            specs_changed = reg.specs[i].type != specs[i].type
+                            || reg.specs[i].config != specs[i].config;
+        }
+        reg.specs = std::move(specs);
+    }
+    if (specs_changed) reset();
+    g_enabled.store(true, std::memory_order_release);
+    // Open the caller's group eagerly so enable() can report usability.
+    ThreadPerf* tp = this_thread_perf();
+    return tp->group.usable();
+}
+
+void disable() { g_enabled.store(false, std::memory_order_release); }
+
+void reset()
+{
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.threads.clear();
+    reg.first_error.clear();
+    reg.best_opened = 0;
+    g_generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool enabled() noexcept
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void ensure_thread_counters()
+{
+    if (enabled()) (void)this_thread_perf();
+}
+
+bool read_thread_counters(CounterSet* out)
+{
+    if (!enabled()) return false;
+    ThreadPerf* tp = this_thread_perf();
+    return tp->group.read(out);
+}
+
+PerfDump collect()
+{
+    PerfDump dump;
+    dump.line_bytes = cache_line_bytes();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    dump.specs = reg.specs;
+    dump.availability.reason = reg.first_error;
+    dump.availability.opened = reg.best_opened;
+    for (const auto& tp : reg.threads) {
+        (void)tp->seq.load(std::memory_order_acquire);
+        if (tp->group.usable()) dump.availability.usable = true;
+        for (const ThreadPerf::Accum& a : tp->accums) {
+            WorkerPerf* merged = nullptr;
+            for (WorkerPerf& w : dump.workers) {
+                if (w.worker == a.worker) {
+                    merged = &w;
+                    break;
+                }
+            }
+            if (merged == nullptr) {
+                dump.workers.push_back(WorkerPerf{});
+                merged = &dump.workers.back();
+                merged->worker = a.worker;
+            }
+            for (std::size_t p = 0; p < kPhaseCount; ++p) {
+                merged->phase[p] += a.phase[p];
+            }
+        }
+    }
+    if (reg.threads.empty()) {
+        const Availability avail = probe();
+        dump.availability.usable = avail.usable;
+        if (dump.availability.reason.empty()) {
+            dump.availability.reason = avail.reason;
+        }
+    }
+    for (std::size_t i = 1; i < dump.workers.size(); ++i) {
+        for (std::size_t j = i;
+             j > 0 && dump.workers[j].worker < dump.workers[j - 1].worker;
+             --j) {
+            std::swap(dump.workers[j], dump.workers[j - 1]);
+        }
+    }
+    return dump;
+}
+
+std::uint64_t cache_line_bytes() noexcept
+{
+#ifdef _SC_LEVEL1_DCACHE_LINESIZE
+    const long line = sysconf(_SC_LEVEL1_DCACHE_LINESIZE);
+    if (line > 0) return static_cast<std::uint64_t>(line);
+#endif
+    return 64;
+}
+
+ScopedPhaseDelta::ScopedPhaseDelta(Phase phase)
+{
+    if (!enabled()) return;
+    ThreadPerf* tp = this_thread_perf();
+    if (!tp->group.usable()) return;
+    if (!tp->group.read(&begin_)) return;
+    phase_ = phase;
+    armed_ = true;
+}
+
+ScopedPhaseDelta::~ScopedPhaseDelta()
+{
+    if (!armed_) return;
+    ThreadPerf* tp = this_thread_perf();
+    CounterSet end;
+    if (!tp->group.read(&end)) return;
+    tp->add(thread_worker(), phase_, PerfCounterGroup::delta(begin_, end));
+}
+
+void publish(const PerfDump& dump)
+{
+    if (!metrics_enabled()) return;
+    static const MetricId ids[] = {
+        counter("obs.perf.cycles"),
+        counter("obs.perf.instructions"),
+        counter("obs.perf.llc_loads"),
+        counter("obs.perf.llc_load_misses"),
+    };
+    static const char* const names[] = {"cycles", "instructions",
+                                        "llc-loads", "llc-load-misses"};
+    for (std::size_t i = 0; i < 4; ++i) {
+        std::uint64_t v = 0;
+        if (dump.total_of(names[i], &v)) counter_add(ids[i], v);
+    }
+    double miss_bytes = 0;
+    if (llc_miss_bytes(dump, &miss_bytes)) {
+        counter_add(counter("obs.perf.llc_miss_bytes"),
+                    static_cast<std::uint64_t>(miss_bytes));
+    }
+}
+
+}  // namespace perf
+}  // namespace obs
+}  // namespace cake
+
+#endif  // CAKE_PERF_ENABLED

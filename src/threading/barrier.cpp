@@ -6,6 +6,7 @@
 #include "analysis/schedshake.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 #include "obs/trace.hpp"
 
 namespace cake {
@@ -24,6 +25,9 @@ obs::MetricId barrier_wait_hist()
 /// broken) is attributed. Compiles to nothing in CAKE_TRACE_DISABLED
 /// builds; costs two relaxed flag loads when tracing is disarmed.
 struct BarrierWaitObs {
+    /// Counter delta for the wait, attributed to the barrier (stall)
+    /// phase — gives the cake_perf stall row its cycles/instructions.
+    obs::perf::ScopedPhaseDelta perf{obs::Phase::kBarrier};
     std::uint64_t t0 = 0;
     bool armed = false;
 

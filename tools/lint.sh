@@ -30,6 +30,10 @@
 #     accounted for. The allowlist names every deliberate narrowing site
 #     (quantizers, RNG, probe timers, reference kernels); extending it is
 #     a review decision, not a convenience.
+#   * raw syscall(...) — the one sanctioned raw syscall in the tree is the
+#     perf_event_open wrapper in src/obs/perf.cpp (glibc exports no
+#     wrapper for it). Anywhere else, a direct syscall bypasses both the
+#     portability layer and every sanitizer interceptor.
 #
 # Exit 0 iff clean; prints every violation as file:line:text.
 set -uo pipefail
@@ -116,6 +120,28 @@ if [[ "${1:-}" == "--probe-rule6" ]]; then
   fi
   rm -f "${repo_root}/${probe_ok}"
   echo "lint probe: OK (rule 6 fires under src/core, allows tests/)"
+  exit 0
+fi
+
+# --probe-rule7: self-test that rule 7 (raw-syscall ban) fires outside
+# the perf_event_open wrapper and stays silent for src/obs/perf.cpp.
+if [[ "${1:-}" == "--probe-rule7" ]]; then
+  probe_bad="src/core/lint_rule7_probe_tmp.hpp"
+  trap 'rm -f "${repo_root}/${probe_bad}"' EXIT
+  printf '#include <unistd.h>\ninline long lint_probe() { return syscall(39); }\n' \
+    > "${probe_bad}"
+  if "${repo_root}/tools/lint.sh" >/dev/null 2>&1; then
+    echo "lint probe: FAILED (rule 7 did not flag ${probe_bad})"
+    exit 1
+  fi
+  rm -f "${probe_bad}"
+  # The real perf_event_open wrapper must stay allowlisted: a clean tree
+  # (which contains src/obs/perf.cpp's syscall) must lint clean.
+  if ! "${repo_root}/tools/lint.sh" >/dev/null 2>&1; then
+    echo "lint probe: FAILED (allowlisted src/obs/perf.cpp was flagged)"
+    exit 1
+  fi
+  echo "lint probe: OK (rule 7 fires under src/core, allows src/obs/perf.cpp)"
   exit 0
 fi
 
@@ -220,6 +246,18 @@ $(scan '\([[:space:]]*float[[:space:]]*\)[[:space:]]*[A-Za-z_(]' "${narrow_files
 out="$(echo "${out}" | sed '/^$/d')"
 [[ -z "${out}" ]] \
   || fail_rule "naked narrowing float cast in library code (the numerics bounds cannot see it; add the file to the rule-6 allowlist only for a deliberate, documented narrowing)" "${out}"
+
+# 7. Raw syscall(...) outside the sanctioned perf_event_open wrapper.
+# glibc exports no perf_event_open wrapper, so src/obs/perf.cpp calls
+# syscall(SYS_perf_event_open, ...) directly — and ONLY it may.
+syscall_allow='^src/obs/perf\.cpp$'
+syscall_files=()
+for f in "${files[@]}"; do
+  [[ "${f}" =~ ${syscall_allow} ]] || syscall_files+=("${f}")
+done
+out="$(scan '(^|[^_[:alnum:]])syscall[[:space:]]*\(' "${syscall_files[@]}")"
+[[ -z "${out}" ]] \
+  || fail_rule "raw syscall() outside src/obs/perf.cpp (the perf_event_open wrapper is the only sanctioned direct syscall)" "${out}"
 
 if [[ ${failures} -ne 0 ]]; then
   echo "lint: FAILED"
