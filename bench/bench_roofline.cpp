@@ -19,7 +19,9 @@
 #include "core/cake_gemm.hpp"
 #include "core/tiling.hpp"
 #include "gotoblas/goto_gemm.hpp"
+#include "kernel/registry.hpp"
 #include "machine/machine.hpp"
+#include "model/kernel_peak.hpp"
 #include "model/throughput.hpp"
 #include "obs/perf.hpp"
 
@@ -127,6 +129,45 @@ int main(int argc, char** argv)
                               ? "perf layer compiled out"
                               : dump.availability.reason)
                       << " — measured columns degrade to \"-\"]\n";
+        }
+    }
+
+    // Static per-kernel compute roofs from the verified kernel IRs
+    // (model/kernel_peak): pure descriptor arithmetic, identical on every
+    // host that compiled the same kernel set, so the table doubles as the
+    // host-independent BENCH_kernel_peak.json baseline.
+    {
+        std::cout << "\n=== Static kernel peaks (from verified kernel IRs, "
+                     "ops/cycle/core) ===\n\n";
+        Table peaks({"kernel", "family", "isa", "tile", "lanes",
+                     "regs used", "chain", "utilization", "ops/cycle"});
+        for (const model::KernelPeakRow& row : model::kernel_peak_table()) {
+            peaks.add_row({row.kernel, row.family, isa_name(row.isa),
+                           std::to_string(row.mr) + "x"
+                               + std::to_string(row.nr),
+                           format_number(row.lanes, 3),
+                           format_number(row.regs_used, 3),
+                           format_number(row.chain_updates, 3),
+                           format_number(row.utilization, 3),
+                           format_number(row.ops_per_cycle, 4)});
+        }
+        bench::print_table(peaks, "kernel_peak");
+
+        // The measured operating point above must sit under the static
+        // roof of the kernel the host actually dispatches.
+        const MachineSpec host = host_machine();
+        const MicroKernel& best = best_microkernel_of<float>();
+        if (const KernelIr* ir = kernel_ir_for(best.name)) {
+            const double core_peak =
+                model::kernel_peak_gflops(*ir, host.freq_ghz);
+            std::cout << "\ndispatched kernel " << best.name
+                      << ": static roof "
+                      << format_number(core_peak, 4) << " GFLOP/s/core x "
+                      << host.cores << " core(s) = "
+                      << format_number(core_peak * host.cores, 5)
+                      << " GFLOP/s at " << format_number(host.freq_ghz, 3)
+                      << " GHz (measured multiply above must not exceed "
+                         "this roof)\n";
         }
     }
 

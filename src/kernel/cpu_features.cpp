@@ -22,6 +22,16 @@ Isa parse_isa(const std::string& name)
     throw Error("unknown ISA name: " + name);
 }
 
+Isa parse_forced_isa(const std::string& value)
+{
+    try {
+        return parse_isa(value);
+    } catch (const Error&) {
+        throw Error("[FORCE_ISA] unknown CAKE_FORCE_ISA value '" + value
+                    + "' (expected scalar|avx2|avx512)");
+    }
+}
+
 const CpuFeatures& cpu_features()
 {
     static const CpuFeatures features = [] {

@@ -18,6 +18,12 @@ const char* isa_name(Isa isa);
 /// Parse an ISA name; throws cake::Error on unknown names.
 Isa parse_isa(const std::string& name);
 
+/// Parse a CAKE_FORCE_ISA override. The single choke point every
+/// dispatcher (float/double registry, int8 family) routes the env var
+/// through: an unknown value throws a cake::Error carrying the stable
+/// [FORCE_ISA] code — never a silent fallback to autodetection.
+Isa parse_forced_isa(const std::string& value);
+
 /// CPU capabilities detected once at startup.
 struct CpuFeatures {
     bool avx2 = false;      ///< AVX2 and FMA both present and OS-enabled

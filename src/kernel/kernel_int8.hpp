@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hpp"
 #include "kernel/cpu_features.hpp"
@@ -41,6 +42,19 @@ Int8MicroKernel avx2_int8_microkernel();  ///< 4x16, needs AVX2
 #if defined(CAKE_HAVE_AVX512_KERNEL)
 Int8MicroKernel avx512_int8_microkernel();  ///< 4x32, needs AVX-512BW
 #endif
+
+/// All int8 kernels compiled into this binary (regardless of CPU
+/// support), scalar first — the int8 mirror of all_microkernels_of<T>().
+const std::vector<Int8MicroKernel>& all_int8_microkernels();
+
+/// True if the int8 kernel of `isa` can run on this CPU. Stricter than
+/// isa_supported for AVX-512: the 4x32 kernel needs AVX-512BW
+/// (vpmaddubsw on zmm), not just the F foundation.
+bool int8_isa_supported(Isa isa);
+
+/// Int8 kernels runnable on this CPU, widest first (name tie-break, same
+/// deterministic order as supported_microkernels_of).
+std::vector<Int8MicroKernel> supported_int8_microkernels();
 
 /// Best int8 kernel runnable on this CPU (honours CAKE_FORCE_ISA).
 const Int8MicroKernel& best_int8_microkernel();

@@ -2,6 +2,9 @@
 // plus the shared dispatch and edge-tile helpers.
 #include "kernel/kernel_int8.hpp"
 
+#include <algorithm>
+#include <string_view>
+
 #include "common/env.hpp"
 #include "common/error.hpp"
 
@@ -45,38 +48,68 @@ Int8MicroKernel scalar_int8_microkernel()
     return {"scalar_int8_4x4", Isa::kScalar, kMr, kNr, &scalar_int8_ukr};
 }
 
+const std::vector<Int8MicroKernel>& all_int8_microkernels()
+{
+    static const std::vector<Int8MicroKernel> kernels = [] {
+        std::vector<Int8MicroKernel> v;
+        v.push_back(scalar_int8_microkernel());
+#if defined(CAKE_HAVE_AVX2_KERNEL)
+        v.push_back(avx2_int8_microkernel());
+#endif
+#if defined(CAKE_HAVE_AVX512_KERNEL)
+        v.push_back(avx512_int8_microkernel());
+#endif
+        return v;
+    }();
+    return kernels;
+}
+
+bool int8_isa_supported(Isa isa)
+{
+    switch (isa) {
+        case Isa::kScalar: return true;
+        case Isa::kAvx2: return cpu_features().avx2;
+        case Isa::kAvx512: return cpu_features().avx512bw;
+    }
+    return false;
+}
+
+std::vector<Int8MicroKernel> supported_int8_microkernels()
+{
+    std::vector<Int8MicroKernel> v;
+    for (const Int8MicroKernel& k : all_int8_microkernels()) {
+        if (int8_isa_supported(k.isa)) v.push_back(k);
+    }
+    std::sort(v.begin(), v.end(),
+              [](const Int8MicroKernel& a, const Int8MicroKernel& b) {
+                  if (a.isa != b.isa) {
+                      return static_cast<int>(a.isa)
+                          > static_cast<int>(b.isa);
+                  }
+                  return std::string_view(a.name) < std::string_view(b.name);
+              });
+    return v;
+}
+
 const Int8MicroKernel& best_int8_microkernel()
 {
     static const Int8MicroKernel chosen = [] {
         if (auto forced = env_string("CAKE_FORCE_ISA")) {
-            const Isa isa = parse_isa(*forced);
-            switch (isa) {
-                case Isa::kScalar: return scalar_int8_microkernel();
-                case Isa::kAvx2:
-#if defined(CAKE_HAVE_AVX2_KERNEL)
-                    CAKE_CHECK_MSG(cpu_features().avx2,
-                                   "AVX2 not supported by CPU");
-                    return avx2_int8_microkernel();
-#else
-                    throw Error("AVX2 int8 kernel not compiled in");
-#endif
-                case Isa::kAvx512:
-#if defined(CAKE_HAVE_AVX512_KERNEL)
-                    CAKE_CHECK_MSG(cpu_features().avx512bw,
-                                   "AVX-512BW not supported by CPU");
-                    return avx512_int8_microkernel();
-#else
-                    throw Error("AVX-512 int8 kernel not compiled in");
-#endif
+            // Same coded [FORCE_ISA] contract as the float registry: an
+            // unknown value raises, never falls back to autodetection.
+            const Isa isa = parse_forced_isa(*forced);
+            for (const Int8MicroKernel& k : all_int8_microkernels()) {
+                if (k.isa == isa) {
+                    CAKE_CHECK_MSG(int8_isa_supported(isa),
+                                   "int8 ISA " << isa_name(isa)
+                                       << " not supported by CPU");
+                    return k;
+                }
             }
+            throw Error(std::string("no int8 micro-kernel compiled for ISA ")
+                        + isa_name(isa));
         }
-#if defined(CAKE_HAVE_AVX512_KERNEL)
-        if (cpu_features().avx512bw) return avx512_int8_microkernel();
-#endif
-#if defined(CAKE_HAVE_AVX2_KERNEL)
-        if (cpu_features().avx2) return avx2_int8_microkernel();
-#endif
-        return scalar_int8_microkernel();
+        return supported_int8_microkernels().front();
     }();
     return chosen;
 }

@@ -27,7 +27,9 @@ const MicroKernelT<T>& best_microkernel_impl()
 {
     static const MicroKernelT<T> chosen = [] {
         if (auto forced = env_string("CAKE_FORCE_ISA")) {
-            return microkernel_for_impl<T>(parse_isa(*forced));
+            // parse_forced_isa raises a coded [FORCE_ISA] error on unknown
+            // values — an override typo must never fall back silently.
+            return microkernel_for_impl<T>(parse_forced_isa(*forced));
         }
         auto supported = supported_microkernels_of<T>();
         CAKE_CHECK(!supported.empty());

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <algorithm>
+#include <string_view>
 #include <vector>
 
 #include "kernel/microkernel.hpp"
@@ -14,6 +15,19 @@ namespace cake {
 template <typename T>
 const std::vector<MicroKernelT<T>>& all_microkernels_of();
 
+/// Deterministic dispatch order: widest vector ISA first (avx512 > avx2 >
+/// scalar), ties broken by name. std::sort is not stable, so without the
+/// name tie-break two same-ISA kernels would dispatch in an order that
+/// depends on registry iteration — this comparator pins it.
+template <typename T>
+bool microkernel_before(const MicroKernelT<T>& a, const MicroKernelT<T>& b)
+{
+    if (a.isa != b.isa) {
+        return static_cast<int>(a.isa) > static_cast<int>(b.isa);
+    }
+    return std::string_view(a.name) < std::string_view(b.name);
+}
+
 /// Kernels of element type T runnable on the executing CPU, widest first.
 template <typename T>
 std::vector<MicroKernelT<T>> supported_microkernels_of()
@@ -22,11 +36,7 @@ std::vector<MicroKernelT<T>> supported_microkernels_of()
     for (const auto& k : all_microkernels_of<T>()) {
         if (isa_supported(k.isa)) v.push_back(k);
     }
-    // Widest vector first: avx512 > avx2 > scalar.
-    std::sort(v.begin(), v.end(),
-              [](const MicroKernelT<T>& a, const MicroKernelT<T>& b) {
-                  return static_cast<int>(a.isa) > static_cast<int>(b.isa);
-              });
+    std::sort(v.begin(), v.end(), &microkernel_before<T>);
     return v;
 }
 

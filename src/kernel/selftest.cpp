@@ -109,11 +109,10 @@ std::vector<KernelSelfTestResult> run_kernel_selftest(index_t kc,
         results.push_back(test_float_kernel(k, "f32", kc, rng));
     for (const auto& k : supported_microkernels_of<double>())
         results.push_back(test_float_kernel(k, "f64", kc, rng));
-    // int8 family: scalar always; SIMD variants per CPU support.
-    results.push_back(test_int8_kernel(scalar_int8_microkernel(), kc, rng));
-    const Int8MicroKernel& best = best_int8_microkernel();
-    if (std::string(best.name) != "scalar_int8_4x4")
-        results.push_back(test_int8_kernel(best, kc, rng));
+    // int8 family: every compiled-and-supported variant, same contract as
+    // the float families (not just scalar + the dispatched best).
+    for (const Int8MicroKernel& k : supported_int8_microkernels())
+        results.push_back(test_int8_kernel(k, kc, rng));
     return results;
 }
 

@@ -8,6 +8,7 @@
 #include "core/audit.hpp"
 #include "core/cake_gemm.hpp"
 #include "core/fperror.hpp"
+#include "kernel/kernel_ir.hpp"
 #include "kernel/registry.hpp"
 #include "model/throughput.hpp"
 
@@ -29,6 +30,24 @@ std::pair<index_t, index_t> kernel_shape_for(const std::string& dtype,
 {
     if (dtype == "f32") return kernel_shape_of<float>(isa);
     if (dtype == "f64") return kernel_shape_of<double>(isa);
+    throw Error("unknown dtype '" + dtype + "' (expected f32 or f64)");
+}
+
+/// Registry name of the micro-kernel a dtype/ISA choice dispatches to —
+/// the key the kernel gate checks.
+template <typename T>
+std::string kernel_name_of(const std::optional<Isa>& isa)
+{
+    const MicroKernelT<T>& k =
+        isa ? microkernel_for_of<T>(*isa) : best_microkernel_of<T>();
+    return k.name;
+}
+
+std::string kernel_name_for(const std::string& dtype,
+                            const std::optional<Isa>& isa)
+{
+    if (dtype == "f32") return kernel_name_of<float>(isa);
+    if (dtype == "f64") return kernel_name_of<double>(isa);
     throw Error("unknown dtype '" + dtype + "' (expected f32 or f64)");
 }
 
@@ -299,6 +318,22 @@ TuneOutcome tune_shape(ThreadPool& pool, const MachineSpec& machine,
                                << audit.codes() << ") — machine description "
                                << "and solver disagree");
             ++outcome.audit_rejected;
+            continue;
+        }
+
+        // --- Kernel gate: never time a plan whose micro-kernel fails its
+        // static proof. The default is the release-side admission gate
+        // (kernel_ir.hpp); cake_tune injects the full kernelcheck prover.
+        const std::string kname = kernel_name_for(req.dtype, cand.isa);
+        std::string kwhy;
+        const bool kernel_clean = req.kernel_gate
+            ? req.kernel_gate(kname, &kwhy)
+            : kernel_gate_ok(kname, &kwhy);
+        if (!kernel_clean) {
+            CAKE_CHECK_MSG(!cand.analytic_default,
+                           "the analytic default's micro-kernel '"
+                               << kname << "' fails kernelcheck: " << kwhy);
+            ++outcome.kernelcheck_rejected;
             continue;
         }
 

@@ -58,6 +58,14 @@ struct TuneCandidate {
     [[nodiscard]] PlanOverrides overrides() const;
 };
 
+/// Kernel admission hook: returns whether the named micro-kernel may be
+/// timed, filling `why` on refusal. Empty = the release-side static gate
+/// (kernel_gate_ok: IR exists, registry binds, spill-free); cake_tune
+/// injects the full kernelcheck prover (symbolic verification + binary
+/// lane fingerprint) when built with the analysis library.
+using KernelGateFn =
+    std::function<bool(const std::string& kernel, std::string* why)>;
+
 /// What to tune.
 struct TuneRequest {
     GemmShape shape;
@@ -71,6 +79,7 @@ struct TuneRequest {
     int budget = 24;
     TimingPolicy policy;          ///< shared warmup/min-of-N discipline
     double model_tolerance = 0.02;  ///< ranking-tie band (fractional)
+    KernelGateFn kernel_gate;     ///< empty = kernel_gate_ok
 };
 
 /// One timed candidate with both sides of the story.
@@ -88,6 +97,8 @@ struct TuneOutcome {
     std::vector<CandidateResult> results;  ///< every timed candidate
     model::DisagreementReport disagreement;  ///< model-vs-hardware flips
     int audit_rejected = 0;  ///< candidates audit_cb_plan vetoed untimed
+    int kernelcheck_rejected = 0;  ///< candidates whose micro-kernel fails
+                                   ///< the kernel gate, vetoed untimed
     int numerics_rejected = 0;  ///< candidates whose error bound exceeds
                                 ///< the analytic default's, vetoed untimed
     int budget_dropped = 0;  ///< candidates dropped by the budget cap

@@ -9,7 +9,10 @@
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
 #include "core/cake_gemm_int8.hpp"
+#include "core/fperror.hpp"
+#include "core/quant.hpp"
 #include "kernel/kernel_int8.hpp"
+#include "kernel/selftest.hpp"
 #include "pack/pack_int8.hpp"
 #include "ref/naive_gemm.hpp"
 
@@ -272,6 +275,124 @@ TEST(Quant, ColumnSums)
     std::vector<std::int64_t> sums(3);
     int8_column_sums(b.data(), 3, 2, 3, sums.data());
     EXPECT_EQ(sums, (std::vector<std::int64_t>{5, -7, 9}));
+}
+
+TEST(Int8Kernel, EverySupportedKernelInSelftest)
+{
+    // The int8 family rides the same selftest path as f32/f64: every
+    // compiled-and-supported variant appears in the sweep and passes
+    // exactly (max_error == 0 for integer kernels).
+    const auto results = run_kernel_selftest();
+    for (const Int8MicroKernel& k : supported_int8_microkernels()) {
+        bool found = false;
+        for (const auto& r : results) {
+            if (r.kernel == k.name) {
+                found = true;
+                EXPECT_TRUE(r.passed) << k.name;
+                EXPECT_EQ(r.max_error, 0.0) << k.name;
+            }
+        }
+        EXPECT_TRUE(found) << k.name << " missing from selftest sweep";
+    }
+}
+
+TEST(Int8Kernel, SaturationEdgeExactAtTileBoundaries)
+{
+    // Extreme operands (a = 127, b = ±128 alternating) drive the
+    // vpmaddubsw int16 pair sums to ±32512 — the exactness boundary —
+    // while an (mr-1) x (nr-1) edge tile exercises the scratch copy-out.
+    // Every supported kernel must match the int64 oracle bit-exactly and
+    // leave the dead C region untouched.
+    const index_t kq = 3;
+    for (const Int8MicroKernel& k : supported_int8_microkernels()) {
+        const index_t mr = k.mr, nr = k.nr;
+        AlignedBuffer<std::uint8_t> a(static_cast<std::size_t>(mr * kq * 4));
+        AlignedBuffer<std::int8_t> b(static_cast<std::size_t>(nr * kq * 4));
+        for (std::size_t i = 0; i < a.size(); ++i) a[i] = 127;
+        for (index_t q = 0; q < kq; ++q)
+            for (index_t j = 0; j < nr; ++j)
+                for (index_t d = 0; d < 4; ++d)
+                    b[static_cast<std::size_t>(q * nr * 4 + j * 4 + d)] =
+                        (j + d) % 2 == 0
+                            ? static_cast<std::int8_t>(-128)
+                            : static_cast<std::int8_t>(127);
+
+        const index_t m = mr > 1 ? mr - 1 : mr;
+        const index_t n = nr > 1 ? nr - 1 : nr;
+        AlignedBuffer<std::int32_t> c(static_cast<std::size_t>(mr * nr));
+        AlignedBuffer<std::int32_t> scratch(
+            static_cast<std::size_t>(mr * nr));
+        const std::int32_t sentinel = -7777777;
+        for (std::size_t i = 0; i < c.size(); ++i) c[i] = sentinel;
+        run_int8_tile(k, kq, a.data(), b.data(), c.data(), nr, m, n,
+                      /*accumulate=*/false, scratch.data());
+
+        for (index_t i = 0; i < mr; ++i) {
+            for (index_t j = 0; j < nr; ++j) {
+                const std::int32_t got =
+                    c[static_cast<std::size_t>(i * nr + j)];
+                if (i >= m || j >= n) {
+                    ASSERT_EQ(got, sentinel)
+                        << k.name << " wrote dead C(" << i << "," << j
+                        << ")";
+                    continue;
+                }
+                std::int64_t want = 0;
+                for (index_t q = 0; q < kq; ++q)
+                    for (index_t d = 0; d < 4; ++d)
+                        want += 127LL
+                            * b[static_cast<std::size_t>(
+                                q * nr * 4 + j * 4 + d)];
+                ASSERT_EQ(static_cast<std::int64_t>(got), want)
+                    << k.name << " C(" << i << "," << j << ")";
+            }
+        }
+    }
+}
+
+TEST(Quant, RequantRoundingExactAtTileBoundaries)
+{
+    // Requantization at a shape straddling the register-tile boundaries
+    // (m = 2*mr - 1, n = 2*nr - 1): the dequantized result of the real
+    // int8 GEMM must stay inside the static requant error bound
+    // (core/fperror.hpp) at every element, including the edge tiles.
+    const Int8MicroKernel& best = best_int8_microkernel();
+    const index_t m = 2 * best.mr - 1;
+    const index_t n = 2 * best.nr - 1;
+    const index_t k = 52;
+    Rng rng(109);
+    Matrix a(m, k);
+    Matrix b(k, n);
+    a.fill_random(rng, 0.0f, 1.0f);
+    b.fill_random(rng, -1.0f, 1.0f);
+
+    std::vector<std::uint8_t> qa(static_cast<std::size_t>(m * k));
+    std::vector<std::int8_t> qb(static_cast<std::size_t>(k * n));
+    const QuantParams pa = quantize_unsigned(a.data(), m * k, qa.data());
+    const QuantParams pb = quantize_signed(b.data(), k * n, qb.data());
+
+    std::vector<std::int32_t> acc(static_cast<std::size_t>(m * n), 0);
+    CakeOptions options;
+    cake_gemm_s8u8s32(qa.data(), qb.data(), acc.data(), m, n, k,
+                      test_pool(), options);
+
+    std::vector<std::int64_t> colsums(static_cast<std::size_t>(n));
+    int8_column_sums(qb.data(), n, k, n, colsums.data());
+    Matrix out(m, n);
+    dequantize_gemm(acc.data(), n, m, n, pa, pb, colsums.data(),
+                    out.data(), n);
+
+    const Matrix exact = oracle_gemm(a, b);
+    const double bound = int8_requant_abs_bound(k, pa, pb);
+    ASSERT_GT(bound, 0.0);
+    for (index_t i = 0; i < m; ++i) {
+        for (index_t j = 0; j < n; ++j) {
+            const double diff = std::abs(
+                static_cast<double>(out.at(i, j))
+                - static_cast<double>(exact.at(i, j)));
+            ASSERT_LE(diff, bound) << "(" << i << "," << j << ")";
+        }
+    }
 }
 
 TEST(Quant, EndToEndQgemmApproximatesFloatGemm)

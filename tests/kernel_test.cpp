@@ -189,5 +189,46 @@ TEST(CpuFeatures, ConsistentWithRegistry)
     EXPECT_TRUE(isa_supported(Isa::kScalar));
 }
 
+TEST(CpuFeatures, ForcedIsaRejectsUnknownValuesWithCodedError)
+{
+    // The single choke point every dispatcher routes CAKE_FORCE_ISA
+    // through: a typo'd value must raise the coded [FORCE_ISA] error,
+    // never fall back silently to autodetection.
+    EXPECT_EQ(parse_forced_isa("scalar"), Isa::kScalar);
+    EXPECT_EQ(parse_forced_isa("avx2"), Isa::kAvx2);
+    EXPECT_EQ(parse_forced_isa("avx512"), Isa::kAvx512);
+    try {
+        parse_forced_isa("avx1024");
+        FAIL() << "unknown CAKE_FORCE_ISA value must throw";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("[FORCE_ISA]"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("avx1024"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(KernelRegistry, SupportedOrderingHasDeterministicTieBreak)
+{
+    // supported_microkernels_of sorts widest ISA first with a name
+    // tie-break, so two same-ISA kernels order lexicographically — the
+    // dispatch winner cannot depend on registration order.
+    const MicroKernel a{"zeta_6x16", Isa::kAvx2, 6, 16, nullptr};
+    const MicroKernel b{"alpha_6x16", Isa::kAvx2, 6, 16, nullptr};
+    EXPECT_TRUE(microkernel_before(b, a));
+    EXPECT_FALSE(microkernel_before(a, b));
+    // Wider ISA always sorts ahead regardless of name.
+    const MicroKernel wide{"zzz_14x32", Isa::kAvx512, 14, 32, nullptr};
+    EXPECT_TRUE(microkernel_before(wide, b));
+
+    const auto& supported = supported_microkernels();
+    for (std::size_t i = 0; i + 1 < supported.size(); ++i) {
+        EXPECT_TRUE(microkernel_before(supported[i], supported[i + 1])
+                    || !microkernel_before(supported[i + 1], supported[i]))
+            << supported[i].name << " vs " << supported[i + 1].name;
+    }
+}
+
 }  // namespace
 }  // namespace cake

@@ -1,0 +1,277 @@
+// Kernel-IR static checker tests: every registered micro-kernel's IR
+// verifies clean and lane-fingerprints against its binary, every KIR_*
+// mutation is rejected in isolation, the spill and throughput arithmetic
+// is pinned on synthetic IRs, and the static peak table obeys its own
+// invariants (the roofline consumes it).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/kernelcheck.hpp"
+#include "kernel/kernel_int8.hpp"
+#include "kernel/kernel_ir.hpp"
+#include "kernel/registry.hpp"
+#include "model/kernel_peak.hpp"
+
+namespace {
+
+using cake::Isa;
+using cake::KernelIr;
+using cake::KirAccStorage;
+using cake::kernelcheck::check_kernel;
+using cake::kernelcheck::KernelReport;
+using cake::kernelcheck::KirMutation;
+using cake::kernelcheck::verify_kernel_ir;
+
+/// Minimal valid synthetic IR: 2x2 scalar tile, one accumulator per
+/// element, registers storage. A fixture the arithmetic tests corrupt.
+KernelIr synthetic_ir()
+{
+    KernelIr ir;
+    ir.kernel = "synthetic_2x2";
+    ir.family = "f32";
+    ir.isa = Isa::kScalar;
+    ir.mr = 2;
+    ir.nr = 2;
+    ir.lanes = 1;
+    ir.quad = 1;
+    ir.acc_storage = KirAccStorage::kRegisters;
+    ir.acc_regs = 4;
+    ir.a_regs = 1;
+    ir.b_regs = 1;
+    ir.tmp_regs = 0;
+    ir.const_regs = 0;
+    ir.reg_budget = 16;
+    ir.chain_updates = 1;
+    for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) {
+            ir.fmas.push_back({i * 2 + j, i, j});
+            ir.stores.push_back({i * 2 + j, i, j});
+        }
+    }
+    return ir;
+}
+
+bool host_can_run(const KernelIr& ir)
+{
+    return ir.family == "i8" ? cake::int8_isa_supported(ir.isa)
+                             : cake::isa_supported(ir.isa);
+}
+
+TEST(KernelCheck, EveryRegisteredIrVerifiesClean)
+{
+    const std::vector<KernelIr>& irs = cake::all_kernel_irs();
+    ASSERT_GE(irs.size(), 3u);  // scalar f32/f64/i8 always compiled
+    for (const KernelIr& ir : irs) {
+        const KernelReport report = verify_kernel_ir(ir);
+        EXPECT_TRUE(report.ok())
+            << ir.kernel << " reported [" << report.codes() << "]";
+        EXPECT_GT(report.ops_per_cycle, 0.0) << ir.kernel;
+        EXPECT_EQ(report.derived_chain, ir.chain_updates) << ir.kernel;
+    }
+}
+
+TEST(KernelCheck, EveryKernelBinaryMatchesItsIr)
+{
+    for (const KernelIr& ir : cake::all_kernel_irs()) {
+        const KernelReport report = check_kernel(ir);
+        EXPECT_TRUE(report.ok())
+            << ir.kernel << " reported [" << report.codes() << "]";
+        // The fingerprint must run exactly when the host can execute the
+        // kernel — and a clean report with fingerprinted=true IS the
+        // lane-level proof that IR and binary agree.
+        EXPECT_EQ(report.fingerprinted, host_can_run(ir)) << ir.kernel;
+    }
+}
+
+TEST(KernelCheck, EveryRegistryKernelHasAnIr)
+{
+    for (const cake::MicroKernel& k : cake::all_microkernels_of<float>()) {
+        const KernelIr* ir = cake::kernel_ir_for(k.name);
+        ASSERT_NE(ir, nullptr) << k.name;
+        EXPECT_EQ(ir->mr, k.mr) << k.name;
+        EXPECT_EQ(ir->nr, k.nr) << k.name;
+        EXPECT_EQ(ir->isa, k.isa) << k.name;
+        EXPECT_EQ(ir->family, "f32") << k.name;
+    }
+    for (const cake::MicroKernelD& k : cake::all_microkernels_of<double>()) {
+        const KernelIr* ir = cake::kernel_ir_for(k.name);
+        ASSERT_NE(ir, nullptr) << k.name;
+        EXPECT_EQ(ir->mr, k.mr) << k.name;
+        EXPECT_EQ(ir->nr, k.nr) << k.name;
+        EXPECT_EQ(ir->family, "f64") << k.name;
+    }
+    for (const cake::Int8MicroKernel& k : cake::all_int8_microkernels()) {
+        const KernelIr* ir = cake::kernel_ir_for(k.name);
+        ASSERT_NE(ir, nullptr) << k.name;
+        EXPECT_EQ(ir->mr, k.mr) << k.name;
+        EXPECT_EQ(ir->nr, k.nr) << k.name;
+        EXPECT_EQ(ir->family, "i8") << k.name;
+        EXPECT_EQ(ir->quad, 4) << k.name;
+    }
+}
+
+TEST(KernelCheck, EveryMutationRejectedInIsolationOnEveryKernel)
+{
+    for (const KernelIr& clean : cake::all_kernel_irs()) {
+        ASSERT_TRUE(verify_kernel_ir(clean).ok()) << clean.kernel;
+        for (int m = 0; m < cake::kernelcheck::kKirMutationCount; ++m) {
+            KernelIr ir = clean;
+            const std::string expected =
+                cake::kernelcheck::apply_kernel_mutation(
+                    ir, static_cast<KirMutation>(m));
+            const KernelReport report = verify_kernel_ir(ir);
+            EXPECT_TRUE(report.has(expected))
+                << clean.kernel << " "
+                << cake::kernelcheck::kir_mutation_name(
+                       static_cast<KirMutation>(m))
+                << " reported [" << report.codes() << "]";
+            // Isolation: exactly the expected code, nothing else.
+            EXPECT_EQ(report.codes(), expected)
+                << clean.kernel << " "
+                << cake::kernelcheck::kir_mutation_name(
+                       static_cast<KirMutation>(m));
+        }
+    }
+}
+
+TEST(KernelCheck, UnregisteredIrFailsTheRegistryBinding)
+{
+    KernelIr ir = synthetic_ir();  // not a registry name
+    EXPECT_TRUE(verify_kernel_ir(ir).ok());
+    const KernelReport report = check_kernel(ir);
+    EXPECT_TRUE(report.has("KIR_MALFORMED"));
+    EXPECT_FALSE(report.fingerprinted);
+}
+
+TEST(KernelCheck, GeometryDriftFailsTheRegistryBinding)
+{
+    const KernelIr* real = cake::kernel_ir_for("scalar_8x8");
+    ASSERT_NE(real, nullptr);
+    KernelIr ir = *real;
+    ir.nr = 4;  // registry says 8x8
+    // Rebuild a consistent store map so only the binding disagrees.
+    ir.fmas.clear();
+    ir.stores.clear();
+    for (int i = 0; i < 8; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            ir.fmas.push_back({i * 4 + j, i, j});
+            ir.stores.push_back({i * 4 + j, i, j});
+        }
+    }
+    ir.acc_regs = 32;
+    ASSERT_TRUE(verify_kernel_ir(ir).ok());
+    EXPECT_TRUE(check_kernel(ir).has("KIR_MALFORMED"));
+}
+
+TEST(KernelCheck, StructurallyBrokenIrIsMalformed)
+{
+    KernelIr ir = synthetic_ir();
+    ir.fmas.clear();
+    EXPECT_TRUE(verify_kernel_ir(ir).has("KIR_MALFORMED"));
+
+    ir = synthetic_ir();
+    ir.fmas[0].a_row = 7;  // outside mr=2
+    EXPECT_TRUE(verify_kernel_ir(ir).has("KIR_MALFORMED"));
+
+    ir = synthetic_ir();
+    ir.stores[0].acc = 99;  // outside acc_regs=4
+    EXPECT_TRUE(verify_kernel_ir(ir).has("KIR_MALFORMED"));
+}
+
+TEST(KernelCheck, SpillArithmeticIsExact)
+{
+    // Registers: 4 + 1 + 1 = 6 of 16 -> free; budget 5 -> spill.
+    KernelIr ir = synthetic_ir();
+    std::string why;
+    EXPECT_TRUE(cake::kir_spill_free(ir, &why)) << why;
+    ir.reg_budget = 5;
+    EXPECT_FALSE(cake::kir_spill_free(ir, &why));
+    EXPECT_FALSE(why.empty());
+    EXPECT_TRUE(verify_kernel_ir(ir).has("KIR_SPILL"));
+
+    // Stack tile: bytes = acc_regs * elem_bytes against the 4 KiB budget.
+    ir = synthetic_ir();
+    ir.acc_storage = KirAccStorage::kStackTile;
+    EXPECT_TRUE(cake::kir_spill_free(ir, &why)) << why;
+    ir.acc_regs = cake::kKirStackTileBudgetBytes / 4 + 1;
+    // Keep the dataflow indices valid: acc range grew, stores unchanged
+    // still reference accs 0..3, so only SPILL may fire...
+    const KernelReport report = verify_kernel_ir(ir);
+    EXPECT_TRUE(report.has("KIR_SPILL"));
+    EXPECT_EQ(report.codes(), "KIR_SPILL");
+}
+
+TEST(KernelCheck, ThroughputChainIsDerivedFromTheFmaList)
+{
+    // Fold the 2x2 tile onto 2 accumulators: 2 updates per acc per step.
+    KernelIr ir = synthetic_ir();
+    ir.acc_regs = 2;
+    ir.fmas.clear();
+    ir.stores.clear();
+    for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) {
+            ir.fmas.push_back({i, i, j});
+        }
+        // One store per acc cannot cover 2 elements with lanes=1 — use a
+        // per-element store map that shares the row accumulator; KIR_ACC
+        // fires for the conflicting stores, so only check the chain here.
+        ir.stores.push_back({i, i, 0});
+        ir.stores.push_back({i, i, 1});
+    }
+    ir.chain_updates = 2;
+    const KernelReport honest = verify_kernel_ir(ir);
+    EXPECT_EQ(honest.derived_chain, 2);
+    EXPECT_FALSE(honest.has("KIR_THROUGHPUT"));
+
+    ir.chain_updates = 1;  // lie: claims full accumulator parallelism
+    EXPECT_TRUE(verify_kernel_ir(ir).has("KIR_THROUGHPUT"));
+}
+
+TEST(KernelPeak, TableInvariantsHold)
+{
+    const std::vector<cake::model::KernelPeakRow> rows =
+        cake::model::kernel_peak_table();
+    ASSERT_EQ(rows.size(), cake::all_kernel_irs().size());
+    double scalar_f32 = 0, avx2_f32 = 0, avx512_f32 = 0;
+    for (const auto& row : rows) {
+        EXPECT_GT(row.utilization, 0.0) << row.kernel;
+        EXPECT_LE(row.utilization, 1.0) << row.kernel;
+        EXPECT_GT(row.ops_per_cycle, 0.0) << row.kernel;
+        if (row.family == "f32") {
+            if (row.isa == Isa::kScalar) scalar_f32 = row.ops_per_cycle;
+            if (row.isa == Isa::kAvx2) avx2_f32 = row.ops_per_cycle;
+            if (row.isa == Isa::kAvx512) avx512_f32 = row.ops_per_cycle;
+        }
+    }
+    // Wider ISAs must never bound BELOW narrower ones (compiled subsets
+    // may leave some at 0 = absent).
+    if (avx2_f32 > 0) EXPECT_GE(avx2_f32, scalar_f32);
+    if (avx512_f32 > 0 && avx2_f32 > 0) EXPECT_GE(avx512_f32, avx2_f32);
+}
+
+TEST(KernelPeak, GflopsScalesLinearlyWithFrequency)
+{
+    const std::vector<KernelIr>& irs = cake::all_kernel_irs();
+    ASSERT_FALSE(irs.empty());
+    const KernelIr& ir = irs.front();
+    const double at1 = cake::model::kernel_peak_gflops(ir, 1.0);
+    EXPECT_DOUBLE_EQ(cake::model::kernel_peak_gflops(ir, 2.5), at1 * 2.5);
+    EXPECT_EQ(at1, cake::model::kernel_peak_row(ir).ops_per_cycle);
+}
+
+TEST(KernelGate, ReleaseGateAcceptsProvenAndRefusesUnknown)
+{
+    // Every registered kernel passes the release-side admission gate.
+    for (const KernelIr& ir : cake::all_kernel_irs()) {
+        std::string why;
+        EXPECT_TRUE(cake::kernel_gate_ok(ir.kernel, &why))
+            << ir.kernel << ": " << why;
+    }
+    std::string why;
+    EXPECT_FALSE(cake::kernel_gate_ok("no_such_kernel", &why));
+    EXPECT_FALSE(why.empty());
+}
+
+}  // namespace

@@ -410,6 +410,66 @@ TEST(TuneSearch, NumericsGateRefusesAccuracyDegradingWinner)
     EXPECT_EQ(outcome.winner.elem_bytes, 4);
 }
 
+TEST(TuneSearch, KernelGateRefusesUnprovenKernelsUntimed)
+{
+    // The kernel gate sits between the audit and numerics gates: a
+    // candidate whose micro-kernel fails kernelcheck must be refused
+    // before the timer ever runs. Inject a gate that rejects the scalar
+    // kernels — the explicit scalar-ISA candidates are vetoed untimed
+    // while the analytic default (widest kernel) sails through.
+    const MachineSpec machine = test_machine();
+    ThreadPool pool(machine.cores);
+    TuneRequest req;
+    req.shape = {512, 512, 512};
+    req.budget = 64;  // time every surviving candidate
+    req.kernel_gate = [](const std::string& kernel, std::string* why) {
+        if (kernel.rfind("scalar", 0) == 0) {
+            if (why) *why = "[KIR_TEST] scalar kernels refused by mock";
+            return false;
+        }
+        return true;
+    };
+
+    const double flops = req.shape.flops();
+    int scalar_timed = 0;
+    auto mock = [&](const TuneCandidate& c) {
+        if (c.isa && *c.isa == Isa::kScalar) {
+            ++scalar_timed;
+            return flops / 1000e9;  // would win if ever timed
+        }
+        return flops / 10e9;
+    };
+    const TuneOutcome outcome =
+        tune_shape(pool, machine, req, "mock-host", mock);
+
+    EXPECT_GE(outcome.kernelcheck_rejected, 1);
+    EXPECT_EQ(scalar_timed, 0);  // vetoed before the timer ever ran
+    for (const CandidateResult& r : outcome.results) {
+        EXPECT_FALSE(r.candidate.isa && *r.candidate.isa == Isa::kScalar)
+            << r.candidate.label;
+    }
+    ASSERT_FALSE(outcome.results.empty());
+    EXPECT_TRUE(outcome.results[0].candidate.analytic_default);
+}
+
+TEST(TuneSearch, KernelGateThrowsWhenAnalyticDefaultFails)
+{
+    // A gate that refuses every kernel means even candidate 0 (the
+    // analytic default) is unproven — tuning must fail loudly, not fall
+    // back to timing unverified code.
+    const MachineSpec machine = test_machine();
+    ThreadPool pool(machine.cores);
+    TuneRequest req;
+    req.shape = {512, 512, 512};
+    req.budget = 8;
+    req.kernel_gate = [](const std::string&, std::string* why) {
+        if (why) *why = "[KIR_TEST] all kernels refused";
+        return false;
+    };
+    auto mock = [&](const TuneCandidate&) { return 1e-3; };
+    EXPECT_THROW(tune_shape(pool, machine, req, "mock-host", mock), Error);
+}
+
 TEST(TuneSearch, RankingFlipDetection)
 {
     // Model says A beats B by 25%; the machine says the opposite by 2x:

@@ -34,8 +34,10 @@
 #include "tune/tune.hpp"
 
 #if defined(CAKE_TUNE_HAS_SCHEDIR)
+#include "analysis/kernelcheck.hpp"
 #include "analysis/schedir.hpp"
 #include "analysis/verify.hpp"
+#include "kernel/kernel_ir.hpp"
 #endif
 
 namespace {
@@ -161,6 +163,38 @@ void print_cache_issues(const std::vector<cake::tune::CacheIssue>& issues)
     }
 }
 
+/// The kernel admission gate the searches run under. With the analysis
+/// library present this is the full kernelcheck prover (symbolic
+/// obligations + registry binding + binary lane fingerprint); without it
+/// TuneRequest's empty default already applies the release-side static
+/// gate (kernel_gate_ok), so we leave the hook unset.
+cake::tune::KernelGateFn full_kernel_gate()
+{
+#if defined(CAKE_TUNE_HAS_SCHEDIR)
+    return [](const std::string& kernel, std::string* why) {
+        const cake::KernelIr* ir = cake::kernel_ir_for(kernel);
+        if (ir == nullptr) {
+            if (why != nullptr) {
+                *why = "micro-kernel '" + kernel + "' has no IR descriptor";
+            }
+            return false;
+        }
+        const cake::kernelcheck::KernelReport report =
+            cake::kernelcheck::check_kernel(*ir);
+        if (!report.ok() && why != nullptr) {
+            std::string msg = "[";
+            msg += report.codes();
+            msg += "] ";
+            msg += report.issues.front().message;
+            *why = msg;
+        }
+        return report.ok();
+    };
+#else
+    return {};
+#endif
+}
+
 /// Re-solve the winner's geometry and prove the schedule it implies is
 /// race-free and exactly covering with the symbolic IR verifier. In
 /// builds without the analysis library this degrades to the audit-only
@@ -231,6 +265,8 @@ void print_outcome(const cake::GemmShape& shape, const TuneOutcome& outcome)
                       << "\n";
         }
         std::cout << "  audit-rejected untimed: " << outcome.audit_rejected
+                  << ", kernelcheck-rejected: "
+                  << outcome.kernelcheck_rejected
                   << ", budget-dropped: " << outcome.budget_dropped << "\n";
         if (outcome.disagreement.agree()) {
             std::cout
@@ -287,6 +323,7 @@ int cmd_search(const Options& opt)
         req.dtype = opt.dtype;
         req.budget = opt.budget;
         req.policy = {opt.warmup, opt.reps};
+        req.kernel_gate = full_kernel_gate();
         const TuneOutcome outcome =
             cake::tune::tune_with_cache(pool, machine, req, path, fingerprint);
         print_outcome(shape, outcome);
@@ -315,6 +352,7 @@ int cmd_smoke(const Options& opt)
     req.dtype = opt.dtype;
     req.budget = 4;  // tiny: analytic default + a few neighbours
     req.policy = {0, 1};
+    req.kernel_gate = full_kernel_gate();
 
     // Pass 1 must search (write the cache), pass 2 must be a pure hit.
     const TuneOutcome first = cake::tune::tune_with_cache(

@@ -27,6 +27,14 @@
 //   cake_verify --locality [--kind hilbert] [--exec serial]
 //   cake_verify --locality --sweep       (presets x dtypes x all kinds)
 //   cake_verify --locality --mutations   (locality corruptions rejected)
+//
+// --kernels switches to the kernel-IR static checker
+// (analysis/kernelcheck.hpp): every registered micro-kernel (all ISAs x
+// f32/f64/i8) is proved covered, spill-free and honestly modelled, and —
+// where the host CPU can run it — lane-fingerprinted against the kernel
+// binary.
+//   cake_verify --kernels [--sweep]      (all registered kernels)
+//   cake_verify --kernels --mutations    (kernel-IR corruptions rejected)
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -34,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/kernelcheck.hpp"
 #include "analysis/locality.hpp"
 #include "analysis/numerics.hpp"
 #include "analysis/schedir.hpp"
@@ -41,6 +50,9 @@
 #include "core/fperror.hpp"
 #include "core/tiling.hpp"
 #include "gotoblas/goto_gemm.hpp"
+#include "kernel/kernel_int8.hpp"
+#include "kernel/kernel_ir.hpp"
+#include "kernel/registry.hpp"
 #include "machine/machine.hpp"
 
 namespace {
@@ -66,6 +78,7 @@ struct Options {
     bool mutations = false;
     bool numerics = false;
     bool locality = false;
+    bool kernels = false;
     std::string dtype;  // empty = follow --f64
 };
 
@@ -80,7 +93,7 @@ struct Options {
         << "                   [--exec serial|pipelined|goto] [--memsim]\n"
         << "                   [--sweep] [--mutations]\n"
         << "                   [--numerics [--dtype f32|f64|f16|bf16|i8]]\n"
-        << "                   [--locality]\n";
+        << "                   [--locality] [--kernels]\n";
     std::exit(2);
 }
 
@@ -172,6 +185,8 @@ Options parse_args(int argc, char** argv)
             opt.numerics = true;
         } else if (arg == "--locality") {
             opt.locality = true;
+        } else if (arg == "--kernels") {
+            opt.kernels = true;
         } else if (arg == "--dtype") {
             opt.dtype = next(i, "--dtype");
             if (cake::find_dtype(opt.dtype) == nullptr) {
@@ -629,6 +644,96 @@ bool run_locality_single(const Options& opt)
                         ir, opt.memsim && !opt.f64);
 }
 
+// --- Kernel-IR static verification (--kernels) --------------------------
+
+/// Print one kernel's check result: the proven register budget, derived
+/// chain depth, static peak and whether the binary fingerprint ran.
+bool kernels_one(const cake::kernelcheck::KernelReport& report)
+{
+    char peak[32];
+    std::snprintf(peak, sizeof peak, "%.1f", report.ops_per_cycle);
+    std::cout << (report.ok() ? "PASS" : "FAIL") << "  " << report.kernel
+              << "  " << report.family << "  " << cake::isa_name(report.isa)
+              << "  " << report.mr << "x" << report.nr << "  regs="
+              << report.regs_used << "/" << report.reg_budget
+              << " chain=" << report.derived_chain << " peak=" << peak
+              << " ops/cycle"
+              << (report.fingerprinted ? "  [fingerprint]" : "") << "\n";
+    for (const cake::kernelcheck::KernelIssue& issue : report.issues) {
+        std::cout << "  [" << issue.code << "] " << issue.message << "\n";
+    }
+    return report.ok();
+}
+
+/// Check every registered kernel IR: symbolic obligations, registry
+/// binding, and (host permitting) the binary lane fingerprint. Every
+/// registry entry must also carry an IR — an unmodelled kernel fails.
+bool run_kernels_sweep()
+{
+    bool all_ok = true;
+    for (const cake::KernelIr& ir : cake::all_kernel_irs()) {
+        all_ok &= kernels_one(cake::kernelcheck::check_kernel(ir));
+    }
+    // Completeness: a kernel in the registry without an IR would silently
+    // escape every obligation above.
+    std::vector<std::string> unmodelled;
+    for (const cake::MicroKernel& k : cake::all_microkernels_of<float>()) {
+        if (cake::kernel_ir_for(k.name) == nullptr) unmodelled.push_back(k.name);
+    }
+    for (const cake::MicroKernelD& k : cake::all_microkernels_of<double>()) {
+        if (cake::kernel_ir_for(k.name) == nullptr) unmodelled.push_back(k.name);
+    }
+    for (const cake::Int8MicroKernel& k : cake::all_int8_microkernels()) {
+        if (cake::kernel_ir_for(k.name) == nullptr) unmodelled.push_back(k.name);
+    }
+    for (const std::string& name : unmodelled) {
+        std::cout << "FAIL  " << name
+                  << "  registered kernel has no IR descriptor\n";
+        all_ok = false;
+    }
+    return all_ok;
+}
+
+bool check_kir_mutation(const cake::KernelIr& clean,
+                        cake::kernelcheck::KirMutation m)
+{
+    cake::KernelIr ir = clean;
+    const std::string expected =
+        cake::kernelcheck::apply_kernel_mutation(ir, m);
+    const cake::kernelcheck::KernelReport report =
+        cake::kernelcheck::verify_kernel_ir(ir);
+    // Isolation: the mutation must trip its specific code and nothing
+    // else — a second code firing would mean the obligations overlap.
+    const bool rejected = report.has(expected)
+        && report.codes() == expected;
+    std::cout << (rejected ? "PASS" : "FAIL") << "  " << clean.kernel << "  "
+              << cake::kernelcheck::kir_mutation_name(m) << " -> expects ["
+              << expected << "] only, verifier reported ["
+              << (report.issues.empty() ? "clean" : report.codes()) << "]\n";
+    return rejected;
+}
+
+/// Kernel mutation gate: every clean IR verifies clean, then every
+/// corruption is rejected on every registered kernel with its specific
+/// code and no other.
+bool run_kernels_mutations()
+{
+    bool all_ok = true;
+    for (const cake::KernelIr& ir : cake::all_kernel_irs()) {
+        const cake::kernelcheck::KernelReport clean =
+            cake::kernelcheck::verify_kernel_ir(ir);
+        if (!clean.ok()) {
+            all_ok &= kernels_one(clean);
+            continue;
+        }
+        for (int m = 0; m < cake::kernelcheck::kKirMutationCount; ++m) {
+            all_ok &= check_kir_mutation(
+                ir, static_cast<cake::kernelcheck::KirMutation>(m));
+        }
+    }
+    return all_ok;
+}
+
 bool run_single(const Options& opt)
 {
     const cake::MachineSpec machine = cake::machine_by_name(opt.machine);
@@ -661,7 +766,12 @@ int main(int argc, char** argv)
 
     bool ok = false;
     try {
-        if (opt.locality) {
+        if (opt.kernels) {
+            // --sweep and the bare form are the same full check; the
+            // kernel inventory is small enough to always verify whole.
+            ok = opt.mutations ? run_kernels_mutations()
+                               : run_kernels_sweep();
+        } else if (opt.locality) {
             ok = opt.sweep        ? run_locality_sweep()
                  : opt.mutations  ? run_locality_mutations()
                                   : run_locality_single(opt);

@@ -34,6 +34,12 @@
 #     perf_event_open wrapper in src/obs/perf.cpp (glibc exports no
 #     wrapper for it). Anywhere else, a direct syscall bypasses both the
 #     portability layer and every sanitizer interceptor.
+#   * raw SIMD intrinsics (_mm256_* / _mm512_*) outside src/kernel/ — the
+#     micro-kernel layer is the only code allowed to speak vector ISA:
+#     every kernel there is registered, selftested against the scalar
+#     reference, and statically proved by the kernel-IR checker
+#     (analysis/kernelcheck). An intrinsic elsewhere is an unregistered
+#     kernel no verifier ever sees.
 #
 # Exit 0 iff clean; prints every violation as file:line:text.
 set -uo pipefail
@@ -142,6 +148,30 @@ if [[ "${1:-}" == "--probe-rule7" ]]; then
     exit 1
   fi
   echo "lint probe: OK (rule 7 fires under src/core, allows src/obs/perf.cpp)"
+  exit 0
+fi
+
+# --probe-rule8: self-test that rule 8 (raw-intrinsics ban) fires outside
+# src/kernel/ and stays silent inside it.
+if [[ "${1:-}" == "--probe-rule8" ]]; then
+  probe_bad="src/core/lint_rule8_probe_tmp.hpp"
+  probe_ok="src/kernel/lint_rule8_probe_tmp.hpp"
+  trap 'rm -f "${repo_root}/${probe_bad}" "${repo_root}/${probe_ok}"' EXIT
+  printf '#include <immintrin.h>\ninline __m256 lint_probe() { return _mm256_setzero_ps(); }\n' \
+    > "${probe_bad}"
+  if "${repo_root}/tools/lint.sh" >/dev/null 2>&1; then
+    echo "lint probe: FAILED (rule 8 did not flag ${probe_bad})"
+    exit 1
+  fi
+  rm -f "${repo_root}/${probe_bad}"
+  printf '#include <immintrin.h>\ninline __m256 lint_probe() { return _mm256_setzero_ps(); }\n' \
+    > "${probe_ok}"
+  if ! "${repo_root}/tools/lint.sh" >/dev/null 2>&1; then
+    echo "lint probe: FAILED (kernel-tree ${probe_ok} was flagged)"
+    exit 1
+  fi
+  rm -f "${repo_root}/${probe_ok}"
+  echo "lint probe: OK (rule 8 fires under src/core, allows src/kernel/)"
   exit 0
 fi
 
@@ -258,6 +288,18 @@ done
 out="$(scan '(^|[^_[:alnum:]])syscall[[:space:]]*\(' "${syscall_files[@]}")"
 [[ -z "${out}" ]] \
   || fail_rule "raw syscall() outside src/obs/perf.cpp (the perf_event_open wrapper is the only sanctioned direct syscall)" "${out}"
+
+# 8. Raw SIMD intrinsics outside src/kernel/. The micro-kernel layer is
+# the only code allowed to speak vector ISA — everything there is
+# registered, selftested and statically verified (analysis/kernelcheck);
+# an intrinsic anywhere else is an unregistered kernel no verifier sees.
+simd_files=()
+for f in "${files[@]}"; do
+  [[ "${f}" == src/kernel/* ]] || simd_files+=("${f}")
+done
+out="$(scan '(^|[^_[:alnum:]])_mm(256|512)_[a-z0-9_]+' "${simd_files[@]}")"
+[[ -z "${out}" ]] \
+  || fail_rule "raw SIMD intrinsic outside src/kernel/ (register a micro-kernel so selftest and kernelcheck can see it)" "${out}"
 
 if [[ ${failures} -ne 0 ]]; then
   echo "lint: FAILED"
